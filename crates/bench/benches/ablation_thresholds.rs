@@ -1,0 +1,38 @@
+//! Ablation bench: threshold-selection rules (penalised vs literal CV,
+//! theoretical K√(j/n), linear projection) and convergence-rate sweep.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use wavedens_bench::{bench_config, summary_config};
+use wavedens_experiments::{rate_study, threshold_ablation};
+use wavedens_processes::DependenceCase;
+
+fn ablation(c: &mut Criterion) {
+    println!("\nThreshold-rule ablation (reduced scale, Case 2):");
+    for row in threshold_ablation(&summary_config(), DependenceCase::ExpandingMap) {
+        println!(
+            "  {:40} MISE {:.4}  sparsity {:.2}",
+            row.label, row.mise, row.mean_sparsity
+        );
+    }
+    println!("Rate sweep (reduced scale, Case 1):");
+    for row in rate_study(
+        &summary_config().with_replications(5),
+        DependenceCase::Iid,
+        &[256, 1024],
+    ) {
+        println!(
+            "  n={:5}  wavelet {:.4}  kernel-cv {:.4}",
+            row.n, row.mise_wavelet, row.mise_kernel_cv
+        );
+    }
+
+    let mut group = c.benchmark_group("ablation_thresholds");
+    group.sample_size(10);
+    group.bench_function("ablation_case1", |b| {
+        b.iter(|| threshold_ablation(&bench_config().with_replications(1), DependenceCase::Iid))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, ablation);
+criterion_main!(benches);

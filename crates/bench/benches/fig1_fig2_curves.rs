@@ -1,0 +1,44 @@
+//! Bench target regenerating Figures 1 and 2 (mean HTCV/STCV estimate
+//! curves) at reduced scale.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use wavedens_bench::{bench_config, summary_config};
+use wavedens_core::ThresholdRule;
+use wavedens_experiments::case_mise;
+use wavedens_processes::DependenceCase;
+
+fn curves(c: &mut Criterion) {
+    let config = summary_config();
+    for (figure, rule) in [(1, ThresholdRule::Hard), (2, ThresholdRule::Soft)] {
+        let summary = case_mise(&config, DependenceCase::ExpandingMap, rule);
+        let mid = summary.mean_estimate[summary.mean_estimate.len() / 2];
+        println!(
+            "Figure {figure} (reduced scale): mean {}CV estimate at x=0.5 is {:.3} (true {:.3})",
+            rule.short_name(),
+            mid,
+            summary.true_density[summary.true_density.len() / 2]
+        );
+    }
+
+    let mut group = c.benchmark_group("fig1_fig2_curves");
+    group.sample_size(10);
+    group.bench_function("mean_htcv_curve_case3", |b| {
+        b.iter(|| {
+            case_mise(
+                &bench_config(),
+                DependenceCase::NonCausalMa,
+                ThresholdRule::Hard,
+            )
+            .mean_estimate
+        })
+    });
+    group.bench_function("mean_stcv_curve_case1", |b| {
+        b.iter(|| {
+            case_mise(&bench_config(), DependenceCase::Iid, ThresholdRule::Soft).mean_estimate
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, curves);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Bench target regenerating Figures 3 and 4 (cross-validated threshold
+//! levels and thresholded-coefficient proportions per resolution level) at
+//! reduced scale.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use wavedens_bench::{bench_config, summary_config};
+use wavedens_core::ThresholdRule;
+use wavedens_experiments::case_mise;
+use wavedens_processes::DependenceCase;
+
+fn thresholds(c: &mut Criterion) {
+    let summary = case_mise(&summary_config(), DependenceCase::Iid, ThresholdRule::Soft);
+    println!("\nFigure 3/4 (reduced scale, STCV, Case 1):");
+    for (i, level) in summary.levels.iter().enumerate() {
+        println!(
+            "  level {level}: mean λ̂ = {:.4}, mean thresholded fraction = {:.2}",
+            summary.mean_thresholds[i], summary.mean_killed_fraction[i]
+        );
+    }
+
+    let mut group = c.benchmark_group("fig3_fig4_thresholds");
+    group.sample_size(10);
+    group.bench_function("threshold_profile_case2_htcv", |b| {
+        b.iter(|| {
+            case_mise(
+                &bench_config(),
+                DependenceCase::ExpandingMap,
+                ThresholdRule::Hard,
+            )
+            .mean_thresholds
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, thresholds);
+criterion_main!(benches);

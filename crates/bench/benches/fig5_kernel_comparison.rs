@@ -1,0 +1,27 @@
+//! Bench target regenerating Figure 5 (wavelet vs kernel estimators on the
+//! bimodal Gaussian mixture) at reduced scale.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use wavedens_bench::{bench_config, summary_config};
+use wavedens_experiments::kernel_comparison_curves;
+use wavedens_processes::DependenceCase;
+
+fn fig5(c: &mut Criterion) {
+    let cmp = kernel_comparison_curves(&summary_config(), DependenceCase::ExpandingMap);
+    println!(
+        "\nFigure 5 (reduced scale, Case 2): MISE wavelet {:.4}, kernel(rot) {:.4}, kernel(cv) {:.4}",
+        cmp.mise[0], cmp.mise[1], cmp.mise[2]
+    );
+
+    let mut group = c.benchmark_group("fig5_kernel_comparison");
+    group.sample_size(10);
+    for case in DependenceCase::ALL {
+        group.bench_function(format!("comparison_{}", case.id()), |b| {
+            b.iter(|| kernel_comparison_curves(&bench_config(), case).mise)
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fig5);
+criterion_main!(benches);

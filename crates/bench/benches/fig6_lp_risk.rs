@@ -1,0 +1,29 @@
+//! Bench target regenerating Figure 6 (mean Lp risk as a function of p) at
+//! reduced scale.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use wavedens_bench::{bench_config, summary_config};
+use wavedens_experiments::lp_risk_profile;
+use wavedens_processes::DependenceCase;
+
+fn fig6(c: &mut Criterion) {
+    let p_values: Vec<f64> = vec![1.0, 2.0, 4.0, 8.0, 16.0, 20.0];
+    let profile = lp_risk_profile(&summary_config(), DependenceCase::Iid, &p_values);
+    println!("\nFigure 6 (reduced scale, Case 1): p, wavelet, kernel(rot), kernel(cv)");
+    for (i, p) in profile.p_values.iter().enumerate() {
+        println!(
+            "  {p:4.1}  {:7.3}  {:7.3}  {:7.3}",
+            profile.wavelet[i], profile.kernel_rot[i], profile.kernel_cv[i]
+        );
+    }
+
+    let mut group = c.benchmark_group("fig6_lp_risk");
+    group.sample_size(10);
+    group.bench_function("lp_profile_case3", |b| {
+        b.iter(|| lp_risk_profile(&bench_config(), DependenceCase::NonCausalMa, &p_values).wavelet)
+    });
+    group.finish();
+}
+
+criterion_group!(benches, fig6);
+criterion_main!(benches);

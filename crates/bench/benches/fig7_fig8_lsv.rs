@@ -1,0 +1,32 @@
+//! Bench target regenerating Figures 7 and 8 (mean estimates and integrated
+//! moments on Liverani–Saussol–Vaienti maps) at reduced scale.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use wavedens_bench::{bench_config, summary_config};
+use wavedens_experiments::lsv_study;
+
+fn lsv(c: &mut Criterion) {
+    println!("\nFigure 7/8 (reduced scale): integrated 1st and 10th moments");
+    for alpha in [0.2, 0.5, 0.8] {
+        let summary = lsv_study(&summary_config(), alpha, 10);
+        println!(
+            "  α'={alpha}: wavelet m1={:.3} m10={:.3}; kernel m1={:.3} m10={:.3}",
+            summary.wavelet_moments[0],
+            summary.wavelet_moments[9],
+            summary.kernel_moments[0],
+            summary.kernel_moments[9]
+        );
+    }
+
+    let mut group = c.benchmark_group("fig7_fig8_lsv");
+    group.sample_size(10);
+    for alpha in [0.1_f64, 0.5, 0.9] {
+        group.bench_function(format!("lsv_alpha_{alpha}"), |b| {
+            b.iter(|| lsv_study(&bench_config(), alpha, 5).wavelet_moments)
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, lsv);
+criterion_main!(benches);

@@ -1,0 +1,94 @@
+//! Performance micro-benchmarks of the core primitives: filter
+//! construction, pointwise evaluation, empirical coefficients,
+//! cross-validation, estimator fitting/evaluation, kernel bandwidth
+//! selection and process simulation.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::sync::Arc;
+use wavedens_bench::paper_sample;
+use wavedens_core::{
+    cross_validate, EmpiricalCoefficients, Grid, KernelDensityEstimator, ThresholdRule,
+    WaveletDensityEstimator,
+};
+use wavedens_processes::{seeded_rng, DependenceCase, SineUniformMixture};
+use wavedens_wavelets::{Dwt, OrthonormalFilter, PointwiseEvaluator, WaveletBasis, WaveletFamily};
+
+fn primitives(c: &mut Criterion) {
+    let mut group = c.benchmark_group("perf_primitives");
+    group.sample_size(20);
+
+    group.bench_function("filter_construction_sym8", |b| {
+        b.iter(|| OrthonormalFilter::new(WaveletFamily::Symmlet(8)).unwrap())
+    });
+
+    let basis = Arc::new(WaveletBasis::new(WaveletFamily::Symmlet(8)).unwrap());
+    group.bench_function("basis_table_construction_sym8", |b| {
+        b.iter(|| WaveletBasis::new(WaveletFamily::Symmlet(8)).unwrap())
+    });
+
+    let evaluator = PointwiseEvaluator::new(WaveletFamily::Symmlet(8)).unwrap();
+    group.bench_function("daubechies_lagarias_psi_point", |b| {
+        b.iter(|| evaluator.psi(7.123456))
+    });
+    group.bench_function("table_psi_point", |b| b.iter(|| basis.psi(7.123456)));
+
+    let data = paper_sample(1 << 10, 42);
+    group.bench_function("empirical_coefficients_n1024", |b| {
+        b.iter(|| {
+            EmpiricalCoefficients::compute(Arc::clone(&basis), &data, (0.0, 1.0), 1, 10).unwrap()
+        })
+    });
+
+    let coeffs =
+        EmpiricalCoefficients::compute(Arc::clone(&basis), &data, (0.0, 1.0), 1, 10).unwrap();
+    group.bench_function("cross_validation_n1024", |b| {
+        b.iter(|| cross_validate(&coeffs, ThresholdRule::Soft))
+    });
+
+    group.bench_function("stcv_fit_n1024", |b| {
+        b.iter(|| {
+            WaveletDensityEstimator::stcv()
+                .with_basis(Arc::clone(&basis))
+                .fit(&data)
+                .unwrap()
+        })
+    });
+
+    let estimate = WaveletDensityEstimator::stcv()
+        .with_basis(Arc::clone(&basis))
+        .fit(&data)
+        .unwrap();
+    let grid = Grid::unit_interval();
+    group.bench_function("estimate_evaluate_grid_512", |b| {
+        b.iter(|| estimate.evaluate_on(&grid))
+    });
+
+    group.bench_function("kernel_cv_bandwidth_n1024", |b| {
+        b.iter(|| KernelDensityEstimator::cross_validated().fit(&data).unwrap())
+    });
+
+    group.bench_function("simulate_case3_n1024", |b| {
+        b.iter_batched(
+            || seeded_rng(7),
+            |mut rng| {
+                DependenceCase::NonCausalMa.simulate(
+                    &SineUniformMixture::paper(),
+                    1 << 10,
+                    &mut rng,
+                )
+            },
+            BatchSize::SmallInput,
+        )
+    });
+
+    let dwt = Dwt::new(WaveletFamily::Symmlet(8)).unwrap();
+    let signal: Vec<f64> = (0..1024).map(|i| (i as f64 * 0.01).sin()).collect();
+    group.bench_function("dwt_decompose_1024x5", |b| {
+        b.iter(|| dwt.decompose(&signal, 5).unwrap())
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, primitives);
+criterion_main!(benches);

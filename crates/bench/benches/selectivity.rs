@@ -1,0 +1,41 @@
+//! Benchmarks of the selectivity-estimation application: synopsis
+//! construction, incremental maintenance and query answering, against the
+//! histogram baseline.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use wavedens_bench::paper_sample;
+use wavedens_selectivity::{
+    EmpiricalSelectivity, HistogramSelectivity, RangeQuery, SelectivityEstimator,
+    WaveletSelectivity,
+};
+
+fn selectivity(c: &mut Criterion) {
+    let data = paper_sample(1 << 12, 5);
+    let truth = EmpiricalSelectivity::new(&data);
+    let query = RangeQuery::new(0.2, 0.45).unwrap();
+    let wavelet = WaveletSelectivity::fit(&data).unwrap();
+    let histogram = HistogramSelectivity::fit(&data, 64);
+    println!(
+        "\nSelectivity of [0.2, 0.45]: exact {:.4}, wavelet {:.4}, 64-bucket histogram {:.4}",
+        truth.estimate(&query),
+        wavelet.estimate(&query),
+        histogram.estimate(&query)
+    );
+
+    let mut group = c.benchmark_group("selectivity");
+    group.sample_size(10);
+    group.bench_function("build_wavelet_synopsis_4096", |b| {
+        b.iter(|| WaveletSelectivity::fit(&data).unwrap())
+    });
+    group.bench_function("build_histogram_64_4096", |b| {
+        b.iter(|| HistogramSelectivity::fit(&data, 64))
+    });
+    let mut refreshed = WaveletSelectivity::fit(&data).unwrap();
+    refreshed.refresh().unwrap();
+    group.bench_function("wavelet_query", |b| b.iter(|| refreshed.estimate(&query)));
+    group.bench_function("histogram_query", |b| b.iter(|| histogram.estimate(&query)));
+    group.finish();
+}
+
+criterion_group!(benches, selectivity);
+criterion_main!(benches);

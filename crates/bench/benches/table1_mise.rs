@@ -1,0 +1,37 @@
+//! Bench target regenerating Table 1 (MISE of HTCV/STCV under the three
+//! dependence cases) at reduced scale, and measuring the cost of one
+//! Monte-Carlo cell.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use wavedens_bench::{bench_config, summary_config};
+use wavedens_core::ThresholdRule;
+use wavedens_experiments::case_mise;
+use wavedens_processes::DependenceCase;
+
+fn table1(c: &mut Criterion) {
+    // One-off reduced-scale reproduction printed alongside the timings.
+    let config = summary_config();
+    println!("\nTable 1 (reduced scale, {} reps):", config.replications);
+    for rule in [ThresholdRule::Hard, ThresholdRule::Soft] {
+        let row: Vec<String> = DependenceCase::ALL
+            .into_iter()
+            .map(|case| format!("{:.4}", case_mise(&config, case, rule).mise))
+            .collect();
+        println!("  {}CV: {}", rule.short_name(), row.join(" / "));
+    }
+
+    let mut group = c.benchmark_group("table1_mise");
+    group.sample_size(10);
+    for case in DependenceCase::ALL {
+        group.bench_function(format!("stcv_{}", case.id()), |b| {
+            b.iter(|| case_mise(&bench_config(), case, ThresholdRule::Soft).mise)
+        });
+    }
+    group.bench_function("htcv_iid", |b| {
+        b.iter(|| case_mise(&bench_config(), DependenceCase::Iid, ThresholdRule::Hard).mise)
+    });
+    group.finish();
+}
+
+criterion_group!(benches, table1);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Bench target regenerating Table 2 (mean data-driven highest level ĵ1)
+//! at reduced scale.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use wavedens_bench::{bench_config, summary_config};
+use wavedens_core::ThresholdRule;
+use wavedens_experiments::case_mise;
+use wavedens_processes::DependenceCase;
+
+fn table2(c: &mut Criterion) {
+    let config = summary_config();
+    println!("\nTable 2 (reduced scale, {} reps):", config.replications);
+    for rule in [ThresholdRule::Hard, ThresholdRule::Soft] {
+        let row: Vec<String> = DependenceCase::ALL
+            .into_iter()
+            .map(|case| format!("{:.2}", case_mise(&config, case, rule).mean_j1))
+            .collect();
+        println!("  {}CV mean ĵ1: {}", rule.short_name(), row.join(" / "));
+    }
+
+    let mut group = c.benchmark_group("table2_j1");
+    group.sample_size(10);
+    group.bench_function("mean_j1_case2_stcv", |b| {
+        b.iter(|| {
+            case_mise(
+                &bench_config(),
+                DependenceCase::ExpandingMap,
+                ThresholdRule::Soft,
+            )
+            .mean_j1
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, table2);
+criterion_main!(benches);

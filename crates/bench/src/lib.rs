@@ -1,0 +1,52 @@
+//! Shared helpers for the `wavedens` Criterion benchmark suite.
+//!
+//! Every table and figure of the paper has a corresponding bench target
+//! (see `benches/`); each bench prints a reduced-scale version of the
+//! table/figure it regenerates (so `cargo bench` output doubles as a smoke
+//! reproduction) and then measures the wall-clock cost of the underlying
+//! computation. The full-scale reproductions live in the
+//! `wavedens-experiments` binaries.
+
+use wavedens_experiments::ExperimentConfig;
+
+/// The reduced-scale configuration used inside benchmark loops: few
+/// replications and a smaller sample size so a full `cargo bench` run
+/// finishes in minutes on a laptop.
+pub fn bench_config() -> ExperimentConfig {
+    ExperimentConfig::default()
+        .with_replications(3)
+        .with_sample_size(512)
+}
+
+/// A slightly larger configuration used for the one-off printed summaries.
+pub fn summary_config() -> ExperimentConfig {
+    ExperimentConfig::default()
+        .with_replications(10)
+        .with_sample_size(1 << 10)
+}
+
+/// Deterministic sample of the paper's Case/target combination used by the
+/// micro-benchmarks.
+pub fn paper_sample(n: usize, seed: u64) -> Vec<f64> {
+    use wavedens_processes::{seeded_rng, DependenceCase, SineUniformMixture};
+    let mut rng = seeded_rng(seed);
+    DependenceCase::ExpandingMap.simulate(&SineUniformMixture::paper(), n, &mut rng)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn configs_are_small() {
+        assert!(bench_config().replications <= 5);
+        assert!(bench_config().sample_size <= 1024);
+        assert_eq!(summary_config().sample_size, 1024);
+    }
+
+    #[test]
+    fn paper_sample_is_deterministic() {
+        assert_eq!(paper_sample(16, 1), paper_sample(16, 1));
+        assert_ne!(paper_sample(16, 1), paper_sample(16, 2));
+    }
+}

@@ -1,0 +1,418 @@
+//! The cross-validation procedures of Section 5.1 (HTCV and STCV).
+//!
+//! Because the constant `K` in the theoretical threshold `λ_j = K √(j/n)`
+//! depends on the unknown dependence constants of assumption (D), the paper
+//! chooses per-level thresholds by minimising the criteria
+//!
+//! ```text
+//! HTCV:  CV_j(λ) = Σ_k 1{|β̂_{j,k}| ≥ λ} [ β̂²_{j,k} − 2/(n(n−1)) Σ_{i≠h} ψ_{j,k}(X_i)ψ_{j,k}(X_h) ],
+//! STCV:  CV_j(λ) = Σ_k 1{|β̂_{j,k}| ≥ λ} [ …same…  + λ² ],
+//! ```
+//!
+//! over `λ ≥ 0`, independently for every level `j0 ≤ j ≤ j* = log₂ n`. The
+//! data-driven highest resolution `ĵ1` is the smallest level from which the
+//! optimal criterion is identically zero (i.e. the empty active set is
+//! optimal) up to `j*`.
+//!
+//! Both criteria are piecewise functions of `λ` whose active set only
+//! changes at the observed magnitudes `|β̂_{j,k}|`, so it suffices to scan
+//! the observed magnitudes (plus the empty set), which this module does in
+//! `O(K log K)` per level.
+//!
+//! ## Reproduction note (documented in DESIGN.md / EXPERIMENTS.md)
+//!
+//! Taken literally, the HTCV criterion (no `λ²` term) systematically
+//! under-thresholds: for a pure-noise level the realised contribution of a
+//! coefficient is `≈ (2Σψ² − (Σψ)²)/n²`, which is negative for roughly the
+//! 16 % largest-magnitude coefficients, so the per-level argmin keeps a
+//! sizeable fraction of pure noise at every level, the data-driven `ĵ1`
+//! equals `j* + 1` and the MISE blows up by an order of magnitude — in
+//! clear contradiction with the paper's Table 1/2 and Figures 3/4 (hard
+//! thresholds ≈ soft thresholds at fine levels, almost everything killed,
+//! `ĵ1 ≈ 5`). The paper's *reported* behaviour is exactly what the
+//! `λ²`-penalised criterion produces, so by default this crate uses the
+//! penalised selection for **both** nonlinearities
+//! ([`CvCriterion::Penalized`]) and keeps the literal unpenalised HT
+//! criterion available as [`CvCriterion::Unpenalized`] for the ablation
+//! benchmark.
+
+use crate::coefficients::{EmpiricalCoefficients, LevelCoefficients};
+use crate::threshold::{ThresholdProfile, ThresholdRule};
+
+/// Tolerance used to decide that a criterion value "is zero" when locating
+/// `ĵ1` and to break ties towards sparser solutions.
+const CRITERION_TOLERANCE: f64 = 1e-12;
+
+/// Which penalisation the per-level selection criterion uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CvCriterion {
+    /// The literal HTCV criterion of the paper (no `λ²` term). Kept for the
+    /// ablation study; it under-thresholds at fine resolution levels (see
+    /// the module documentation).
+    Unpenalized,
+    /// The STCV criterion (adds `#kept · λ²`). The default for both
+    /// thresholding rules because it reproduces the behaviour the paper
+    /// reports.
+    Penalized,
+}
+
+impl CvCriterion {
+    /// The criterion used by default for a given thresholding rule
+    /// (currently [`CvCriterion::Penalized`] for both; see the module
+    /// documentation).
+    pub fn recommended_for(_rule: ThresholdRule) -> Self {
+        CvCriterion::Penalized
+    }
+}
+
+/// Outcome of cross-validation at a single resolution level.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LevelCrossValidation {
+    /// The resolution level `j`.
+    pub level: i32,
+    /// The selected threshold `λ̂_j`.
+    pub lambda: f64,
+    /// The minimised criterion value `CV_j(λ̂_j)`.
+    pub criterion: f64,
+    /// Number of coefficients surviving the threshold (`|β̂| ≥ λ̂_j`).
+    pub kept: usize,
+    /// Total number of coefficients at the level.
+    pub total: usize,
+}
+
+impl LevelCrossValidation {
+    /// Fraction of coefficients killed by the selected threshold (what
+    /// Figure 4 of the paper plots).
+    pub fn thresholded_fraction(&self) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        1.0 - self.kept as f64 / self.total as f64
+    }
+}
+
+/// Result of the full cross-validation sweep over levels `j0..=j*`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CrossValidationResult {
+    /// Which thresholding nonlinearity the criterion corresponds to.
+    pub rule: ThresholdRule,
+    /// Per-level selections, ordered from `j0` upwards.
+    pub levels: Vec<LevelCrossValidation>,
+    /// The data-driven highest resolution level `ĵ1`: the smallest level
+    /// such that the optimal criterion is (numerically) zero at every level
+    /// from `ĵ1` up to `j*`. Always at least `j0`.
+    pub j1: i32,
+}
+
+impl CrossValidationResult {
+    /// The per-level thresholds as a [`ThresholdProfile`].
+    pub fn thresholds(&self) -> ThresholdProfile {
+        ThresholdProfile {
+            j0: self.levels.first().map(|l| l.level).unwrap_or(0),
+            levels: self.levels.iter().map(|l| l.lambda).collect(),
+        }
+    }
+
+    /// Selection for a specific level, if it was cross-validated.
+    pub fn level(&self, j: i32) -> Option<&LevelCrossValidation> {
+        self.levels.iter().find(|l| l.level == j)
+    }
+}
+
+/// Runs the cross-validation of Section 5.1 on precomputed empirical
+/// coefficients with the recommended criterion for `rule`.
+pub fn cross_validate(
+    coefficients: &EmpiricalCoefficients,
+    rule: ThresholdRule,
+) -> CrossValidationResult {
+    cross_validate_with(coefficients, rule, CvCriterion::recommended_for(rule))
+}
+
+/// Runs cross-validation with an explicit criterion choice.
+pub fn cross_validate_with(
+    coefficients: &EmpiricalCoefficients,
+    rule: ThresholdRule,
+    criterion: CvCriterion,
+) -> CrossValidationResult {
+    let n = coefficients.sample_size();
+    let levels: Vec<LevelCrossValidation> = coefficients
+        .details()
+        .iter()
+        .map(|level| cross_validate_level(level, n, criterion))
+        .collect();
+
+    // ĵ1: smallest level from which every criterion is ≈ 0 up to j*.
+    let j0 = coefficients.coarse_level();
+    let mut j1 = j0;
+    for lvl in &levels {
+        if lvl.criterion < -CRITERION_TOLERANCE {
+            j1 = lvl.level + 1;
+        }
+    }
+    CrossValidationResult { rule, levels, j1 }
+}
+
+/// Cross-validates one level.
+pub fn cross_validate_level(
+    level: &LevelCoefficients,
+    n: usize,
+    criterion: CvCriterion,
+) -> LevelCrossValidation {
+    let total = level.len();
+    let n_f = n as f64;
+    // Per-coefficient contribution
+    //   c_k = β̂² − 2/(n(n−1)) [ (n β̂)² − Σ_i ψ(X_i)² ].
+    let contributions: Vec<f64> = level
+        .values
+        .iter()
+        .zip(level.sum_squares.iter())
+        .map(|(&beta, &sum_sq)| {
+            let total_sum = n_f * beta;
+            beta * beta - 2.0 / (n_f * (n_f - 1.0)) * (total_sum * total_sum - sum_sq)
+        })
+        .collect();
+
+    // Sort coefficient indices by decreasing magnitude.
+    let mut order: Vec<usize> = (0..total).collect();
+    order.sort_by(|&a, &b| {
+        level.values[b]
+            .abs()
+            .partial_cmp(&level.values[a].abs())
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+
+    // The empty active set (λ above every |β̂|) always attains criterion 0.
+    let max_abs = level.max_abs();
+    let empty_lambda = if max_abs > 0.0 {
+        max_abs * (1.0 + 1e-12) + f64::MIN_POSITIVE
+    } else {
+        0.0
+    };
+    let mut best_lambda = empty_lambda;
+    let mut best_criterion = 0.0_f64;
+    let mut best_kept = 0usize;
+
+    let mut prefix = 0.0_f64;
+    let mut m = 0usize;
+    while m < total {
+        let lambda = level.values[order[m]].abs();
+        // Absorb the whole tie group so the active set is well defined.
+        let mut end = m;
+        while end < total && level.values[order[end]].abs() == lambda {
+            prefix += contributions[order[end]];
+            end += 1;
+        }
+        let kept = end;
+        let criterion = match criterion {
+            CvCriterion::Unpenalized => prefix,
+            CvCriterion::Penalized => prefix + kept as f64 * lambda * lambda,
+        };
+        // Strict improvement required: ties resolve towards the larger λ
+        // (sparser estimate), which is the first one encountered since we
+        // scan magnitudes in decreasing order... larger λ comes first, so
+        // require strict improvement to keep it.
+        if criterion < best_criterion - CRITERION_TOLERANCE {
+            best_criterion = criterion;
+            best_lambda = lambda;
+            best_kept = kept;
+        }
+        m = end;
+    }
+
+    LevelCrossValidation {
+        level: level.level,
+        lambda: best_lambda,
+        criterion: best_criterion,
+        kept: best_kept,
+        total,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coefficients::{EmpiricalCoefficients, Generator};
+    use rand::Rng;
+    use std::sync::Arc;
+    use wavedens_processes::seeded_rng;
+    use wavedens_wavelets::{WaveletBasis, WaveletFamily};
+
+    fn synthetic_level(values: Vec<f64>, sum_squares: Vec<f64>, level: i32) -> LevelCoefficients {
+        LevelCoefficients {
+            level,
+            generator: Generator::Wavelet,
+            k_start: 0,
+            values,
+            sum_squares,
+        }
+    }
+
+    /// Brute-force evaluation of the CV criterion for a given λ.
+    fn criterion_at(
+        level: &LevelCoefficients,
+        n: usize,
+        criterion: CvCriterion,
+        lambda: f64,
+    ) -> f64 {
+        let n_f = n as f64;
+        level
+            .values
+            .iter()
+            .zip(level.sum_squares.iter())
+            .filter(|(b, _)| b.abs() >= lambda)
+            .map(|(&b, &s2)| {
+                let c = b * b - 2.0 / (n_f * (n_f - 1.0)) * ((n_f * b).powi(2) - s2);
+                match criterion {
+                    CvCriterion::Unpenalized => c,
+                    CvCriterion::Penalized => c + lambda * lambda,
+                }
+            })
+            .sum()
+    }
+
+    #[test]
+    fn selected_lambda_minimises_the_criterion_over_the_candidate_set() {
+        let mut rng = seeded_rng(3);
+        let n = 200;
+        // Random synthetic coefficients with plausible sums of squares.
+        let values: Vec<f64> = (0..40).map(|_| rng.gen_range(-0.2..0.2)).collect();
+        let sum_squares: Vec<f64> = values
+            .iter()
+            .map(|v| (n as f64) * (v * v) + rng.gen_range(0.0..5.0))
+            .collect();
+        let level = synthetic_level(values.clone(), sum_squares, 4);
+        for criterion in [CvCriterion::Unpenalized, CvCriterion::Penalized] {
+            let selected = cross_validate_level(&level, n, criterion);
+            // The candidate set is the observed magnitudes plus "above the
+            // maximum" (empty active set, criterion 0).
+            let best_candidate = values
+                .iter()
+                .map(|v| criterion_at(&level, n, criterion, v.abs()))
+                .fold(0.0_f64, f64::min);
+            assert!(
+                selected.criterion <= best_candidate + 1e-12,
+                "{criterion:?}: selected {} vs candidate best {best_candidate}",
+                selected.criterion
+            );
+            // And the reported criterion matches a direct evaluation at λ̂.
+            let direct = criterion_at(&level, n, criterion, selected.lambda);
+            assert!((selected.criterion - direct).abs() < 1e-9);
+            // For the unpenalised criterion (piecewise constant in λ) the
+            // candidate scan is a true global minimum over all λ ≥ 0.
+            if criterion == CvCriterion::Unpenalized {
+                let best_grid = (0..=400)
+                    .map(|i| criterion_at(&level, n, criterion, 0.25 * i as f64 / 400.0))
+                    .fold(f64::INFINITY, f64::min)
+                    .min(0.0);
+                assert!(selected.criterion <= best_grid + 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn positive_contributions_lead_to_empty_selection() {
+        // c_k = β̂² − 2((nβ̂)² − S2)/(n(n−1)). A large Σψ² (S2) makes c_k
+        // positive, so the optimal active set is empty: criterion 0,
+        // everything thresholded.
+        let values = vec![0.01, -0.02, 0.005, 0.015];
+        let n = 100;
+        let level = synthetic_level(values, vec![1000.0; 4], 5);
+        let sel = cross_validate_level(&level, n, CvCriterion::Unpenalized);
+        assert_eq!(sel.kept, 0);
+        assert_eq!(sel.criterion, 0.0);
+        assert!(sel.lambda > 0.02, "λ̂ must exceed the largest |β̂|");
+        assert!((sel.thresholded_fraction() - 1.0).abs() < 1e-15);
+        // The opposite extreme: S2 = 0 makes every contribution ≈ −β̂² < 0,
+        // so keeping everything is optimal.
+        let level = synthetic_level(vec![0.01, -0.02, 0.005, 0.015], vec![0.0; 4], 5);
+        let sel = cross_validate_level(&level, 100, CvCriterion::Unpenalized);
+        assert_eq!(sel.kept, 4, "negative contributions keep everything");
+        assert!(sel.criterion < 0.0);
+    }
+
+    #[test]
+    fn large_true_coefficients_survive_cross_validation() {
+        // A coefficient with a genuinely large mean survives: its
+        // contribution β² − 2(…)/… is dominated by −β² (since the cross term
+        // ≈ 2β²), i.e. negative, so keeping it lowers the criterion.
+        let n = 500;
+        let beta = 0.5;
+        let sum_sq = n as f64 * beta * beta; // consistent with ψ(X_i) ≈ β
+        let level = synthetic_level(vec![beta, 0.001], vec![sum_sq, 0.3], 3);
+        for criterion in [CvCriterion::Unpenalized, CvCriterion::Penalized] {
+            let sel = cross_validate_level(&level, n, criterion);
+            assert!(
+                sel.kept >= 1,
+                "{criterion:?}: the strong coefficient must be kept"
+            );
+            assert!(sel.lambda <= beta);
+        }
+    }
+
+    #[test]
+    fn penalized_criterion_is_never_below_unpenalized_criterion() {
+        let mut rng = seeded_rng(11);
+        let values: Vec<f64> = (0..30).map(|_| rng.gen_range(-0.3..0.3)).collect();
+        let sum_squares: Vec<f64> = (0..30).map(|_| rng.gen_range(0.0..20.0)).collect();
+        let level = synthetic_level(values, sum_squares, 6);
+        let unpenalized = cross_validate_level(&level, 300, CvCriterion::Unpenalized);
+        let penalized = cross_validate_level(&level, 300, CvCriterion::Penalized);
+        assert!(penalized.criterion >= unpenalized.criterion - 1e-12);
+        // The penalised criterion never keeps more coefficients than the
+        // unpenalised one at the same data.
+        assert!(penalized.kept <= unpenalized.kept);
+    }
+
+    #[test]
+    fn full_cross_validation_on_real_data_produces_sane_j1() {
+        let basis = Arc::new(WaveletBasis::new(WaveletFamily::Symmlet(8)).unwrap());
+        let mut rng = seeded_rng(7);
+        let n = 512;
+        let data: Vec<f64> = (0..n).map(|_| rng.gen::<f64>()).collect();
+        let j_star = (n as f64).log2() as i32;
+        let coeffs =
+            EmpiricalCoefficients::compute(Arc::clone(&basis), &data, (0.0, 1.0), 1, j_star)
+                .unwrap();
+        for rule in [ThresholdRule::Hard, ThresholdRule::Soft] {
+            let cv = cross_validate(&coeffs, rule);
+            assert_eq!(cv.levels.len(), (j_star - 1 + 1) as usize);
+            assert!(cv.j1 >= 1 && cv.j1 <= j_star + 1, "ĵ1 = {}", cv.j1);
+            // Threshold profile exposes one λ per level.
+            assert_eq!(cv.thresholds().levels.len(), cv.levels.len());
+            assert!(cv.level(2).is_some());
+            assert!(cv.level(99).is_none());
+            // At the very finest level the (penalised) criterion kills
+            // essentially everything on pure-noise data.
+            let finest = cv.levels.last().unwrap();
+            assert!(
+                finest.thresholded_fraction() > 0.95,
+                "{rule:?}: finest level keeps {}/{}",
+                finest.kept,
+                finest.total
+            );
+        }
+    }
+
+    #[test]
+    fn thresholds_increase_with_resolution_on_smooth_data() {
+        // Figure 3 of the paper: cross-validated thresholds grow with the
+        // resolution level. On smooth (uniform) data all detail coefficients
+        // are noise of comparable standard deviation, so the selected λ̂_j —
+        // roughly the maximum |β̂_{j,k}| over the 2^j coefficients of the
+        // level — increases with j.
+        let basis = Arc::new(WaveletBasis::new(WaveletFamily::Symmlet(8)).unwrap());
+        let mut rng = seeded_rng(19);
+        let n = 1024;
+        let data: Vec<f64> = (0..n).map(|_| rng.gen::<f64>()).collect();
+        let coeffs =
+            EmpiricalCoefficients::compute(Arc::clone(&basis), &data, (0.0, 1.0), 1, 9).unwrap();
+        let cv = cross_validate(&coeffs, ThresholdRule::Soft);
+        let lambdas: Vec<f64> = cv.levels.iter().map(|l| l.lambda).collect();
+        let low_mean = lambdas[..3].iter().sum::<f64>() / 3.0;
+        let high_mean = lambdas[lambdas.len() - 3..].iter().sum::<f64>() / 3.0;
+        assert!(
+            high_mean > low_mean,
+            "thresholds should grow with resolution: low {low_mean}, high {high_mean}"
+        );
+    }
+}

@@ -1,0 +1,89 @@
+//! Error types of the estimation crate.
+
+use wavedens_wavelets::FilterError;
+
+/// Errors raised while configuring or fitting density estimators.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EstimatorError {
+    /// The sample is empty (or too small for the requested configuration).
+    EmptySample,
+    /// The estimation interval is degenerate or reversed.
+    InvalidInterval {
+        /// Requested lower bound.
+        lo: f64,
+        /// Requested upper bound.
+        hi: f64,
+    },
+    /// Resolution levels are inconsistent (`j0 > j1`, negative levels, …).
+    InvalidLevels {
+        /// Explanation of the inconsistency.
+        message: String,
+    },
+    /// An invalid tuning parameter was supplied (bandwidth, threshold
+    /// constant, …).
+    InvalidParameter {
+        /// Explanation of the problem.
+        message: String,
+    },
+    /// Constructing the underlying wavelet filter failed.
+    Filter(FilterError),
+}
+
+impl std::fmt::Display for EstimatorError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EstimatorError::EmptySample => write!(f, "the sample is empty"),
+            EstimatorError::InvalidInterval { lo, hi } => {
+                write!(f, "invalid estimation interval [{lo}, {hi}]")
+            }
+            EstimatorError::InvalidLevels { message } => {
+                write!(f, "invalid resolution levels: {message}")
+            }
+            EstimatorError::InvalidParameter { message } => {
+                write!(f, "invalid parameter: {message}")
+            }
+            EstimatorError::Filter(err) => write!(f, "wavelet filter error: {err}"),
+        }
+    }
+}
+
+impl std::error::Error for EstimatorError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            EstimatorError::Filter(err) => Some(err),
+            _ => None,
+        }
+    }
+}
+
+impl From<FilterError> for EstimatorError {
+    fn from(err: FilterError) -> Self {
+        EstimatorError::Filter(err)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wavedens_wavelets::WaveletFamily;
+
+    #[test]
+    fn display_is_informative() {
+        let e = EstimatorError::InvalidInterval { lo: 1.0, hi: 0.0 };
+        assert!(format!("{e}").contains("[1, 0]"));
+        let e = EstimatorError::InvalidLevels {
+            message: "j0 exceeds j1".into(),
+        };
+        assert!(format!("{e}").contains("j0 exceeds j1"));
+        assert!(format!("{}", EstimatorError::EmptySample).contains("empty"));
+    }
+
+    #[test]
+    fn filter_errors_convert_and_expose_source() {
+        let ferr = FilterError::UnsupportedOrder(WaveletFamily::Daubechies(1));
+        let e: EstimatorError = ferr.clone().into();
+        assert_eq!(e, EstimatorError::Filter(ferr));
+        assert!(std::error::Error::source(&e).is_some());
+        assert!(std::error::Error::source(&EstimatorError::EmptySample).is_none());
+    }
+}

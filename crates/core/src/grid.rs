@@ -1,0 +1,149 @@
+//! Evaluation grids and numerical integration helpers shared by the
+//! estimators and the risk metrics.
+
+/// A uniform grid of points on a closed interval, used to evaluate density
+//  estimates and compute integrated risks.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Grid {
+    lo: f64,
+    hi: f64,
+    points: usize,
+}
+
+impl Grid {
+    /// Creates a grid of `points ≥ 2` equally spaced points on `[lo, hi]`.
+    ///
+    /// # Panics
+    /// Panics if `lo ≥ hi` or `points < 2`.
+    pub fn new(lo: f64, hi: f64, points: usize) -> Self {
+        assert!(lo < hi, "grid interval must be nondegenerate ({lo}, {hi})");
+        assert!(points >= 2, "grid needs at least two points");
+        Self { lo, hi, points }
+    }
+
+    /// The default grid used by the experiments: 512 points on `[0, 1]`.
+    pub fn unit_interval() -> Self {
+        Self::new(0.0, 1.0, 512)
+    }
+
+    /// Left endpoint.
+    pub fn lo(&self) -> f64 {
+        self.lo
+    }
+
+    /// Right endpoint.
+    pub fn hi(&self) -> f64 {
+        self.hi
+    }
+
+    /// Number of grid points.
+    pub fn len(&self) -> usize {
+        self.points
+    }
+
+    /// Grids always have at least two points.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Spacing between consecutive points.
+    pub fn step(&self) -> f64 {
+        (self.hi - self.lo) / (self.points - 1) as f64
+    }
+
+    /// The `i`-th grid point.
+    pub fn point(&self, i: usize) -> f64 {
+        self.lo + self.step() * i as f64
+    }
+
+    /// Iterator over all grid points.
+    pub fn points(&self) -> impl Iterator<Item = f64> + '_ {
+        (0..self.points).map(move |i| self.point(i))
+    }
+
+    /// Evaluates a function on the grid.
+    pub fn evaluate<F: FnMut(f64) -> f64>(&self, mut f: F) -> Vec<f64> {
+        self.points().map(&mut f).collect()
+    }
+
+    /// Trapezoidal integral of values sampled on this grid.
+    pub fn integrate(&self, values: &[f64]) -> f64 {
+        assert_eq!(values.len(), self.points, "values must match the grid");
+        trapezoid(values, self.step())
+    }
+
+    /// Trapezoidal integral of `|f - g|^p` for values sampled on this grid.
+    pub fn integrate_abs_power(&self, f: &[f64], g: &[f64], p: f64) -> f64 {
+        assert_eq!(f.len(), self.points);
+        assert_eq!(g.len(), self.points);
+        let diffs: Vec<f64> = f
+            .iter()
+            .zip(g.iter())
+            .map(|(a, b)| (a - b).abs().powf(p))
+            .collect();
+        trapezoid(&diffs, self.step())
+    }
+}
+
+/// Trapezoidal rule for uniformly spaced samples.
+pub fn trapezoid(values: &[f64], step: f64) -> f64 {
+    if values.len() < 2 {
+        return 0.0;
+    }
+    let interior: f64 = values[1..values.len() - 1].iter().sum();
+    step * (0.5 * values[0] + interior + 0.5 * values[values.len() - 1])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_points_cover_the_interval() {
+        let g = Grid::new(0.0, 1.0, 11);
+        assert_eq!(g.len(), 11);
+        assert!((g.step() - 0.1).abs() < 1e-15);
+        assert_eq!(g.point(0), 0.0);
+        assert!((g.point(10) - 1.0).abs() < 1e-15);
+        let pts: Vec<f64> = g.points().collect();
+        assert_eq!(pts.len(), 11);
+    }
+
+    #[test]
+    fn integration_of_constant_and_linear_functions_is_exact() {
+        let g = Grid::new(0.0, 2.0, 101);
+        let ones = g.evaluate(|_| 1.0);
+        assert!((g.integrate(&ones) - 2.0).abs() < 1e-12);
+        let linear = g.evaluate(|x| x);
+        assert!((g.integrate(&linear) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn integration_of_smooth_function_is_accurate() {
+        let g = Grid::new(0.0, std::f64::consts::PI, 2001);
+        let sin = g.evaluate(f64::sin);
+        assert!((g.integrate(&sin) - 2.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn lp_integrand_helper_matches_manual_computation() {
+        let g = Grid::new(0.0, 1.0, 3);
+        let f = vec![0.0, 1.0, 2.0];
+        let zero = vec![0.0, 0.0, 0.0];
+        // ∫ |f|² with trapezoid on {0, 0.5, 1}: 0.5·(0/2 + 1 + 4/2) = 1.5.
+        assert!((g.integrate_abs_power(&f, &zero, 2.0) - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "grid interval must be nondegenerate")]
+    fn degenerate_interval_panics() {
+        let _ = Grid::new(1.0, 1.0, 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "values must match the grid")]
+    fn mismatched_values_panic() {
+        let g = Grid::new(0.0, 1.0, 4);
+        let _ = g.integrate(&[1.0, 2.0]);
+    }
+}

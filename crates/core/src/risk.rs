@@ -1,0 +1,280 @@
+//! Risk metrics: integrated squared error, mean-`L^p` risks and the
+//! integrated moments ("fluctuations") used in Figures 6 and 8 of the
+//! paper.
+
+use crate::grid::Grid;
+
+/// Integrated squared error `∫ (f̂ − f)²` of values sampled on a grid.
+pub fn integrated_squared_error(grid: &Grid, estimate: &[f64], truth: &[f64]) -> f64 {
+    grid.integrate_abs_power(estimate, truth, 2.0)
+}
+
+/// `L^p` distance `(∫ |f̂ − f|^p)^{1/p}` of values sampled on a grid.
+pub fn lp_distance(grid: &Grid, estimate: &[f64], truth: &[f64], p: f64) -> f64 {
+    assert!(p >= 1.0, "Lp distance requires p ≥ 1, got {p}");
+    grid.integrate_abs_power(estimate, truth, p).powf(1.0 / p)
+}
+
+/// Accumulates Monte-Carlo replications of an estimator evaluated on a
+/// common grid and reports the risk summaries the paper tabulates/plots.
+#[derive(Debug, Clone)]
+pub struct RiskAccumulator {
+    grid: Grid,
+    truth: Option<Vec<f64>>,
+    replications: usize,
+    /// Running sum of the estimate values (for the mean curve of Figures
+    /// 1, 2, 5 and 7).
+    sum_values: Vec<f64>,
+    /// Running sums of |f̂ − f|^p integrals for the tracked p values.
+    tracked_p: Vec<f64>,
+    sum_lp_powers: Vec<f64>,
+    /// Running sums of f̂(t)^k for integrated moments (Figure 8); index 0
+    /// corresponds to k = 1.
+    moment_orders: usize,
+    sum_powers: Vec<Vec<f64>>,
+}
+
+impl RiskAccumulator {
+    /// Creates an accumulator over `grid`. `truth` is the true density on
+    /// the grid (omit it when the true density is unknown, as for the LSV
+    /// maps). `tracked_p` lists the `L^p` exponents to average;
+    /// `moment_orders` is the largest `k` for which `∫ (E f̂^k)^{1/k}` is
+    /// requested (0 disables moment tracking).
+    pub fn new(
+        grid: Grid,
+        truth: Option<Vec<f64>>,
+        tracked_p: Vec<f64>,
+        moment_orders: usize,
+    ) -> Self {
+        if let Some(t) = &truth {
+            assert_eq!(t.len(), grid.len(), "truth must be sampled on the grid");
+        }
+        assert!(
+            tracked_p.iter().all(|&p| p >= 1.0),
+            "all tracked exponents must be ≥ 1"
+        );
+        let points = grid.len();
+        Self {
+            grid,
+            truth,
+            replications: 0,
+            sum_values: vec![0.0; points],
+            sum_lp_powers: vec![0.0; tracked_p.len()],
+            tracked_p,
+            moment_orders,
+            sum_powers: vec![vec![0.0; points]; moment_orders],
+        }
+    }
+
+    /// A convenience constructor tracking only the MISE.
+    pub fn mise_only(grid: Grid, truth: Vec<f64>) -> Self {
+        Self::new(grid, Some(truth), vec![2.0], 0)
+    }
+
+    /// The evaluation grid.
+    pub fn grid(&self) -> &Grid {
+        &self.grid
+    }
+
+    /// Number of replications recorded so far.
+    pub fn replications(&self) -> usize {
+        self.replications
+    }
+
+    /// Records one replication of the estimator evaluated on the grid.
+    pub fn record(&mut self, estimate: &[f64]) {
+        assert_eq!(estimate.len(), self.grid.len(), "estimate must match grid");
+        self.replications += 1;
+        for (s, &v) in self.sum_values.iter_mut().zip(estimate.iter()) {
+            *s += v;
+        }
+        if let Some(truth) = &self.truth {
+            for (slot, &p) in self.sum_lp_powers.iter_mut().zip(self.tracked_p.iter()) {
+                *slot += self.grid.integrate_abs_power(estimate, truth, p);
+            }
+        }
+        for (k, sums) in self.sum_powers.iter_mut().enumerate() {
+            let order = (k + 1) as i32;
+            for (s, &v) in sums.iter_mut().zip(estimate.iter()) {
+                *s += v.powi(order);
+            }
+        }
+    }
+
+    /// Merges another accumulator (same grid/config) into this one; used to
+    /// combine per-thread partial results.
+    pub fn merge(&mut self, other: &RiskAccumulator) {
+        assert_eq!(self.grid, other.grid, "accumulators must share the grid");
+        assert_eq!(self.tracked_p, other.tracked_p);
+        assert_eq!(self.moment_orders, other.moment_orders);
+        self.replications += other.replications;
+        for (a, b) in self.sum_values.iter_mut().zip(&other.sum_values) {
+            *a += b;
+        }
+        for (a, b) in self.sum_lp_powers.iter_mut().zip(&other.sum_lp_powers) {
+            *a += b;
+        }
+        for (rows_a, rows_b) in self.sum_powers.iter_mut().zip(&other.sum_powers) {
+            for (a, b) in rows_a.iter_mut().zip(rows_b) {
+                *a += b;
+            }
+        }
+    }
+
+    /// The pointwise mean of the recorded estimates (the curves plotted in
+    /// Figures 1, 2, 5 and 7).
+    pub fn mean_curve(&self) -> Vec<f64> {
+        let n = self.replications.max(1) as f64;
+        self.sum_values.iter().map(|s| s / n).collect()
+    }
+
+    /// Monte-Carlo estimate of the MISE `E ∫ (f̂ − f)²` (requires the truth
+    /// and `p = 2` to be tracked).
+    pub fn mise(&self) -> Option<f64> {
+        self.mean_lp_power(2.0)
+    }
+
+    /// Monte-Carlo estimate of `E ∫ |f̂ − f|^p` for a tracked exponent.
+    pub fn mean_lp_power(&self, p: f64) -> Option<f64> {
+        let idx = self.tracked_p.iter().position(|&q| (q - p).abs() < 1e-12)?;
+        if self.truth.is_none() || self.replications == 0 {
+            return None;
+        }
+        Some(self.sum_lp_powers[idx] / self.replications as f64)
+    }
+
+    /// Monte-Carlo estimate of the mean `L^p` risk
+    /// `(E ∫ |f̂ − f|^p)^{1/p}`, the quantity plotted in Figure 6.
+    pub fn mean_lp_risk(&self, p: f64) -> Option<f64> {
+        self.mean_lp_power(p).map(|v| v.powf(1.0 / p))
+    }
+
+    /// The integrated `k`-th moment `∫ (E[f̂(t)^k])^{1/k} dt` of Figure 8
+    /// (`k ≥ 1`, up to the configured number of orders).
+    pub fn integrated_moment(&self, k: usize) -> Option<f64> {
+        if k == 0 || k > self.moment_orders || self.replications == 0 {
+            return None;
+        }
+        let n = self.replications as f64;
+        let values: Vec<f64> = self.sum_powers[k - 1]
+            .iter()
+            .map(|s| (s / n).abs().powf(1.0 / k as f64))
+            .collect();
+        Some(self.grid.integrate(&values))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid() -> Grid {
+        Grid::new(0.0, 1.0, 101)
+    }
+
+    #[test]
+    fn ise_and_lp_distance_of_identical_curves_vanish() {
+        let g = grid();
+        let f = g.evaluate(|x| 1.0 + x);
+        assert_eq!(integrated_squared_error(&g, &f, &f), 0.0);
+        assert_eq!(lp_distance(&g, &f, &f, 3.0), 0.0);
+    }
+
+    #[test]
+    fn lp_distance_matches_hand_computation() {
+        let g = grid();
+        let f = g.evaluate(|_| 1.0);
+        let zero = g.evaluate(|_| 0.0);
+        // ∫ |1|^p = 1 for any p, so the distance is 1.
+        for p in [1.0, 2.0, 5.0] {
+            assert!((lp_distance(&g, &f, &zero, p) - 1.0).abs() < 1e-12);
+        }
+        // Constant difference of 2: distance is 2 for every p.
+        let two = g.evaluate(|_| 2.0);
+        assert!((lp_distance(&g, &two, &zero, 4.0) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "Lp distance requires p ≥ 1")]
+    fn lp_distance_rejects_small_p() {
+        let g = grid();
+        let f = g.evaluate(|_| 1.0);
+        let _ = lp_distance(&g, &f, &f, 0.5);
+    }
+
+    #[test]
+    fn accumulator_computes_mise_of_constant_bias() {
+        let g = grid();
+        let truth = g.evaluate(|_| 1.0);
+        let mut acc = RiskAccumulator::mise_only(g, truth);
+        // Two replications with constant offsets +0.1 and −0.1:
+        // each has ISE 0.01, so the MISE is 0.01.
+        let up = acc.grid().evaluate(|_| 1.1);
+        let down = acc.grid().evaluate(|_| 0.9);
+        acc.record(&up);
+        acc.record(&down);
+        assert_eq!(acc.replications(), 2);
+        let mise = acc.mise().unwrap();
+        assert!((mise - 0.01).abs() < 1e-10, "MISE {mise}");
+        // The mean curve is the truth: bias cancels.
+        let mean = acc.mean_curve();
+        assert!(mean.iter().all(|&v| (v - 1.0).abs() < 1e-12));
+        // p = 3 was not tracked.
+        assert!(acc.mean_lp_risk(3.0).is_none());
+    }
+
+    #[test]
+    fn accumulator_tracks_lp_risks_and_moments() {
+        let g = grid();
+        let truth = g.evaluate(|_| 0.0);
+        let mut acc = RiskAccumulator::new(g, Some(truth), vec![1.0, 2.0, 4.0], 3);
+        let flat = acc.grid().evaluate(|_| 2.0);
+        acc.record(&flat);
+        // Risks of a constant-2 estimate vs zero truth are 2 for all p.
+        for p in [1.0, 2.0, 4.0] {
+            assert!((acc.mean_lp_risk(p).unwrap() - 2.0).abs() < 1e-12);
+        }
+        // Integrated k-th moments of the constant 2 are 2 for every k.
+        for k in 1..=3 {
+            assert!((acc.integrated_moment(k).unwrap() - 2.0).abs() < 1e-12);
+        }
+        assert!(acc.integrated_moment(4).is_none());
+        assert!(acc.integrated_moment(0).is_none());
+    }
+
+    #[test]
+    fn merge_combines_replications() {
+        let g = grid();
+        let truth = g.evaluate(|_| 1.0);
+        let mut a = RiskAccumulator::mise_only(g, truth.clone());
+        let mut b = RiskAccumulator::mise_only(g, truth);
+        let up = a.grid().evaluate(|_| 1.2);
+        let down = a.grid().evaluate(|_| 0.8);
+        a.record(&up);
+        b.record(&down);
+        a.merge(&b);
+        assert_eq!(a.replications(), 2);
+        assert!((a.mise().unwrap() - 0.04).abs() < 1e-10);
+        let mean = a.mean_curve();
+        assert!(mean.iter().all(|&v| (v - 1.0).abs() < 1e-12));
+    }
+
+    #[test]
+    fn accumulator_without_truth_still_gives_mean_and_moments() {
+        let g = grid();
+        let mut acc = RiskAccumulator::new(g, None, vec![], 2);
+        let c = acc.grid().evaluate(|x| x);
+        acc.record(&c);
+        assert!(acc.mise().is_none());
+        assert!(acc.integrated_moment(1).is_some());
+        assert!((acc.integrated_moment(1).unwrap() - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "estimate must match grid")]
+    fn mismatched_estimate_length_panics() {
+        let g = grid();
+        let mut acc = RiskAccumulator::new(g, None, vec![], 0);
+        acc.record(&[1.0, 2.0]);
+    }
+}

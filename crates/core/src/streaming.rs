@@ -1,0 +1,317 @@
+//! A streaming (online) variant of the wavelet density estimator.
+//!
+//! The empirical coefficients `α̂_{j,k}` and `β̂_{j,k}` are sample means of
+//! `δ_{j,k}(X_i)`, so they (and the sums of squares needed by
+//! cross-validation) can be maintained incrementally as observations
+//! arrive. This makes the estimator usable over data streams — the setting
+//! that motivates the selectivity-estimation application crate — while
+//! producing *exactly* the same estimate as a batch fit on the observations
+//! seen so far.
+
+use crate::coefficients::{EmpiricalCoefficients, Generator, LevelCoefficients};
+use crate::cv::cross_validate;
+use crate::error::EstimatorError;
+use crate::estimator::{ThresholdedLevel, WaveletDensityEstimate};
+use crate::threshold::{ThresholdProfile, ThresholdRule, ThresholdSelection};
+use std::sync::Arc;
+use wavedens_wavelets::{WaveletBasis, WaveletFamily};
+
+/// Running sums for one resolution level.
+#[derive(Debug, Clone)]
+struct RunningLevel {
+    level: i32,
+    generator: Generator,
+    k_start: i64,
+    sums: Vec<f64>,
+    sum_squares: Vec<f64>,
+}
+
+impl RunningLevel {
+    fn new(basis: &WaveletBasis, interval: (f64, f64), level: i32, generator: Generator) -> Self {
+        let range = basis.translations_covering(level, interval.0, interval.1);
+        let k_start = *range.start();
+        let count = (*range.end() - k_start + 1).max(0) as usize;
+        Self {
+            level,
+            generator,
+            k_start,
+            sums: vec![0.0; count],
+            sum_squares: vec![0.0; count],
+        }
+    }
+
+    fn push(&mut self, basis: &WaveletBasis, x: f64) {
+        let support = basis.support_length();
+        let position = (self.level as f64).exp2() * x;
+        let k_lo = ((position - support).floor() as i64 + 1).max(self.k_start);
+        let k_hi =
+            ((position).ceil() as i64 - 1).min(self.k_start + self.sums.len() as i64 - 1);
+        for k in k_lo..=k_hi {
+            let value = match self.generator {
+                Generator::Scaling => basis.phi_jk(self.level, k, x),
+                Generator::Wavelet => basis.psi_jk(self.level, k, x),
+            };
+            let idx = (k - self.k_start) as usize;
+            self.sums[idx] += value;
+            self.sum_squares[idx] += value * value;
+        }
+    }
+
+    fn snapshot(&self, n: usize) -> LevelCoefficients {
+        LevelCoefficients {
+            level: self.level,
+            generator: self.generator,
+            k_start: self.k_start,
+            values: self.sums.iter().map(|s| s / n as f64).collect(),
+            sum_squares: self.sum_squares.clone(),
+        }
+    }
+}
+
+/// An online wavelet density estimator over a data stream.
+///
+/// Unlike [`crate::estimator::WaveletDensityEstimator`], the resolution
+/// levels are fixed up front (they cannot depend on the unknown final
+/// sample size); by default the constructor sizes them for `expected_n`
+/// observations using the same rules as the batch estimator.
+#[derive(Debug, Clone)]
+pub struct StreamingWaveletEstimator {
+    basis: Arc<WaveletBasis>,
+    interval: (f64, f64),
+    rule: ThresholdRule,
+    scaling: RunningLevel,
+    details: Vec<RunningLevel>,
+    count: usize,
+}
+
+impl StreamingWaveletEstimator {
+    /// Creates a streaming estimator on `interval` with levels
+    /// `j0..=j_max`.
+    pub fn new(
+        family: WaveletFamily,
+        interval: (f64, f64),
+        rule: ThresholdRule,
+        j0: i32,
+        j_max: i32,
+    ) -> Result<Self, EstimatorError> {
+        if !(interval.0 < interval.1) {
+            return Err(EstimatorError::InvalidInterval {
+                lo: interval.0,
+                hi: interval.1,
+            });
+        }
+        if j0 < 0 || j_max < j0 {
+            return Err(EstimatorError::InvalidLevels {
+                message: format!("need 0 ≤ j0 ≤ j_max, got j0={j0}, j_max={j_max}"),
+            });
+        }
+        let basis = Arc::new(WaveletBasis::new(family)?);
+        let scaling = RunningLevel::new(&basis, interval, j0, Generator::Scaling);
+        let details = (j0..=j_max)
+            .map(|j| RunningLevel::new(&basis, interval, j, Generator::Wavelet))
+            .collect();
+        Ok(Self {
+            basis,
+            interval,
+            rule,
+            scaling,
+            details,
+            count: 0,
+        })
+    }
+
+    /// Creates a streaming estimator sized for roughly `expected_n`
+    /// observations on `[0, 1]` using the paper's level rules.
+    pub fn with_expected_size(
+        rule: ThresholdRule,
+        expected_n: usize,
+    ) -> Result<Self, EstimatorError> {
+        let family = WaveletFamily::Symmlet(8);
+        let j0 = crate::estimator::default_coarse_level(expected_n.max(2), 8);
+        let j_max = crate::estimator::cv_max_level(expected_n.max(2));
+        Self::new(family, (0.0, 1.0), rule, j0, j_max)
+    }
+
+    /// Number of observations pushed so far.
+    pub fn count(&self) -> usize {
+        self.count
+    }
+
+    /// The estimation interval.
+    pub fn interval(&self) -> (f64, f64) {
+        self.interval
+    }
+
+    /// Ingests one observation.
+    pub fn push(&mut self, x: f64) {
+        self.count += 1;
+        self.scaling.push(&self.basis, x);
+        for level in &mut self.details {
+            level.push(&self.basis, x);
+        }
+    }
+
+    /// Ingests many observations.
+    pub fn extend<I: IntoIterator<Item = f64>>(&mut self, values: I) {
+        for x in values {
+            self.push(x);
+        }
+    }
+
+    /// Produces the current estimate, cross-validating the thresholds on
+    /// the observations seen so far (equivalent to a batch CV fit with the
+    /// same levels).
+    pub fn estimate(&self) -> Result<WaveletDensityEstimate, EstimatorError> {
+        if self.count == 0 {
+            return Err(EstimatorError::EmptySample);
+        }
+        let scaling = self.scaling.snapshot(self.count);
+        let details: Vec<LevelCoefficients> = self
+            .details
+            .iter()
+            .map(|l| l.snapshot(self.count))
+            .collect();
+        let coefficients = EmpiricalCoefficients::from_parts(
+            Arc::clone(&self.basis),
+            self.count,
+            self.interval,
+            scaling.clone(),
+            details.clone(),
+        );
+        let cv = cross_validate(&coefficients, self.rule);
+        let profile: ThresholdProfile = cv.thresholds();
+        let thresholded: Vec<ThresholdedLevel> = details
+            .iter()
+            .map(|level| {
+                ThresholdedLevel::from_coefficients(level, self.rule, profile.level(level.level))
+            })
+            .collect();
+        Ok(WaveletDensityEstimate::from_parts(
+            Arc::clone(&self.basis),
+            self.interval,
+            self.count,
+            self.rule,
+            scaling,
+            thresholded,
+            profile,
+            cv.j1,
+            Some(cv),
+        ))
+    }
+
+    /// Convenience: the current estimate's value at `x` (0 before any data).
+    pub fn density_at(&self, x: f64) -> f64 {
+        match self.estimate() {
+            Ok(est) => est.evaluate(x),
+            Err(_) => 0.0,
+        }
+    }
+
+    /// Which threshold-selection scheme this streaming estimator mirrors
+    /// (always cross-validation).
+    pub fn selection(&self) -> ThresholdSelection {
+        ThresholdSelection::CrossValidation
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::estimator::WaveletDensityEstimator;
+    use rand::Rng;
+    use wavedens_processes::seeded_rng;
+
+    fn sample(n: usize, seed: u64) -> Vec<f64> {
+        let mut rng = seeded_rng(seed);
+        (0..n).map(|_| rng.gen::<f64>()).collect()
+    }
+
+    #[test]
+    fn streaming_matches_batch_estimator_exactly() {
+        let n = 700;
+        let data = sample(n, 3);
+        let j0 = crate::estimator::default_coarse_level(n, 8);
+        let j_max = crate::estimator::cv_max_level(n);
+        let mut streaming = StreamingWaveletEstimator::new(
+            WaveletFamily::Symmlet(8),
+            (0.0, 1.0),
+            ThresholdRule::Soft,
+            j0,
+            j_max,
+        )
+        .unwrap();
+        streaming.extend(data.iter().copied());
+        let online = streaming.estimate().unwrap();
+        let batch = WaveletDensityEstimator::stcv()
+            .with_levels(Some(j0), Some(j_max))
+            .fit(&data)
+            .unwrap();
+        for i in 0..=50 {
+            let x = i as f64 / 50.0;
+            assert!(
+                (online.evaluate(x) - batch.evaluate(x)).abs() < 1e-10,
+                "streaming and batch disagree at {x}"
+            );
+        }
+        assert_eq!(online.highest_level(), batch.highest_level());
+    }
+
+    #[test]
+    fn estimate_improves_as_data_arrives() {
+        let mut streaming =
+            StreamingWaveletEstimator::with_expected_size(ThresholdRule::Soft, 2048).unwrap();
+        let data = sample(2048, 9);
+        streaming.extend(data[..128].iter().copied());
+        let early = streaming.estimate().unwrap();
+        streaming.extend(data[128..].iter().copied());
+        let late = streaming.estimate().unwrap();
+        let grid = crate::grid::Grid::new(0.05, 0.95, 91);
+        let truth: Vec<f64> = grid.evaluate(|_| 1.0);
+        let err = |est: &WaveletDensityEstimate| {
+            grid.integrate_abs_power(&est.evaluate_on(&grid), &truth, 2.0)
+        };
+        assert!(
+            err(&late) < err(&early) + 1e-12,
+            "error should not grow with more data: {} -> {}",
+            err(&early),
+            err(&late)
+        );
+        assert_eq!(streaming.count(), 2048);
+    }
+
+    #[test]
+    fn empty_stream_cannot_estimate() {
+        let streaming =
+            StreamingWaveletEstimator::with_expected_size(ThresholdRule::Hard, 100).unwrap();
+        assert!(matches!(
+            streaming.estimate().unwrap_err(),
+            EstimatorError::EmptySample
+        ));
+        assert_eq!(streaming.density_at(0.5), 0.0);
+        assert_eq!(streaming.interval(), (0.0, 1.0));
+        assert_eq!(
+            streaming.selection(),
+            ThresholdSelection::CrossValidation
+        );
+    }
+
+    #[test]
+    fn invalid_configuration_is_rejected() {
+        assert!(StreamingWaveletEstimator::new(
+            WaveletFamily::Symmlet(8),
+            (1.0, 0.0),
+            ThresholdRule::Hard,
+            1,
+            5
+        )
+        .is_err());
+        assert!(StreamingWaveletEstimator::new(
+            WaveletFamily::Symmlet(8),
+            (0.0, 1.0),
+            ThresholdRule::Hard,
+            5,
+            1
+        )
+        .is_err());
+    }
+}

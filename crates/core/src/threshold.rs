@@ -1,0 +1,196 @@
+//! Threshold functions and threshold-level rules.
+//!
+//! The estimator of Donoho et al. (1996), extended by the paper to weak
+//! dependence, keeps the coarse coefficients `α̂_{j0,k}` untouched and
+//! passes the detail coefficients `β̂_{j,k}` through a threshold function
+//! `γ_{λ_j}`:
+//!
+//! * **hard**: `γ_λ(β) = β·1{|β| > λ}`;
+//! * **soft**: `γ_λ(β) = sign(β)·(|β| − λ)₊`.
+//!
+//! Theorem 3.1 uses levels `λ_j = K √(j/n)` with a constant `K` that
+//! depends on the (usually unknown) dependence constants of assumption (D);
+//! Section 5.1 replaces it by per-level cross-validated thresholds.
+
+/// The two thresholding nonlinearities considered by the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ThresholdRule {
+    /// Keep-or-kill thresholding `β·1{|β| > λ}`.
+    Hard,
+    /// Shrinkage thresholding `sign(β)(|β| − λ)₊`.
+    Soft,
+}
+
+impl ThresholdRule {
+    /// Applies the threshold function `γ_λ` to a coefficient.
+    pub fn apply(self, beta: f64, lambda: f64) -> f64 {
+        debug_assert!(lambda >= 0.0, "threshold levels are nonnegative");
+        match self {
+            ThresholdRule::Hard => {
+                if beta.abs() > lambda {
+                    beta
+                } else {
+                    0.0
+                }
+            }
+            ThresholdRule::Soft => {
+                let shrunk = beta.abs() - lambda;
+                if shrunk > 0.0 {
+                    shrunk * beta.signum()
+                } else {
+                    0.0
+                }
+            }
+        }
+    }
+
+    /// Short name used in reports ("HT"/"ST", following the paper).
+    pub fn short_name(self) -> &'static str {
+        match self {
+            ThresholdRule::Hard => "HT",
+            ThresholdRule::Soft => "ST",
+        }
+    }
+}
+
+impl std::fmt::Display for ThresholdRule {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ThresholdRule::Hard => f.write_str("hard"),
+            ThresholdRule::Soft => f.write_str("soft"),
+        }
+    }
+}
+
+/// How threshold levels `λ_j` are chosen.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ThresholdSelection {
+    /// The theoretical rule of Theorem 3.1: `λ_j = K √(j/n)`.
+    Theoretical {
+        /// The constant `K` (depends on the dependence structure).
+        kappa: f64,
+    },
+    /// Cross-validated per-level thresholds (Section 5.1); the levels and
+    /// the data-driven highest level `ĵ1` are computed at fit time.
+    CrossValidation,
+    /// Explicit user-supplied levels `λ_{j0}, λ_{j0+1}, …` (one per detail
+    /// level, the last value is reused if the list is too short).
+    Fixed(Vec<f64>),
+    /// No thresholding at all: the linear projection estimator, kept as a
+    /// baseline because Donoho et al. show it is *not* minimax.
+    None,
+}
+
+impl ThresholdSelection {
+    /// The theoretical level `λ_j = K √(j/n)` (returns 0 for `j = 0`).
+    pub fn theoretical_level(kappa: f64, j: i32, n: usize) -> f64 {
+        kappa * ((j.max(0) as f64) / n as f64).sqrt()
+    }
+}
+
+/// The per-level thresholds actually used by a fitted estimator, retained
+/// for inspection (Figure 3 of the paper plots exactly these).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ThresholdProfile {
+    /// Coarsest detail level `j0`.
+    pub j0: i32,
+    /// Levels `λ_{j0}, λ_{j0+1}, …` in level order.
+    pub levels: Vec<f64>,
+}
+
+impl ThresholdProfile {
+    /// The threshold used at level `j` (0 if outside the stored range).
+    pub fn level(&self, j: i32) -> f64 {
+        if j < self.j0 {
+            return 0.0;
+        }
+        self.levels
+            .get((j - self.j0) as usize)
+            .copied()
+            .unwrap_or(0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hard_threshold_keeps_or_kills() {
+        let h = ThresholdRule::Hard;
+        assert_eq!(h.apply(0.5, 0.3), 0.5);
+        assert_eq!(h.apply(-0.5, 0.3), -0.5);
+        assert_eq!(h.apply(0.2, 0.3), 0.0);
+        assert_eq!(h.apply(0.3, 0.3), 0.0, "boundary is killed");
+        assert_eq!(h.apply(0.7, 0.0), 0.7);
+    }
+
+    #[test]
+    fn soft_threshold_shrinks_towards_zero() {
+        let s = ThresholdRule::Soft;
+        assert!((s.apply(0.5, 0.3) - 0.2).abs() < 1e-15);
+        assert!((s.apply(-0.5, 0.3) + 0.2).abs() < 1e-15);
+        assert_eq!(s.apply(0.2, 0.3), 0.0);
+        assert_eq!(s.apply(-0.29, 0.3), 0.0);
+        assert_eq!(s.apply(0.4, 0.0), 0.4);
+    }
+
+    #[test]
+    fn soft_threshold_is_a_contraction() {
+        let s = ThresholdRule::Soft;
+        for &(b1, b2) in &[(0.4, 0.6), (-0.2, 0.7), (1.5, -1.5), (0.05, 0.1)] {
+            let d_before = (b1 - b2_f(b2)).abs();
+            let d_after = (s.apply(b1, 0.25) - s.apply(b2_f(b2), 0.25)).abs();
+            assert!(d_after <= d_before + 1e-15);
+        }
+        fn b2_f(x: f64) -> f64 {
+            x
+        }
+    }
+
+    #[test]
+    fn hard_dominates_soft_in_magnitude() {
+        for &beta in &[-1.0, -0.4, -0.1, 0.0, 0.1, 0.4, 1.0] {
+            for &lambda in &[0.0, 0.2, 0.5] {
+                let hard = ThresholdRule::Hard.apply(beta, lambda);
+                let soft = ThresholdRule::Soft.apply(beta, lambda);
+                assert!(hard.abs() >= soft.abs(), "β={beta}, λ={lambda}");
+                // Both keep the sign (or vanish).
+                assert!(hard == 0.0 || hard.signum() == beta.signum());
+                assert!(soft == 0.0 || soft.signum() == beta.signum());
+            }
+        }
+    }
+
+    #[test]
+    fn theoretical_levels_follow_sqrt_j_over_n() {
+        let n = 1024;
+        let l2 = ThresholdSelection::theoretical_level(1.5, 2, n);
+        let l8 = ThresholdSelection::theoretical_level(1.5, 8, n);
+        assert!((l8 / l2 - 2.0).abs() < 1e-12, "√(8/2) = 2");
+        assert_eq!(ThresholdSelection::theoretical_level(1.5, 0, n), 0.0);
+        // Doubling n shrinks levels by √2.
+        let l8_big = ThresholdSelection::theoretical_level(1.5, 8, 2 * n);
+        assert!((l8 / l8_big - std::f64::consts::SQRT_2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn threshold_profile_lookup() {
+        let p = ThresholdProfile {
+            j0: 2,
+            levels: vec![0.1, 0.2, 0.3],
+        };
+        assert_eq!(p.level(1), 0.0);
+        assert_eq!(p.level(2), 0.1);
+        assert_eq!(p.level(4), 0.3);
+        assert_eq!(p.level(9), 0.0);
+    }
+
+    #[test]
+    fn names_are_stable() {
+        assert_eq!(ThresholdRule::Hard.short_name(), "HT");
+        assert_eq!(ThresholdRule::Soft.short_name(), "ST");
+        assert_eq!(format!("{}", ThresholdRule::Hard), "hard");
+        assert_eq!(format!("{}", ThresholdRule::Soft), "soft");
+    }
+}

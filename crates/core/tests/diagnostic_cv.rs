@@ -1,0 +1,53 @@
+//! Temporary diagnostic (run with `--ignored --nocapture`): inspects the
+//! per-level behaviour of the literal cross-validation criterion on the
+//! paper's Case-1 data to guide the reproduction decisions documented in
+//! DESIGN.md.
+
+use wavedens_core::{Grid, ThresholdRule, WaveletDensityEstimator};
+use wavedens_processes::{seeded_rng, DependenceCase, SineUniformMixture, TargetDensity};
+
+#[test]
+#[ignore]
+fn inspect_cv_behaviour() {
+    let target = SineUniformMixture::paper();
+    let n = 1 << 10;
+    let grid = Grid::new(0.0, 1.0, 401);
+    let truth = grid.evaluate(|x| target.pdf(x));
+    for rule in [ThresholdRule::Hard, ThresholdRule::Soft] {
+        let mut mise = 0.0;
+        let reps = 10;
+        let mut j1_sum = 0.0;
+        for rep in 0..reps {
+            let mut rng = seeded_rng(1000 + rep);
+            let data = DependenceCase::Iid.simulate(&target, n, &mut rng);
+            let est = WaveletDensityEstimator::new(
+                rule,
+                wavedens_core::ThresholdSelection::CrossValidation,
+            )
+            .fit(&data)
+            .unwrap();
+            let vals = est.evaluate_on(&grid);
+            mise += grid.integrate_abs_power(&vals, &truth, 2.0);
+            j1_sum += est.highest_level() as f64;
+            if rep == 0 {
+                let cv = est.cross_validation().unwrap();
+                for lvl in &cv.levels {
+                    println!(
+                        "{rule:?} level {}: lambda={:.4} criterion={:.5} kept={}/{} frac_killed={:.2}",
+                        lvl.level,
+                        lvl.lambda,
+                        lvl.criterion,
+                        lvl.kept,
+                        lvl.total,
+                        lvl.thresholded_fraction()
+                    );
+                }
+            }
+        }
+        println!(
+            "{rule:?}: MISE = {:.4}, mean j1 = {:.2}",
+            mise / reps as f64,
+            j1_sum / reps as f64
+        );
+    }
+}

@@ -1,0 +1,30 @@
+//! Extra experiment: ablation of the threshold-selection rule.
+//!
+//! Compares, on the same data, the penalised CV criteria (the defaults of
+//! this crate), the literal unpenalised HTCV criterion printed in the
+//! paper, the theoretical `K√(j/n)` thresholds for several `K`, and linear
+//! projection estimators. Backs the reproduction note in DESIGN.md.
+
+use wavedens_experiments::{print_table, threshold_ablation, ExperimentConfig, Table};
+use wavedens_processes::DependenceCase;
+
+fn main() {
+    let config = ExperimentConfig::from_env();
+    println!(
+        "Threshold-rule ablation, {} replications, n = {}",
+        config.replications, config.sample_size
+    );
+    for case in DependenceCase::ALL {
+        let rows = threshold_ablation(&config, case);
+        let mut table = Table::new(["threshold rule", "MISE", "mean sparsity"]);
+        for row in &rows {
+            table.add_row([
+                row.label.clone(),
+                format!("{:.4}", row.mise),
+                format!("{:.3}", row.mean_sparsity),
+            ]);
+        }
+        print_table(&format!("{case}"), &table);
+    }
+    println!("\nExpected shape: the penalised CV rules and a well-chosen theoretical K are comparable; the literal unpenalised HT criterion under-thresholds (low sparsity, inflated MISE); linear projections are worse than thresholding at the same resolution budget.");
+}

@@ -1,0 +1,40 @@
+//! Figure 4 of the paper: mean proportion of thresholded (killed) detail
+//! coefficients against the resolution level, for hard and soft
+//! thresholding, in the three dependence cases.
+
+use wavedens_core::ThresholdRule;
+use wavedens_experiments::{case_mise, print_series, ExperimentConfig};
+use wavedens_processes::DependenceCase;
+
+fn main() {
+    let config = ExperimentConfig::from_env();
+    println!(
+        "Figure 4 (proportions of thresholded coefficients), {} replications, n = {}",
+        config.replications, config.sample_size
+    );
+    for rule in [ThresholdRule::Hard, ThresholdRule::Soft] {
+        let summaries: Vec<_> = DependenceCase::ALL
+            .into_iter()
+            .map(|case| case_mise(&config, case, rule))
+            .collect();
+        let rows: Vec<Vec<f64>> = summaries[0]
+            .levels
+            .iter()
+            .enumerate()
+            .map(|(i, &j)| {
+                let mut row = vec![j as f64];
+                row.extend(summaries.iter().map(|s| s.mean_killed_fraction[i]));
+                row
+            })
+            .collect();
+        print_series(
+            &format!(
+                "Figure 4 ({}CV proportion of thresholded coefficients)",
+                rule.short_name()
+            ),
+            &["level j", "case1", "case2", "case3"],
+            &rows,
+        );
+    }
+    println!("\nExpected shape: proportions strictly between 0 and 1 at coarse levels (the estimator is genuinely nonlinear) and close to 1 at fine levels, identical across dependence cases.");
+}

@@ -1,0 +1,48 @@
+//! Figure 5 of the paper: mean STCV wavelet estimate against the two
+//! Epanechnikov kernel baselines (rule-of-thumb and cross-validated
+//! bandwidths) on the bimodal Gaussian-mixture density, for each dependence
+//! case.
+
+use wavedens_experiments::{kernel_comparison_curves, print_series, print_table, ExperimentConfig, Table};
+use wavedens_processes::DependenceCase;
+
+fn main() {
+    let config = ExperimentConfig::from_env();
+    println!(
+        "Figure 5 (wavelet vs kernel estimators, Gaussian-mixture density), {} replications, n = {}",
+        config.replications, config.sample_size
+    );
+    let mut mise_table = Table::new(["case", "wavelet STCV", "kernel (rule of thumb)", "kernel (CV width)"]);
+    for case in DependenceCase::ALL {
+        let cmp = kernel_comparison_curves(&config, case);
+        let stride = 8;
+        let rows: Vec<Vec<f64>> = cmp
+            .grid_points
+            .iter()
+            .enumerate()
+            .step_by(stride)
+            .map(|(i, &x)| {
+                vec![
+                    x,
+                    cmp.true_density[i],
+                    cmp.mean_wavelet[i],
+                    cmp.mean_kernel_rot[i],
+                    cmp.mean_kernel_cv[i],
+                ]
+            })
+            .collect();
+        print_series(
+            &format!("Figure 5, {case}"),
+            &["x", "true", "wavelet", "kernel1(rot)", "kernel2(cv)"],
+            &rows,
+        );
+        mise_table.add_row([
+            case.label().to_string(),
+            format!("{:.4}", cmp.mise[0]),
+            format!("{:.4}", cmp.mise[1]),
+            format!("{:.4}", cmp.mise[2]),
+        ]);
+    }
+    print_table("MISE on the Gaussian-mixture density", &mise_table);
+    println!("\nExpected shape: the rule-of-thumb kernel misses the two modes (oversmoothed); the wavelet STCV and the CV-bandwidth kernel both detect them; no visible difference across dependence cases.");
+}

@@ -1,0 +1,52 @@
+//! Extra experiment (database bridge): range-query selectivity estimation
+//! over weakly dependent attribute streams.
+//!
+//! Compares the adaptive-wavelet synopsis against equi-width histograms and
+//! kernel baselines on workloads of random range queries, for each
+//! dependence case of the paper.
+
+use wavedens_experiments::{print_table, ExperimentConfig, Table};
+use wavedens_processes::{child_rng, DependenceCase, SineUniformMixture};
+use wavedens_selectivity::{
+    evaluate_workload, EmpiricalSelectivity, HistogramSelectivity, KernelSelectivity,
+    SelectivityEstimator, WaveletSelectivity, WorkloadGenerator,
+};
+
+fn main() {
+    let config = ExperimentConfig::from_env();
+    let queries = 400;
+    println!(
+        "Selectivity evaluation: {} rows per stream, {queries} range queries per workload",
+        config.sample_size
+    );
+    let target = SineUniformMixture::paper();
+    let generator = WorkloadGenerator::analytical();
+
+    for case in DependenceCase::ALL {
+        let mut rng = child_rng(config.seed, case.id().len() as u64);
+        let data = case.simulate(&target, config.sample_size, &mut rng);
+        let truth = EmpiricalSelectivity::new(&data);
+        let workload = generator.draw_many(queries, &mut rng);
+
+        let wavelet = WaveletSelectivity::fit(&data).expect("wavelet synopsis");
+        let hist_coarse = HistogramSelectivity::fit(&data, 16);
+        let hist_fine = HistogramSelectivity::fit(&data, 128);
+        let kernel_rot = KernelSelectivity::rule_of_thumb(&data).expect("kernel");
+        let kernel_cv = KernelSelectivity::cross_validated(&data).expect("kernel");
+
+        let estimators: Vec<&dyn SelectivityEstimator> =
+            vec![&wavelet, &hist_coarse, &hist_fine, &kernel_rot, &kernel_cv];
+        let mut table = Table::new(["estimator", "mean |err|", "max |err|", "mean rel err"]);
+        for estimator in estimators {
+            let summary = evaluate_workload(estimator, &truth, &workload);
+            table.add_row([
+                estimator.name(),
+                format!("{:.5}", summary.mean_absolute_error),
+                format!("{:.5}", summary.max_absolute_error),
+                format!("{:.4}", summary.mean_relative_error),
+            ]);
+        }
+        print_table(&format!("{case}"), &table);
+    }
+    println!("\nExpected shape: the wavelet synopsis is competitive with fine histograms and kernel estimates and clearly better than coarse histograms, independently of the dependence structure of the inserts.");
+}

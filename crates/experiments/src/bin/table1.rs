@@ -1,0 +1,34 @@
+//! Table 1 of the paper: MISE of the HTCV and STCV estimators under the
+//! three dependence cases (sine+uniform target, n = 2¹⁰).
+//!
+//! Usage: `cargo run --release -p wavedens-experiments --bin table1 -- [--reps N] [--n N] [--full]`
+
+use wavedens_core::ThresholdRule;
+use wavedens_experiments::{case_mise, print_table, ExperimentConfig, Table};
+use wavedens_processes::DependenceCase;
+
+fn main() {
+    let config = ExperimentConfig::from_env();
+    println!(
+        "Table 1 reproduction: MISE approximated by Monte Carlo on {} simulations of samples of size n = {}",
+        config.replications, config.sample_size
+    );
+
+    let mut table = Table::new(["", "Case 1", "Case 2", "Case 3"]);
+    for rule in [ThresholdRule::Hard, ThresholdRule::Soft] {
+        let mut row = vec![format!("{}CV", rule.short_name())];
+        for case in DependenceCase::ALL {
+            let summary = case_mise(&config, case, rule);
+            row.push(format!(
+                "{:.6} (±{:.6})",
+                summary.mise, summary.mise_std_error
+            ));
+        }
+        table.add_row(row);
+    }
+    print_table("MISE of the estimation", &table);
+    println!(
+        "\nPaper (500 reps): HTCV 0.096696 / 0.077064 / 0.097193; STCV 0.082934 / 0.065860 / 0.097184"
+    );
+    println!("Expected shape: STCV ≤ HTCV in every case; all three cases of the same order.");
+}

@@ -1,0 +1,139 @@
+//! Command-line / environment configuration shared by all experiment
+//! binaries.
+
+/// Configuration for a reproduction run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ExperimentConfig {
+    /// Number of Monte-Carlo replications (the paper uses 500).
+    pub replications: usize,
+    /// Sample size per replication (the paper uses 2¹⁰).
+    pub sample_size: usize,
+    /// Base seed; every replication derives an independent stream from it.
+    pub seed: u64,
+    /// Number of worker threads.
+    pub threads: usize,
+}
+
+impl Default for ExperimentConfig {
+    fn default() -> Self {
+        Self {
+            replications: 100,
+            sample_size: 1 << 10,
+            seed: 20060315,
+            threads: std::thread::available_parallelism()
+                .map(|p| p.get())
+                .unwrap_or(1),
+        }
+    }
+}
+
+impl ExperimentConfig {
+    /// Parses a configuration from command-line style arguments.
+    ///
+    /// Recognised flags: `--reps N`, `--n N`, `--seed N`, `--threads N`,
+    /// `--quick` (10 replications), `--full` (the paper's 500
+    /// replications). Unknown flags are ignored so binaries can add their
+    /// own.
+    pub fn from_args<I, S>(args: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: AsRef<str>,
+    {
+        let mut config = Self::default();
+        let args: Vec<String> = args.into_iter().map(|s| s.as_ref().to_string()).collect();
+        let mut i = 0;
+        while i < args.len() {
+            let value = |idx: usize| args.get(idx + 1).and_then(|v| v.parse::<u64>().ok());
+            match args[i].as_str() {
+                "--reps" => {
+                    if let Some(v) = value(i) {
+                        config.replications = v as usize;
+                        i += 1;
+                    }
+                }
+                "--n" => {
+                    if let Some(v) = value(i) {
+                        config.sample_size = (v as usize).max(4);
+                        i += 1;
+                    }
+                }
+                "--seed" => {
+                    if let Some(v) = value(i) {
+                        config.seed = v;
+                        i += 1;
+                    }
+                }
+                "--threads" => {
+                    if let Some(v) = value(i) {
+                        config.threads = (v as usize).max(1);
+                        i += 1;
+                    }
+                }
+                "--quick" => config.replications = 10,
+                "--full" => config.replications = 500,
+                _ => {}
+            }
+            i += 1;
+        }
+        config
+    }
+
+    /// Parses the configuration from the process arguments.
+    pub fn from_env() -> Self {
+        Self::from_args(std::env::args().skip(1))
+    }
+
+    /// A copy with a different replication count.
+    pub fn with_replications(mut self, replications: usize) -> Self {
+        self.replications = replications;
+        self
+    }
+
+    /// A copy with a different sample size.
+    pub fn with_sample_size(mut self, sample_size: usize) -> Self {
+        self.sample_size = sample_size;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_sensible() {
+        let c = ExperimentConfig::default();
+        assert_eq!(c.sample_size, 1024);
+        assert!(c.replications > 0);
+        assert!(c.threads >= 1);
+    }
+
+    #[test]
+    fn flags_are_parsed() {
+        let c = ExperimentConfig::from_args(["--reps", "42", "--n", "256", "--seed", "7"]);
+        assert_eq!(c.replications, 42);
+        assert_eq!(c.sample_size, 256);
+        assert_eq!(c.seed, 7);
+        let quick = ExperimentConfig::from_args(["--quick"]);
+        assert_eq!(quick.replications, 10);
+        let full = ExperimentConfig::from_args(["--full"]);
+        assert_eq!(full.replications, 500);
+    }
+
+    #[test]
+    fn unknown_flags_and_missing_values_are_tolerated() {
+        let c = ExperimentConfig::from_args(["--whatever", "--reps"]);
+        assert_eq!(c.replications, ExperimentConfig::default().replications);
+        let c2 = ExperimentConfig::from_args(["--threads", "3", "--other", "9"]);
+        assert_eq!(c2.threads, 3);
+    }
+
+    #[test]
+    fn builder_helpers() {
+        let c = ExperimentConfig::default()
+            .with_replications(5)
+            .with_sample_size(128);
+        assert_eq!(c.replications, 5);
+        assert_eq!(c.sample_size, 128);
+    }
+}

@@ -1,0 +1,27 @@
+//! # wavedens-experiments
+//!
+//! The Monte-Carlo harness and shared scenario code behind the
+//! paper-reproduction binaries (one binary per table/figure, see
+//! `src/bin/`) and the Criterion benchmarks of `wavedens-bench`.
+//!
+//! The harness is deliberately small: a reproducible parallel replication
+//! runner ([`mc`]), plain-text/CSV reporting ([`report`]), a common
+//! configuration struct parsed from the command line ([`config`]) and the
+//! scenario functions that the paper's tables and figures are built from
+//! ([`scenarios`]).
+
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod mc;
+pub mod report;
+pub mod scenarios;
+
+pub use config::ExperimentConfig;
+pub use mc::run_replications;
+pub use report::{print_series, print_table, Table};
+pub use scenarios::{
+    case_mise, kernel_comparison_curves, lp_risk_profile, lsv_study, rate_study,
+    threshold_ablation, CaseRiskSummary, KernelComparison, LpRiskProfile, LsvSummary,
+    RateStudyRow, ThresholdAblationRow,
+};

@@ -1,0 +1,117 @@
+//! Plain-text reporting helpers: aligned tables and (x, y…) series, printed
+//! in the same layout as the paper's tables and figure data.
+
+/// A simple column-aligned table.
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new<S: Into<String>, I: IntoIterator<Item = S>>(header: I) -> Self {
+        Self {
+            header: header.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (stringified cells).
+    pub fn add_row<S: Into<String>, I: IntoIterator<Item = S>>(&mut self, row: I) {
+        self.rows.push(row.into_iter().map(Into::into).collect());
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the table with aligned columns.
+    pub fn render(&self) -> String {
+        let columns = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate().take(columns) {
+                if cell.len() > widths[i] {
+                    widths[i] = cell.len();
+                }
+            }
+        }
+        let render_row = |cells: &[String]| -> String {
+            let mut line = String::new();
+            for (i, width) in widths.iter().enumerate() {
+                let cell = cells.get(i).map(String::as_str).unwrap_or("");
+                line.push_str(&format!("{cell:>width$}  ", width = width));
+            }
+            line.trim_end().to_string()
+        };
+        let mut out = render_row(&self.header);
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&render_row(row));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Prints a titled table to stdout.
+pub fn print_table(title: &str, table: &Table) {
+    println!("\n== {title} ==");
+    print!("{}", table.render());
+}
+
+/// Prints a titled series of `(x, y₁, y₂, …)` rows as CSV-ish lines, the
+/// format used to regenerate the paper's figures.
+pub fn print_series(title: &str, column_names: &[&str], rows: &[Vec<f64>]) {
+    println!("\n== {title} ==");
+    println!("{}", column_names.join(","));
+    for row in rows {
+        let line: Vec<String> = row.iter().map(|v| format!("{v:.6}")).collect();
+        println!("{}", line.join(","));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned_columns() {
+        let mut t = Table::new(["case", "MISE"]);
+        t.add_row(["Case 1", "0.0123"]);
+        t.add_row(["Case 22", "0.4"]);
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+        let rendered = t.render();
+        let lines: Vec<&str> = rendered.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains("case") && lines[0].contains("MISE"));
+        assert!(lines[2].contains("Case 1"));
+        assert!(lines[3].contains("Case 22"));
+    }
+
+    #[test]
+    fn empty_table_renders_header_only() {
+        let t = Table::new(["a", "b"]);
+        assert!(t.is_empty());
+        let rendered = t.render();
+        assert_eq!(rendered.lines().count(), 2);
+    }
+
+    #[test]
+    fn printing_helpers_do_not_panic() {
+        let mut t = Table::new(["x"]);
+        t.add_row(["1"]);
+        print_table("test table", &t);
+        print_series("test series", &["x", "y"], &[vec![0.0, 1.0], vec![0.5, 2.0]]);
+    }
+}

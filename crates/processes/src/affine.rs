@@ -1,0 +1,254 @@
+//! Affine models (Section 4.4.3): `X_t = M(X_{t-1}, …) ξ_t + f(X_{t-1}, …)`
+//! with Lipschitz `M` and `f`, covering AR, ARCH and GARCH processes.
+//!
+//! These are the workhorse econometric examples for which assumption (D)
+//! holds with `b = 1/2` when the innovations have a bounded density and the
+//! Lipschitz coefficients decay exponentially.
+
+use crate::process::StationaryProcess;
+use crate::rng::standard_normal;
+use rand::RngCore;
+
+/// A Gaussian AR(1) process `X_t = ρ X_{t-1} + σ ξ_t`.
+#[derive(Debug, Clone, Copy)]
+pub struct Ar1Process {
+    rho: f64,
+    sigma: f64,
+    burn_in: usize,
+}
+
+impl Ar1Process {
+    /// Creates the process; requires `|ρ| < 1` and `σ > 0`.
+    pub fn new(rho: f64, sigma: f64) -> Result<Self, String> {
+        if rho.abs() >= 1.0 {
+            return Err(format!("AR(1) requires |ρ| < 1, got {rho}"));
+        }
+        if sigma <= 0.0 {
+            return Err(format!("σ must be positive, got {sigma}"));
+        }
+        Ok(Self {
+            rho,
+            sigma,
+            burn_in: 512,
+        })
+    }
+
+    /// Stationary variance `σ² / (1 − ρ²)`.
+    pub fn stationary_variance(&self) -> f64 {
+        self.sigma * self.sigma / (1.0 - self.rho * self.rho)
+    }
+}
+
+impl StationaryProcess for Ar1Process {
+    fn name(&self) -> String {
+        format!("ar1(ρ={}, σ={})", self.rho, self.sigma)
+    }
+
+    fn simulate(&self, n: usize, rng: &mut dyn RngCore) -> Vec<f64> {
+        // Start from the exact stationary law N(0, σ²/(1−ρ²)), then iterate;
+        // the burn-in is kept as a belt-and-braces guard.
+        let mut x = self.stationary_variance().sqrt() * standard_normal(rng);
+        for _ in 0..self.burn_in {
+            x = self.rho * x + self.sigma * standard_normal(rng);
+        }
+        (0..n)
+            .map(|_| {
+                x = self.rho * x + self.sigma * standard_normal(rng);
+                x
+            })
+            .collect()
+    }
+}
+
+/// An ARCH(1) process `X_t = ξ_t √(ω + α X_{t-1}²)` with Gaussian
+/// innovations.
+#[derive(Debug, Clone, Copy)]
+pub struct Arch1Process {
+    omega: f64,
+    alpha: f64,
+    burn_in: usize,
+}
+
+impl Arch1Process {
+    /// Creates the process; second-order stationarity requires `α < 1`.
+    pub fn new(omega: f64, alpha: f64) -> Result<Self, String> {
+        if omega <= 0.0 {
+            return Err(format!("ω must be positive, got {omega}"));
+        }
+        if !(0.0..1.0).contains(&alpha) {
+            return Err(format!("α must lie in [0, 1) for stationarity, got {alpha}"));
+        }
+        Ok(Self {
+            omega,
+            alpha,
+            burn_in: 1024,
+        })
+    }
+
+    /// Stationary variance `ω / (1 − α)`.
+    pub fn stationary_variance(&self) -> f64 {
+        self.omega / (1.0 - self.alpha)
+    }
+}
+
+impl StationaryProcess for Arch1Process {
+    fn name(&self) -> String {
+        format!("arch1(ω={}, α={})", self.omega, self.alpha)
+    }
+
+    fn simulate(&self, n: usize, rng: &mut dyn RngCore) -> Vec<f64> {
+        let mut x = self.stationary_variance().sqrt() * standard_normal(rng);
+        for _ in 0..self.burn_in {
+            x = standard_normal(rng) * (self.omega + self.alpha * x * x).sqrt();
+        }
+        (0..n)
+            .map(|_| {
+                x = standard_normal(rng) * (self.omega + self.alpha * x * x).sqrt();
+                x
+            })
+            .collect()
+    }
+}
+
+/// A GARCH(1,1) process `X_t = σ_t ξ_t`,
+/// `σ_t² = ω + α X_{t-1}² + β σ_{t-1}²`.
+#[derive(Debug, Clone, Copy)]
+pub struct Garch11Process {
+    omega: f64,
+    alpha: f64,
+    beta: f64,
+    burn_in: usize,
+}
+
+impl Garch11Process {
+    /// Creates the process; requires `ω > 0`, `α, β ≥ 0`, `α + β < 1`.
+    pub fn new(omega: f64, alpha: f64, beta: f64) -> Result<Self, String> {
+        if omega <= 0.0 {
+            return Err(format!("ω must be positive, got {omega}"));
+        }
+        if alpha < 0.0 || beta < 0.0 {
+            return Err("α and β must be nonnegative".to_string());
+        }
+        if alpha + beta >= 1.0 {
+            return Err(format!(
+                "stationarity requires α + β < 1, got {}",
+                alpha + beta
+            ));
+        }
+        Ok(Self {
+            omega,
+            alpha,
+            beta,
+            burn_in: 2048,
+        })
+    }
+
+    /// Stationary variance `ω / (1 − α − β)`.
+    pub fn stationary_variance(&self) -> f64 {
+        self.omega / (1.0 - self.alpha - self.beta)
+    }
+}
+
+impl StationaryProcess for Garch11Process {
+    fn name(&self) -> String {
+        format!(
+            "garch11(ω={}, α={}, β={})",
+            self.omega, self.alpha, self.beta
+        )
+    }
+
+    fn simulate(&self, n: usize, rng: &mut dyn RngCore) -> Vec<f64> {
+        let mut sigma2 = self.stationary_variance();
+        let mut x = sigma2.sqrt() * standard_normal(rng);
+        for _ in 0..self.burn_in {
+            sigma2 = self.omega + self.alpha * x * x + self.beta * sigma2;
+            x = sigma2.sqrt() * standard_normal(rng);
+        }
+        (0..n)
+            .map(|_| {
+                sigma2 = self.omega + self.alpha * x * x + self.beta * sigma2;
+                x = sigma2.sqrt() * standard_normal(rng);
+                x
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::seeded_rng;
+
+    #[test]
+    fn parameter_validation() {
+        assert!(Ar1Process::new(0.5, 1.0).is_ok());
+        assert!(Ar1Process::new(1.0, 1.0).is_err());
+        assert!(Ar1Process::new(0.5, 0.0).is_err());
+        assert!(Arch1Process::new(0.1, 0.5).is_ok());
+        assert!(Arch1Process::new(0.0, 0.5).is_err());
+        assert!(Arch1Process::new(0.1, 1.0).is_err());
+        assert!(Garch11Process::new(0.1, 0.1, 0.8).is_ok());
+        assert!(Garch11Process::new(0.1, 0.5, 0.6).is_err());
+        assert!(Garch11Process::new(0.1, -0.1, 0.5).is_err());
+    }
+
+    #[test]
+    fn ar1_moments_match_theory() {
+        let p = Ar1Process::new(0.6, 0.5).unwrap();
+        let mut rng = seeded_rng(1);
+        let n = 200_000;
+        let x = p.simulate(n, &mut rng);
+        let mean = x.iter().sum::<f64>() / n as f64;
+        let var = x.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.02);
+        assert!((var - p.stationary_variance()).abs() / p.stationary_variance() < 0.05);
+        // Lag-1 autocorrelation should be ρ.
+        let cov = x
+            .windows(2)
+            .map(|w| (w[0] - mean) * (w[1] - mean))
+            .sum::<f64>()
+            / (n - 1) as f64;
+        assert!((cov / var - 0.6).abs() < 0.02);
+    }
+
+    #[test]
+    fn arch1_is_white_noise_with_dependent_squares() {
+        let p = Arch1Process::new(0.2, 0.5).unwrap();
+        let mut rng = seeded_rng(8);
+        let n = 200_000;
+        let x = p.simulate(n, &mut rng);
+        let mean = x.iter().sum::<f64>() / n as f64;
+        let var = x.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.02);
+        assert!((var - p.stationary_variance()).abs() / p.stationary_variance() < 0.1);
+        let cov = x
+            .windows(2)
+            .map(|w| (w[0] - mean) * (w[1] - mean))
+            .sum::<f64>()
+            / (n - 1) as f64;
+        assert!((cov / var).abs() < 0.02, "raw series should be uncorrelated");
+        let sq: Vec<f64> = x.iter().map(|v| v * v).collect();
+        let mean_sq = sq.iter().sum::<f64>() / n as f64;
+        let var_sq = sq.iter().map(|v| (v - mean_sq).powi(2)).sum::<f64>() / n as f64;
+        let cov_sq = sq
+            .windows(2)
+            .map(|w| (w[0] - mean_sq) * (w[1] - mean_sq))
+            .sum::<f64>()
+            / (n - 1) as f64;
+        assert!(cov_sq / var_sq > 0.2, "squares should cluster");
+    }
+
+    #[test]
+    fn garch_variance_matches_theory() {
+        let p = Garch11Process::new(0.05, 0.1, 0.8).unwrap();
+        let mut rng = seeded_rng(14);
+        let n = 300_000;
+        let x = p.simulate(n, &mut rng);
+        let var = x.iter().map(|v| v * v).sum::<f64>() / n as f64;
+        assert!(
+            (var - p.stationary_variance()).abs() / p.stationary_variance() < 0.1,
+            "variance {var} vs {}",
+            p.stationary_variance()
+        );
+    }
+}

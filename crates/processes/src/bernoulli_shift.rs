@@ -1,0 +1,278 @@
+//! Bernoulli shifts and infinite moving averages (Section 4.4.1).
+//!
+//! A Bernoulli shift `X_t = H((ξ_{t-i})_{i∈ℤ})` with iid innovations is
+//! λ-weakly dependent; the workhorse example is the (possibly two-sided)
+//! infinite moving average `X_t = Σ_i a_i ξ_{t-i}` with geometrically
+//! decaying weights, for which assumption (D2) holds with `b = 1`.
+
+use crate::process::StationaryProcess;
+use crate::rng::{bernoulli, standard_normal};
+use rand::{Rng, RngCore};
+
+/// Innovation distributions available for the moving-average processes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Innovation {
+    /// Uniform(0, 1) innovations.
+    Uniform,
+    /// Standard normal innovations.
+    Gaussian,
+    /// Bernoulli(1/2) innovations taking values in {0, 1}.
+    Bernoulli,
+    /// Rademacher innovations taking values in {−1, +1}.
+    Rademacher,
+}
+
+impl Innovation {
+    fn draw(self, rng: &mut dyn RngCore) -> f64 {
+        match self {
+            Innovation::Uniform => rng.gen::<f64>(),
+            Innovation::Gaussian => standard_normal(rng),
+            Innovation::Bernoulli => bernoulli(rng, 0.5),
+            Innovation::Rademacher => 2.0 * bernoulli(rng, 0.5) - 1.0,
+        }
+    }
+
+    /// Mean of the innovation law.
+    pub fn mean(self) -> f64 {
+        match self {
+            Innovation::Uniform => 0.5,
+            Innovation::Gaussian => 0.0,
+            Innovation::Bernoulli => 0.5,
+            Innovation::Rademacher => 0.0,
+        }
+    }
+
+    /// Variance of the innovation law.
+    pub fn variance(self) -> f64 {
+        match self {
+            Innovation::Uniform => 1.0 / 12.0,
+            Innovation::Gaussian => 1.0,
+            Innovation::Bernoulli => 0.25,
+            Innovation::Rademacher => 1.0,
+        }
+    }
+}
+
+/// An infinite moving average `X_t = Σ_{i} a_i ξ_{t-i}` with geometric
+/// weights `a_i = scale · decay^{|i|}` over a (one- or two-sided) index set,
+/// truncated at machine-negligible error.
+#[derive(Debug, Clone, Copy)]
+pub struct InfiniteMovingAverage {
+    decay: f64,
+    scale: f64,
+    two_sided: bool,
+    innovation: Innovation,
+    truncation: usize,
+}
+
+impl InfiniteMovingAverage {
+    /// Creates a causal moving average `X_t = scale Σ_{i≥0} decay^i ξ_{t-i}`
+    /// with `decay ∈ (0, 1)`.
+    pub fn causal(decay: f64, scale: f64, innovation: Innovation) -> Result<Self, String> {
+        Self::build(decay, scale, false, innovation)
+    }
+
+    /// Creates a two-sided (non-causal) moving average
+    /// `X_t = scale Σ_{i∈ℤ} decay^{|i|} ξ_{t-i}`.
+    pub fn two_sided(decay: f64, scale: f64, innovation: Innovation) -> Result<Self, String> {
+        Self::build(decay, scale, true, innovation)
+    }
+
+    fn build(
+        decay: f64,
+        scale: f64,
+        two_sided: bool,
+        innovation: Innovation,
+    ) -> Result<Self, String> {
+        if !(0.0 < decay && decay < 1.0) {
+            return Err(format!("decay must lie in (0, 1), got {decay}"));
+        }
+        if !scale.is_finite() || scale == 0.0 {
+            return Err(format!("scale must be finite and nonzero, got {scale}"));
+        }
+        // Truncate once the remaining geometric tail is below 1e-16 relative
+        // to the leading weight.
+        let truncation = ((1e-16_f64).ln() / decay.ln()).ceil() as usize + 1;
+        Ok(Self {
+            decay,
+            scale,
+            two_sided,
+            innovation,
+            truncation,
+        })
+    }
+
+    /// The geometric decay rate of the weights.
+    pub fn decay(&self) -> f64 {
+        self.decay
+    }
+
+    /// Theoretical mean of the stationary marginal.
+    pub fn theoretical_mean(&self) -> f64 {
+        self.scale * self.innovation.mean() * self.weight_sum()
+    }
+
+    /// Theoretical variance of the stationary marginal.
+    pub fn theoretical_variance(&self) -> f64 {
+        self.scale * self.scale * self.innovation.variance() * self.weight_sq_sum()
+    }
+
+    /// Theoretical lag-`r` autocovariance of the stationary process.
+    pub fn theoretical_autocovariance(&self, r: usize) -> f64 {
+        let mut acc = 0.0;
+        let m = self.truncation as i64;
+        for i in -m..=m {
+            let j = i + r as i64;
+            if j.abs() > m {
+                continue;
+            }
+            if !self.two_sided && (i < 0 || j < 0) {
+                continue;
+            }
+            acc += self.weight(i) * self.weight(j);
+        }
+        self.scale * self.scale * self.innovation.variance() * acc
+    }
+
+    fn weight(&self, i: i64) -> f64 {
+        self.decay.powi(i.unsigned_abs() as i32)
+    }
+
+    fn weight_sum(&self) -> f64 {
+        if self.two_sided {
+            (1.0 + self.decay) / (1.0 - self.decay)
+        } else {
+            1.0 / (1.0 - self.decay)
+        }
+    }
+
+    fn weight_sq_sum(&self) -> f64 {
+        let d2 = self.decay * self.decay;
+        if self.two_sided {
+            (1.0 + d2) / (1.0 - d2)
+        } else {
+            1.0 / (1.0 - d2)
+        }
+    }
+}
+
+impl StationaryProcess for InfiniteMovingAverage {
+    fn name(&self) -> String {
+        format!(
+            "{}-ma(decay={}, {:?})",
+            if self.two_sided { "two-sided" } else { "causal" },
+            self.decay,
+            self.innovation
+        )
+    }
+
+    fn simulate(&self, n: usize, rng: &mut dyn RngCore) -> Vec<f64> {
+        let m = self.truncation;
+        let pad_left = m;
+        let pad_right = if self.two_sided { m } else { 0 };
+        let total = n + pad_left + pad_right;
+        let xi: Vec<f64> = (0..total).map(|_| self.innovation.draw(rng)).collect();
+        (0..n)
+            .map(|t| {
+                let centre = t + pad_left;
+                let mut acc = xi[centre];
+                for i in 1..=m {
+                    acc += self.decay.powi(i as i32) * xi[centre - i];
+                    if self.two_sided {
+                        acc += self.decay.powi(i as i32) * xi[centre + i];
+                    }
+                }
+                self.scale * acc
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::seeded_rng;
+
+    #[test]
+    fn construction_validates_parameters() {
+        assert!(InfiniteMovingAverage::causal(0.5, 1.0, Innovation::Uniform).is_ok());
+        assert!(InfiniteMovingAverage::causal(0.0, 1.0, Innovation::Uniform).is_err());
+        assert!(InfiniteMovingAverage::causal(1.0, 1.0, Innovation::Uniform).is_err());
+        assert!(InfiniteMovingAverage::causal(0.5, 0.0, Innovation::Uniform).is_err());
+        assert!(InfiniteMovingAverage::two_sided(0.5, f64::NAN, Innovation::Uniform).is_err());
+    }
+
+    #[test]
+    fn sample_moments_match_theory_causal() {
+        let ma = InfiniteMovingAverage::causal(0.6, 1.0, Innovation::Gaussian).unwrap();
+        let mut rng = seeded_rng(101);
+        let n = 200_000;
+        let x = ma.simulate(n, &mut rng);
+        let mean = x.iter().sum::<f64>() / n as f64;
+        let var = x.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((mean - ma.theoretical_mean()).abs() < 0.02, "mean {mean}");
+        assert!(
+            (var - ma.theoretical_variance()).abs() / ma.theoretical_variance() < 0.03,
+            "variance {var} vs {}",
+            ma.theoretical_variance()
+        );
+    }
+
+    #[test]
+    fn sample_autocovariance_matches_theory_two_sided() {
+        let ma = InfiniteMovingAverage::two_sided(0.5, 1.0, Innovation::Bernoulli).unwrap();
+        let mut rng = seeded_rng(77);
+        let n = 300_000;
+        let x = ma.simulate(n, &mut rng);
+        let mean = x.iter().sum::<f64>() / n as f64;
+        for r in [1_usize, 2, 3, 5] {
+            let emp: f64 = (0..n - r)
+                .map(|i| (x[i] - mean) * (x[i + r] - mean))
+                .sum::<f64>()
+                / (n - r) as f64;
+            let theory = ma.theoretical_autocovariance(r);
+            assert!(
+                (emp - theory).abs() < 0.01 + 0.05 * theory.abs(),
+                "lag {r}: empirical {emp} vs theoretical {theory}"
+            );
+        }
+    }
+
+    #[test]
+    fn autocovariance_decays_geometrically() {
+        let ma = InfiniteMovingAverage::causal(0.7, 1.0, Innovation::Gaussian).unwrap();
+        let c1 = ma.theoretical_autocovariance(1);
+        let c5 = ma.theoretical_autocovariance(5);
+        let c10 = ma.theoretical_autocovariance(10);
+        assert!(c1 > c5 && c5 > c10 && c10 > 0.0);
+        // Ratio should be ≈ decay^4 between lags 1→5 and 5→9.
+        assert!((c5 / c1 - 0.7_f64.powi(4)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn innovation_moments_are_correct() {
+        assert_eq!(Innovation::Uniform.mean(), 0.5);
+        assert_eq!(Innovation::Gaussian.mean(), 0.0);
+        assert!((Innovation::Uniform.variance() - 1.0 / 12.0).abs() < 1e-15);
+        assert_eq!(Innovation::Rademacher.variance(), 1.0);
+        let mut rng = seeded_rng(5);
+        let vals: Vec<f64> = (0..10_000)
+            .map(|_| Innovation::Rademacher.draw(&mut rng))
+            .collect();
+        assert!(vals.iter().all(|v| *v == 1.0 || *v == -1.0));
+    }
+
+    #[test]
+    fn bernoulli_causal_half_decay_is_uniform() {
+        // With decay 1/2, scale 1/2 and Bernoulli innovations the causal MA
+        // is the binary expansion of a Uniform(0,1) variable.
+        let ma = InfiniteMovingAverage::causal(0.5, 0.5, Innovation::Bernoulli).unwrap();
+        let mut rng = seeded_rng(31);
+        let x = ma.simulate(50_000, &mut rng);
+        assert!(x.iter().all(|&v| (0.0..=1.0).contains(&v)));
+        for &q in &[0.25, 0.5, 0.75] {
+            let freq = x.iter().filter(|&&v| v <= q).count() as f64 / x.len() as f64;
+            assert!((freq - q).abs() < 0.02, "P(X<={q}) = {freq}");
+        }
+    }
+}

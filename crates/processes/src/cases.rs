@@ -1,0 +1,143 @@
+//! The three sampling schemes of the paper's Section 5.2, packaged as a
+//! single enum so the experiment harness can sweep over them.
+//!
+//! All three cases share the same target marginal density `F` and differ
+//! only in their dependence structure:
+//!
+//! * **Case 1** — independent observations `X_i = F⁻¹(U_i)`;
+//! * **Case 2** — a φ̃-weakly dependent expanding-map orbit (logistic map),
+//!   `X_i = F⁻¹(G(Y_i))` with `Y_{i+1} = 4Y_i(1−Y_i)`;
+//! * **Case 3** — a λ-weakly dependent non-causal infinite moving average
+//!   driven by Bernoulli innovations.
+
+use crate::densities::TargetDensity;
+use crate::dynamical::LogisticMapDriver;
+use crate::noncausal_ma::NonCausalMaDriver;
+use crate::transforms::{IidDriver, UniformDriver};
+use rand::RngCore;
+
+/// The dependence scheme of a simulation case.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DependenceCase {
+    /// Case 1: independent and identically distributed observations.
+    Iid,
+    /// Case 2: time-reversed expanding map (logistic full map), a
+    /// φ̃-weakly dependent dynamical system.
+    ExpandingMap,
+    /// Case 3: non-causal infinite moving average with Bernoulli
+    /// innovations, a λ-weakly dependent Bernoulli shift.
+    NonCausalMa,
+}
+
+impl DependenceCase {
+    /// All three cases, in the paper's order.
+    pub const ALL: [DependenceCase; 3] = [
+        DependenceCase::Iid,
+        DependenceCase::ExpandingMap,
+        DependenceCase::NonCausalMa,
+    ];
+
+    /// The paper's label ("Case 1", "Case 2", "Case 3").
+    pub fn label(self) -> &'static str {
+        match self {
+            DependenceCase::Iid => "Case 1",
+            DependenceCase::ExpandingMap => "Case 2",
+            DependenceCase::NonCausalMa => "Case 3",
+        }
+    }
+
+    /// A short machine-friendly identifier.
+    pub fn id(self) -> &'static str {
+        match self {
+            DependenceCase::Iid => "iid",
+            DependenceCase::ExpandingMap => "expanding-map",
+            DependenceCase::NonCausalMa => "noncausal-ma",
+        }
+    }
+
+    /// The underlying uniform-marginal dependence driver.
+    pub fn driver(self) -> Box<dyn UniformDriver> {
+        match self {
+            DependenceCase::Iid => Box::new(IidDriver),
+            DependenceCase::ExpandingMap => Box::new(LogisticMapDriver),
+            DependenceCase::NonCausalMa => Box::new(NonCausalMaDriver::default()),
+        }
+    }
+
+    /// Draws `n` observations with marginal density `target` under this
+    /// dependence scheme.
+    pub fn simulate(
+        self,
+        target: &dyn TargetDensity,
+        n: usize,
+        rng: &mut dyn RngCore,
+    ) -> Vec<f64> {
+        self.driver()
+            .simulate_uniform(n, rng)
+            .into_iter()
+            .map(|u| target.quantile(u))
+            .collect()
+    }
+}
+
+impl std::fmt::Display for DependenceCase {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::densities::{SineUniformMixture, TargetDensity};
+    use crate::rng::seeded_rng;
+
+    #[test]
+    fn labels_and_ids_are_stable() {
+        assert_eq!(DependenceCase::Iid.label(), "Case 1");
+        assert_eq!(DependenceCase::ExpandingMap.label(), "Case 2");
+        assert_eq!(DependenceCase::NonCausalMa.label(), "Case 3");
+        assert_eq!(DependenceCase::NonCausalMa.id(), "noncausal-ma");
+        assert_eq!(format!("{}", DependenceCase::ExpandingMap), "Case 2");
+        assert_eq!(DependenceCase::ALL.len(), 3);
+    }
+
+    #[test]
+    fn all_cases_share_the_target_marginal() {
+        let target = SineUniformMixture::paper();
+        let n = 40_000;
+        for (i, case) in DependenceCase::ALL.into_iter().enumerate() {
+            let mut rng = seeded_rng(100 + i as u64);
+            let sample = case.simulate(&target, n, &mut rng);
+            assert_eq!(sample.len(), n);
+            for &x in &[0.25_f64, 0.5, 0.75] {
+                let freq = sample.iter().filter(|&&v| v <= x).count() as f64 / n as f64;
+                assert!(
+                    (freq - target.cdf(x)).abs() < 0.03,
+                    "{}: empirical cdf at {x} = {freq}, target {}",
+                    case.label(),
+                    target.cdf(x)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn dependent_cases_are_actually_dependent() {
+        // Lag-1 autocorrelation of the uniformised driver output should be
+        // near zero in Case 1 and clearly positive in Case 3.
+        let n = 50_000;
+        let corr = |case: DependenceCase, seed: u64| {
+            let mut rng = seeded_rng(seed);
+            let u = case.driver().simulate_uniform(n, &mut rng);
+            let mean = u.iter().sum::<f64>() / n as f64;
+            let var = u.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / n as f64;
+            u.windows(2)
+                .map(|w| (w[0] - mean) * (w[1] - mean))
+                .sum::<f64>()
+                / ((n - 1) as f64 * var)
+        };
+        assert!(corr(DependenceCase::Iid, 1).abs() < 0.02);
+        assert!(corr(DependenceCase::NonCausalMa, 2) > 0.4);
+    }
+}

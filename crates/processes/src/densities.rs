@@ -1,0 +1,494 @@
+//! Target marginal densities used in the paper's simulation study.
+//!
+//! Section 5.2 of the paper considers two target densities for the common
+//! marginal distribution `F` of the simulated processes:
+//!
+//! 1. a **mixture of a sine bump and a uniform density** exhibiting a jump
+//!    discontinuity (used for Figures 1–4 and Tables 1–2), and
+//! 2. a **two-component Gaussian mixture** with sharp, well-separated modes
+//!    (used for the kernel comparison of Figures 5–6).
+//!
+//! The paper does not print closed forms, so the concrete parameters here
+//! are chosen to match the plotted ranges (sup ≈ 1.4 for the first density,
+//! modes peaking near 10 for the second); all downstream comparisons are
+//! relative to these exact densities so the reproduction is self-consistent.
+//! Each density exposes an exact pdf, cdf and quantile so data with this
+//! exact marginal can be produced through the inverse-cdf transform.
+
+use crate::special::{normal_cdf, normal_pdf};
+
+/// A univariate target density with compact (or effectively compact)
+/// support, known cdf and quantile function.
+///
+/// Quantiles default to bisection on the cdf; implementations with closed
+/// forms override [`quantile`](TargetDensity::quantile).
+pub trait TargetDensity: Send + Sync {
+    /// Short identifier used in reports, e.g. `"sine-uniform"`.
+    fn name(&self) -> &'static str;
+
+    /// Support `[a, b]` of the density (values outside have zero mass).
+    fn support(&self) -> (f64, f64);
+
+    /// Probability density function.
+    fn pdf(&self, x: f64) -> f64;
+
+    /// Cumulative distribution function.
+    fn cdf(&self, x: f64) -> f64;
+
+    /// Quantile function `F⁻¹(u)` for `u ∈ [0, 1]`.
+    ///
+    /// The default implementation bisects the cdf on the support, which is
+    /// accurate to ~1e-14 after 80 iterations.
+    fn quantile(&self, u: f64) -> f64 {
+        let (mut lo, mut hi) = self.support();
+        if u <= 0.0 {
+            return lo;
+        }
+        if u >= 1.0 {
+            return hi;
+        }
+        for _ in 0..80 {
+            let mid = 0.5 * (lo + hi);
+            if self.cdf(mid) < u {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        0.5 * (lo + hi)
+    }
+
+    /// Essential supremum of the density on its support, used by tests and
+    /// by the theoretical threshold constant. The default scans a grid.
+    fn sup_norm(&self) -> f64 {
+        let (a, b) = self.support();
+        let steps = 4096;
+        (0..=steps)
+            .map(|i| self.pdf(a + (b - a) * i as f64 / steps as f64))
+            .fold(0.0_f64, f64::max)
+    }
+}
+
+/// The uniform density on `[0, 1]`; the simplest sanity-check marginal.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Uniform01;
+
+impl TargetDensity for Uniform01 {
+    fn name(&self) -> &'static str {
+        "uniform"
+    }
+    fn support(&self) -> (f64, f64) {
+        (0.0, 1.0)
+    }
+    fn pdf(&self, x: f64) -> f64 {
+        if (0.0..=1.0).contains(&x) {
+            1.0
+        } else {
+            0.0
+        }
+    }
+    fn cdf(&self, x: f64) -> f64 {
+        x.clamp(0.0, 1.0)
+    }
+    fn quantile(&self, u: f64) -> f64 {
+        u.clamp(0.0, 1.0)
+    }
+}
+
+/// The paper's first target: a mixture of a uniform density on `[0, 1]` and
+/// a half-sine bump on `[0, cutoff]`, producing a jump discontinuity at
+/// `cutoff`.
+///
+/// * pdf on `[0, cutoff]`: `w_u + w_s · (π / 2·cutoff) · sin(πx / 2·cutoff)`
+/// * pdf on `(cutoff, 1]`: `w_u`
+///
+/// with `w_u = uniform_weight` and `w_s = 1 − uniform_weight`.
+#[derive(Debug, Clone, Copy)]
+pub struct SineUniformMixture {
+    uniform_weight: f64,
+    cutoff: f64,
+}
+
+impl Default for SineUniformMixture {
+    fn default() -> Self {
+        Self::new(0.7, 0.7).expect("default parameters are valid")
+    }
+}
+
+impl SineUniformMixture {
+    /// Creates the mixture; `uniform_weight ∈ (0, 1)` and `cutoff ∈ (0, 1]`.
+    pub fn new(uniform_weight: f64, cutoff: f64) -> Result<Self, String> {
+        if !(0.0..1.0).contains(&uniform_weight) || uniform_weight == 0.0 {
+            return Err(format!(
+                "uniform weight must lie in (0, 1), got {uniform_weight}"
+            ));
+        }
+        if !(cutoff > 0.0 && cutoff <= 1.0) {
+            return Err(format!("cutoff must lie in (0, 1], got {cutoff}"));
+        }
+        Ok(Self {
+            uniform_weight,
+            cutoff,
+        })
+    }
+
+    /// The parameters used throughout the paper-reproduction experiments.
+    pub fn paper() -> Self {
+        Self::default()
+    }
+
+    /// Weight of the uniform component.
+    pub fn uniform_weight(&self) -> f64 {
+        self.uniform_weight
+    }
+
+    /// Location of the jump discontinuity.
+    pub fn cutoff(&self) -> f64 {
+        self.cutoff
+    }
+
+    /// Size of the downward jump of the density at the cutoff.
+    pub fn jump_size(&self) -> f64 {
+        (1.0 - self.uniform_weight) * std::f64::consts::FRAC_PI_2 / self.cutoff
+    }
+}
+
+impl TargetDensity for SineUniformMixture {
+    fn name(&self) -> &'static str {
+        "sine-uniform"
+    }
+
+    fn support(&self) -> (f64, f64) {
+        (0.0, 1.0)
+    }
+
+    fn pdf(&self, x: f64) -> f64 {
+        if !(0.0..=1.0).contains(&x) {
+            return 0.0;
+        }
+        let w_s = 1.0 - self.uniform_weight;
+        let mut value = self.uniform_weight;
+        if x <= self.cutoff {
+            let scale = std::f64::consts::FRAC_PI_2 / self.cutoff;
+            value += w_s * scale * (std::f64::consts::FRAC_PI_2 * x / self.cutoff).sin();
+        }
+        value
+    }
+
+    fn cdf(&self, x: f64) -> f64 {
+        if x <= 0.0 {
+            return 0.0;
+        }
+        if x >= 1.0 {
+            return 1.0;
+        }
+        let w_s = 1.0 - self.uniform_weight;
+        let base = self.uniform_weight * x;
+        if x <= self.cutoff {
+            base + w_s * (1.0 - (std::f64::consts::FRAC_PI_2 * x / self.cutoff).cos())
+        } else {
+            base + w_s
+        }
+    }
+}
+
+/// A finite mixture of Gaussian components (optionally truncated to a
+/// compact support, with negligible mass loss for the parameters used in
+/// the experiments).
+#[derive(Debug, Clone)]
+pub struct GaussianMixture {
+    components: Vec<GaussianComponent>,
+    support: (f64, f64),
+}
+
+/// One `weight · N(mean, sd²)` component of a [`GaussianMixture`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GaussianComponent {
+    /// Mixture weight (weights must sum to 1).
+    pub weight: f64,
+    /// Component mean.
+    pub mean: f64,
+    /// Component standard deviation (> 0).
+    pub sd: f64,
+}
+
+impl GaussianMixture {
+    /// Creates a mixture from components; weights must sum to 1 (±1e-9) and
+    /// standard deviations must be positive.
+    pub fn new(components: Vec<GaussianComponent>, support: (f64, f64)) -> Result<Self, String> {
+        if components.is_empty() {
+            return Err("mixture needs at least one component".to_string());
+        }
+        let total: f64 = components.iter().map(|c| c.weight).sum();
+        if (total - 1.0).abs() > 1e-9 {
+            return Err(format!("weights must sum to 1, got {total}"));
+        }
+        if components.iter().any(|c| c.sd <= 0.0 || c.weight < 0.0) {
+            return Err("standard deviations must be positive and weights nonnegative".to_string());
+        }
+        if support.0 >= support.1 {
+            return Err("support must be a nondegenerate interval".to_string());
+        }
+        Ok(Self {
+            components,
+            support,
+        })
+    }
+
+    /// The bimodal mixture used for the kernel comparison (Figures 5–6):
+    /// `0.5·N(0.35, 0.02²) + 0.5·N(0.65, 0.02²)` on `[0, 1]`, whose modes
+    /// peak near 10 as in the paper's plots.
+    pub fn paper_bimodal() -> Self {
+        Self::new(
+            vec![
+                GaussianComponent {
+                    weight: 0.5,
+                    mean: 0.35,
+                    sd: 0.02,
+                },
+                GaussianComponent {
+                    weight: 0.5,
+                    mean: 0.65,
+                    sd: 0.02,
+                },
+            ],
+            (0.0, 1.0),
+        )
+        .expect("paper parameters are valid")
+    }
+
+    /// The component list.
+    pub fn components(&self) -> &[GaussianComponent] {
+        &self.components
+    }
+}
+
+impl TargetDensity for GaussianMixture {
+    fn name(&self) -> &'static str {
+        "gaussian-mixture"
+    }
+
+    fn support(&self) -> (f64, f64) {
+        self.support
+    }
+
+    fn pdf(&self, x: f64) -> f64 {
+        if x < self.support.0 || x > self.support.1 {
+            return 0.0;
+        }
+        self.components
+            .iter()
+            .map(|c| c.weight * normal_pdf((x - c.mean) / c.sd) / c.sd)
+            .sum()
+    }
+
+    fn cdf(&self, x: f64) -> f64 {
+        if x <= self.support.0 {
+            return 0.0;
+        }
+        if x >= self.support.1 {
+            return 1.0;
+        }
+        self.components
+            .iter()
+            .map(|c| c.weight * normal_cdf((x - c.mean) / c.sd))
+            .sum()
+    }
+}
+
+/// The "claw" density of Marron & Wand: a standard-normal-like body with
+/// five narrow claws. Rescaled to `[0, 1]`; included as an additional hard
+/// test case beyond the paper's two targets.
+#[derive(Debug, Clone)]
+pub struct ClawDensity {
+    mixture: GaussianMixture,
+}
+
+impl Default for ClawDensity {
+    fn default() -> Self {
+        // Claw on the real line: 0.5·N(0,1) + Σ_{k=0..4} 0.1·N(k/2 − 1, 0.1²),
+        // mapped to [0,1] through x ↦ (x + 3.2)/6.4.
+        let map = |m: f64| (m + 3.2) / 6.4;
+        let scale = 1.0 / 6.4;
+        let mut comps = vec![GaussianComponent {
+            weight: 0.5,
+            mean: map(0.0),
+            sd: scale,
+        }];
+        for k in 0..5 {
+            comps.push(GaussianComponent {
+                weight: 0.1,
+                mean: map(k as f64 / 2.0 - 1.0),
+                sd: 0.1 * scale,
+            });
+        }
+        Self {
+            mixture: GaussianMixture::new(comps, (0.0, 1.0)).expect("claw parameters are valid"),
+        }
+    }
+}
+
+impl TargetDensity for ClawDensity {
+    fn name(&self) -> &'static str {
+        "claw"
+    }
+    fn support(&self) -> (f64, f64) {
+        self.mixture.support()
+    }
+    fn pdf(&self, x: f64) -> f64 {
+        self.mixture.pdf(x)
+    }
+    fn cdf(&self, x: f64) -> f64 {
+        self.mixture.cdf(x)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn integral_of_pdf(d: &dyn TargetDensity) -> f64 {
+        let (a, b) = d.support();
+        let steps = 200_000;
+        let dx = (b - a) / steps as f64;
+        (0..steps)
+            .map(|i| d.pdf(a + (i as f64 + 0.5) * dx) * dx)
+            .sum()
+    }
+
+    fn check_cdf_consistency(d: &dyn TargetDensity) {
+        let (a, b) = d.support();
+        // cdf should match the integral of the pdf at several points.
+        for frac in [0.1, 0.25, 0.5, 0.8, 0.95] {
+            let x = a + (b - a) * frac;
+            let steps = 50_000;
+            let dx = (x - a) / steps as f64;
+            let integral: f64 = (0..steps)
+                .map(|i| d.pdf(a + (i as f64 + 0.5) * dx) * dx)
+                .sum();
+            assert!(
+                (integral - d.cdf(x)).abs() < 2e-3,
+                "{}: cdf({x}) = {} but ∫pdf = {}",
+                d.name(),
+                d.cdf(x),
+                integral
+            );
+        }
+    }
+
+    fn check_quantile_inverts(d: &dyn TargetDensity) {
+        for &u in &[0.01, 0.1, 0.33, 0.5, 0.77, 0.9, 0.999] {
+            let x = d.quantile(u);
+            assert!(
+                (d.cdf(x) - u).abs() < 1e-9,
+                "{}: cdf(quantile({u})) = {}",
+                d.name(),
+                d.cdf(x)
+            );
+        }
+    }
+
+    #[test]
+    fn all_densities_integrate_to_one() {
+        let densities: Vec<Box<dyn TargetDensity>> = vec![
+            Box::new(Uniform01),
+            Box::new(SineUniformMixture::paper()),
+            Box::new(GaussianMixture::paper_bimodal()),
+            Box::new(ClawDensity::default()),
+        ];
+        for d in &densities {
+            let mass = integral_of_pdf(d.as_ref());
+            assert!(
+                (mass - 1.0).abs() < 5e-3,
+                "{}: total mass {mass}",
+                d.name()
+            );
+        }
+    }
+
+    #[test]
+    fn cdfs_are_consistent_with_pdfs() {
+        check_cdf_consistency(&Uniform01);
+        check_cdf_consistency(&SineUniformMixture::paper());
+        check_cdf_consistency(&GaussianMixture::paper_bimodal());
+        check_cdf_consistency(&ClawDensity::default());
+    }
+
+    #[test]
+    fn quantiles_invert_cdfs() {
+        check_quantile_inverts(&Uniform01);
+        check_quantile_inverts(&SineUniformMixture::paper());
+        check_quantile_inverts(&GaussianMixture::paper_bimodal());
+        check_quantile_inverts(&ClawDensity::default());
+    }
+
+    #[test]
+    fn sine_uniform_has_a_jump_at_the_cutoff() {
+        let d = SineUniformMixture::paper();
+        let c = d.cutoff();
+        let left = d.pdf(c - 1e-9);
+        let right = d.pdf(c + 1e-9);
+        assert!(left - right > 0.5, "jump too small: {left} -> {right}");
+        assert!((left - right - d.jump_size()).abs() < 1e-6);
+        // Range of the density matches the plotted scale (≈ [0.7, 1.4]).
+        assert!(d.sup_norm() < 1.6 && d.sup_norm() > 1.2);
+    }
+
+    #[test]
+    fn sine_uniform_rejects_bad_parameters() {
+        assert!(SineUniformMixture::new(0.0, 0.5).is_err());
+        assert!(SineUniformMixture::new(1.5, 0.5).is_err());
+        assert!(SineUniformMixture::new(0.5, 0.0).is_err());
+        assert!(SineUniformMixture::new(0.5, 1.5).is_err());
+    }
+
+    #[test]
+    fn paper_bimodal_has_two_sharp_modes() {
+        let d = GaussianMixture::paper_bimodal();
+        let peak = d.sup_norm();
+        assert!(peak > 8.0 && peak < 12.0, "mode height {peak}");
+        // A local minimum between the modes well below the peaks.
+        assert!(d.pdf(0.5) < 0.1 * peak);
+    }
+
+    #[test]
+    fn gaussian_mixture_validation() {
+        let bad_weights = GaussianMixture::new(
+            vec![GaussianComponent {
+                weight: 0.7,
+                mean: 0.5,
+                sd: 0.1,
+            }],
+            (0.0, 1.0),
+        );
+        assert!(bad_weights.is_err());
+        let bad_sd = GaussianMixture::new(
+            vec![GaussianComponent {
+                weight: 1.0,
+                mean: 0.5,
+                sd: 0.0,
+            }],
+            (0.0, 1.0),
+        );
+        assert!(bad_sd.is_err());
+        assert!(GaussianMixture::new(vec![], (0.0, 1.0)).is_err());
+        let bad_support = GaussianMixture::new(
+            vec![GaussianComponent {
+                weight: 1.0,
+                mean: 0.5,
+                sd: 0.1,
+            }],
+            (1.0, 0.0),
+        );
+        assert!(bad_support.is_err());
+    }
+
+    #[test]
+    fn quantile_clamps_boundary_inputs() {
+        let d = SineUniformMixture::paper();
+        assert_eq!(d.quantile(0.0), 0.0);
+        assert_eq!(d.quantile(1.0), 1.0);
+        assert_eq!(d.quantile(-0.3), 0.0);
+        assert_eq!(d.quantile(2.0), 1.0);
+    }
+}

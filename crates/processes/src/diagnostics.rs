@@ -1,0 +1,245 @@
+//! Empirical dependence diagnostics: autocovariances of (functions of) the
+//! observations and fits of the covariance-decay bound
+//! `ρ(r) ≤ C₀ exp(−a r^b)` of assumption (D2).
+//!
+//! The theoretical threshold constant of Theorem 3.1 depends on the unknown
+//! dependence constants `(a, b, C₀)`; these diagnostics estimate them from a
+//! sample so that experiments can (i) check whether a process plausibly
+//! satisfies (D) and (ii) feed an estimated constant into the theoretical
+//! threshold rule as an alternative to cross-validation.
+
+/// Empirical autocovariances `γ̂(r)` of `h(X_t)` for `r = 0, …, max_lag`.
+///
+/// Uses the biased (divide by `n`) estimator, which is the standard choice
+/// for guaranteed positive semi-definiteness.
+pub fn autocovariances(data: &[f64], max_lag: usize) -> Vec<f64> {
+    let n = data.len();
+    assert!(n > 1, "need at least two observations");
+    let mean = data.iter().sum::<f64>() / n as f64;
+    (0..=max_lag.min(n - 1))
+        .map(|r| {
+            (0..n - r)
+                .map(|i| (data[i] - mean) * (data[i + r] - mean))
+                .sum::<f64>()
+                / n as f64
+        })
+        .collect()
+}
+
+/// Empirical autocorrelations `γ̂(r)/γ̂(0)`.
+pub fn autocorrelations(data: &[f64], max_lag: usize) -> Vec<f64> {
+    let cov = autocovariances(data, max_lag);
+    let var = cov[0];
+    cov.iter().map(|c| c / var).collect()
+}
+
+/// The result of fitting a decay model to the absolute autocovariances.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DecayFit {
+    /// Multiplicative constant `C₀` of the fit.
+    pub c0: f64,
+    /// Rate parameter: `a` for the exponential model, the exponent `θ` for
+    /// the polynomial model.
+    pub rate: f64,
+    /// Residual sum of squares of the fit in log space (smaller = better).
+    pub residual: f64,
+}
+
+/// Fits the exponential-decay model `|γ(r)| ≈ C₀ exp(−a r^b)` (with `b`
+/// fixed, typically 1) by least squares on `log |γ(r)|`.
+///
+/// Lags with `|γ(r)|` below `1e-12·γ(0)` are dropped (they are numerically
+/// zero and would destabilise the log fit). Returns `None` if fewer than two
+/// usable lags remain.
+pub fn fit_exponential_decay(covariances: &[f64], b: f64) -> Option<DecayFit> {
+    fit_log_linear(covariances, |r| (r as f64).powf(b))
+}
+
+/// Fits the polynomial-decay model `|γ(r)| ≈ C₀ r^{−θ}` by least squares on
+/// `log |γ(r)|` against `log r` (lags `r ≥ 1`).
+pub fn fit_polynomial_decay(covariances: &[f64]) -> Option<DecayFit> {
+    fit_log_linear(covariances, |r| (r as f64).ln())
+}
+
+fn fit_log_linear(covariances: &[f64], regressor: impl Fn(usize) -> f64) -> Option<DecayFit> {
+    if covariances.len() < 3 {
+        return None;
+    }
+    let floor = covariances[0].abs() * 1e-12;
+    let points: Vec<(f64, f64)> = covariances
+        .iter()
+        .enumerate()
+        .skip(1)
+        .filter(|(_, &c)| c.abs() > floor)
+        .map(|(r, &c)| (regressor(r), c.abs().ln()))
+        .collect();
+    if points.len() < 2 {
+        return None;
+    }
+    let n = points.len() as f64;
+    let sx: f64 = points.iter().map(|(x, _)| x).sum();
+    let sy: f64 = points.iter().map(|(_, y)| y).sum();
+    let sxx: f64 = points.iter().map(|(x, _)| x * x).sum();
+    let sxy: f64 = points.iter().map(|(x, y)| x * y).sum();
+    let denom = n * sxx - sx * sx;
+    if denom.abs() < 1e-12 {
+        return None;
+    }
+    let slope = (n * sxy - sx * sy) / denom;
+    let intercept = (sy - slope * sx) / n;
+    let residual: f64 = points
+        .iter()
+        .map(|(x, y)| {
+            let e = y - intercept - slope * x;
+            e * e
+        })
+        .sum();
+    Some(DecayFit {
+        c0: intercept.exp(),
+        rate: -slope,
+        residual,
+    })
+}
+
+/// Summary verdict comparing exponential against polynomial covariance
+/// decay for a sample, used to flag processes that (empirically) violate
+/// assumption (D).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DependenceSummary {
+    /// Exponential fit `C₀ e^{−a r}` (if available).
+    pub exponential: Option<DecayFit>,
+    /// Polynomial fit `C₀ r^{−θ}` (if available).
+    pub polynomial: Option<DecayFit>,
+    /// Lag-1 autocorrelation, a crude overall dependence strength measure.
+    pub lag_one_correlation: f64,
+}
+
+impl DependenceSummary {
+    /// Computes the summary from a sample using lags up to `max_lag`.
+    pub fn from_sample(data: &[f64], max_lag: usize) -> Self {
+        let cov = autocovariances(data, max_lag);
+        let lag_one_correlation = if cov[0] > 0.0 && cov.len() > 1 {
+            cov[1] / cov[0]
+        } else {
+            0.0
+        };
+        Self {
+            exponential: fit_exponential_decay(&cov, 1.0),
+            polynomial: fit_polynomial_decay(&cov),
+            lag_one_correlation,
+        }
+    }
+
+    /// Heuristic check: true when the exponential model fits at least as
+    /// well as the polynomial one (suggesting assumption (D) is plausible).
+    pub fn prefers_exponential_decay(&self) -> bool {
+        match (self.exponential, self.polynomial) {
+            (Some(e), Some(p)) => e.residual <= p.residual,
+            (Some(_), None) => true,
+            _ => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::affine::Ar1Process;
+    use crate::lsv::LsvMapProcess;
+    use crate::process::StationaryProcess;
+    use crate::rng::seeded_rng;
+
+    #[test]
+    fn autocovariance_of_iid_noise_is_near_zero_at_positive_lags() {
+        let mut rng = seeded_rng(2);
+        let data: Vec<f64> = (0..100_000)
+            .map(|_| crate::rng::standard_normal(&mut rng))
+            .collect();
+        let cov = autocovariances(&data, 5);
+        assert!((cov[0] - 1.0).abs() < 0.02);
+        for c in &cov[1..] {
+            assert!(c.abs() < 0.02, "lag covariance {c}");
+        }
+    }
+
+    #[test]
+    fn autocorrelation_of_ar1_decays_geometrically() {
+        let p = Ar1Process::new(0.7, 1.0).unwrap();
+        let mut rng = seeded_rng(5);
+        let data = p.simulate(200_000, &mut rng);
+        let acf = autocorrelations(&data, 6);
+        for (r, rho) in acf.iter().enumerate().skip(1).take(4) {
+            assert!(
+                (rho - 0.7_f64.powi(r as i32)).abs() < 0.03,
+                "lag {r}: {rho}"
+            );
+        }
+    }
+
+    #[test]
+    fn exponential_fit_recovers_known_rate() {
+        // Synthetic exact covariances C₀ e^{-a r}.
+        let cov: Vec<f64> = (0..20).map(|r| 2.0 * (-0.4 * r as f64).exp()).collect();
+        let fit = fit_exponential_decay(&cov, 1.0).unwrap();
+        assert!((fit.rate - 0.4).abs() < 1e-9, "rate {}", fit.rate);
+        assert!((fit.c0 - 2.0).abs() < 1e-9, "c0 {}", fit.c0);
+        assert!(fit.residual < 1e-16);
+    }
+
+    #[test]
+    fn polynomial_fit_recovers_known_exponent() {
+        let cov: Vec<f64> = (0..20)
+            .map(|r| if r == 0 { 3.0 } else { 3.0 * (r as f64).powf(-1.5) })
+            .collect();
+        let fit = fit_polynomial_decay(&cov).unwrap();
+        assert!((fit.rate - 1.5).abs() < 1e-9);
+        assert!((fit.c0 - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fits_handle_degenerate_inputs() {
+        assert!(fit_exponential_decay(&[1.0, 0.0], 1.0).is_none());
+        assert!(fit_polynomial_decay(&[1.0]).is_none());
+        // All zero at positive lags -> not fittable.
+        assert!(fit_exponential_decay(&[1.0, 0.0, 0.0, 0.0], 1.0).is_none());
+    }
+
+    #[test]
+    fn ar1_prefers_exponential_decay_model() {
+        let p = Ar1Process::new(0.6, 1.0).unwrap();
+        let mut rng = seeded_rng(9);
+        let data = p.simulate(100_000, &mut rng);
+        let summary = DependenceSummary::from_sample(&data, 8);
+        assert!((summary.lag_one_correlation - 0.6).abs() < 0.05);
+        assert!(summary.prefers_exponential_decay());
+    }
+
+    #[test]
+    fn lsv_map_with_large_alpha_prefers_polynomial_decay() {
+        // The intermittent map with α' = 0.9 has very slowly decaying
+        // covariances; the polynomial model should fit at least as well.
+        let p = LsvMapProcess::new(0.9).unwrap();
+        let mut rng = seeded_rng(33);
+        let data = p.simulate(60_000, &mut rng);
+        let summary = DependenceSummary::from_sample(&data, 30);
+        assert!(
+            summary.lag_one_correlation > 0.3,
+            "LSV(0.9) should be strongly dependent, got {}",
+            summary.lag_one_correlation
+        );
+        if let (Some(e), Some(pfit)) = (summary.exponential, summary.polynomial) {
+            assert!(
+                pfit.residual <= e.residual * 1.5,
+                "polynomial fit should be competitive: poly {} vs exp {}",
+                pfit.residual,
+                e.residual
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "need at least two observations")]
+    fn autocovariance_rejects_tiny_samples() {
+        let _ = autocovariances(&[1.0], 3);
+    }
+}

@@ -1,0 +1,233 @@
+//! Dynamical-system drivers: Markov chains associated with expanding maps
+//! through time reversal (Section 4.2 and Case 2 of Section 5.2).
+//!
+//! These processes are the motivating examples of the paper: their mixing
+//! coefficients do **not** tend to zero (Andrews 1984), yet they satisfy the
+//! φ̃-weak-dependence conditions of Proposition 4.1 and therefore
+//! assumption (D), so the thresholded wavelet estimator remains
+//! near-minimax.
+
+use crate::rng::open_uniform;
+use crate::transforms::UniformDriver;
+use rand::RngCore;
+
+/// Case 2 of the paper: the logistic full map `T(x) = 4x(1 − x)`.
+///
+/// Its invariant distribution is the arcsine law with cdf
+/// `G(x) = (2/π) arcsin(√x)`. A stationary orbit is produced by drawing
+/// `Y_1` from the invariant law (`Y_1 = G⁻¹(U_1)`) and iterating
+/// `Y_{i+1} = T(Y_i)`; the uniformised sequence is `U_i = G(Y_i)`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LogisticMapDriver;
+
+impl LogisticMapDriver {
+    /// The map itself: `T(x) = 4x(1 − x)`.
+    pub fn map(x: f64) -> f64 {
+        4.0 * x * (1.0 - x)
+    }
+
+    /// Invariant cdf `G(x) = (2/π) arcsin(√x)` of the arcsine law.
+    pub fn invariant_cdf(x: f64) -> f64 {
+        if x <= 0.0 {
+            0.0
+        } else if x >= 1.0 {
+            1.0
+        } else {
+            2.0 / std::f64::consts::PI * x.sqrt().asin()
+        }
+    }
+
+    /// Invariant quantile `G⁻¹(u) = sin²(πu/2)`.
+    pub fn invariant_quantile(u: f64) -> f64 {
+        let s = (std::f64::consts::FRAC_PI_2 * u.clamp(0.0, 1.0)).sin();
+        s * s
+    }
+
+    /// Invariant density `g(x) = 1/(π √(x(1−x)))`.
+    pub fn invariant_pdf(x: f64) -> f64 {
+        if x <= 0.0 || x >= 1.0 {
+            0.0
+        } else {
+            1.0 / (std::f64::consts::PI * (x * (1.0 - x)).sqrt())
+        }
+    }
+}
+
+impl UniformDriver for LogisticMapDriver {
+    fn name(&self) -> String {
+        "logistic-map".to_string()
+    }
+
+    fn simulate_uniform(&self, n: usize, rng: &mut dyn RngCore) -> Vec<f64> {
+        let mut out = Vec::with_capacity(n);
+        let mut y = Self::invariant_quantile(open_uniform(rng));
+        for _ in 0..n {
+            out.push(Self::invariant_cdf(y));
+            y = Self::map(y);
+            // Floating-point orbits of the full logistic map can collapse
+            // onto the fixed point 0 (or leave [0,1] by rounding); reseed
+            // from the invariant law when that happens, which occurs with
+            // probability ~0 per step and does not alter the marginal.
+            if !(1e-15..=1.0 - 1e-15).contains(&y) {
+                y = Self::invariant_quantile(open_uniform(rng));
+            }
+        }
+        out
+    }
+}
+
+/// The doubling-map chain behind Andrews' (1984) AR(1) example
+/// (equation (1.1) of the paper): `X_t = (X_{t-1} + ξ_t)/2` with Bernoulli
+/// innovations.
+///
+/// Its stationary marginal is Uniform(0, 1) (the binary expansion of `X_t`
+/// is an iid fair-coin sequence), its α-mixing coefficients do not vanish,
+/// and the time-reversed chain is the doubling map
+/// `T(x) = 2x mod 1` — the textbook expanding map.
+#[derive(Debug, Clone, Copy)]
+pub struct DoublingMapDriver {
+    /// Number of warm-up coin flips used to draw `X_1` from (a 2⁻⁵³-accurate
+    /// approximation of) the stationary law.
+    warmup_bits: usize,
+}
+
+impl Default for DoublingMapDriver {
+    fn default() -> Self {
+        Self { warmup_bits: 53 }
+    }
+}
+
+impl DoublingMapDriver {
+    /// Creates the driver with a custom number of warm-up bits (≥ 1).
+    pub fn with_warmup_bits(warmup_bits: usize) -> Self {
+        Self {
+            warmup_bits: warmup_bits.max(1),
+        }
+    }
+}
+
+impl UniformDriver for DoublingMapDriver {
+    fn name(&self) -> String {
+        "doubling-map".to_string()
+    }
+
+    fn simulate_uniform(&self, n: usize, rng: &mut dyn RngCore) -> Vec<f64> {
+        // Start from the stationary law: X_0 = Σ_{k≥1} ξ_k 2^{-k}, truncated
+        // at `warmup_bits` coin flips (≈ machine precision by default).
+        let mut x = 0.0_f64;
+        for k in 1..=self.warmup_bits {
+            x += crate::rng::bernoulli(rng, 0.5) * 0.5_f64.powi(k as i32);
+        }
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            x = 0.5 * (x + crate::rng::bernoulli(rng, 0.5));
+            out.push(x);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::seeded_rng;
+
+    #[test]
+    fn logistic_map_fixed_points() {
+        assert_eq!(LogisticMapDriver::map(0.0), 0.0);
+        assert!((LogisticMapDriver::map(0.75) - 0.75).abs() < 1e-15);
+        assert!((LogisticMapDriver::map(0.5) - 1.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn invariant_cdf_and_quantile_are_inverse() {
+        for &u in &[0.05, 0.2, 0.5, 0.77, 0.95] {
+            let x = LogisticMapDriver::invariant_quantile(u);
+            assert!((LogisticMapDriver::invariant_cdf(x) - u).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn invariant_law_is_preserved_by_the_map() {
+        // If Y ~ arcsine then T(Y) ~ arcsine: check via the change of
+        // variables at a grid of points using the empirical distribution.
+        let mut rng = seeded_rng(4);
+        let n = 100_000;
+        let sample = LogisticMapDriver.simulate_uniform(n, &mut rng);
+        // The uniformised values must be marginally uniform.
+        for &q in &[0.1, 0.3, 0.5, 0.7, 0.9] {
+            let freq = sample.iter().filter(|&&u| u <= q).count() as f64 / n as f64;
+            assert!((freq - q).abs() < 0.02, "P(U<={q}) = {freq}");
+        }
+    }
+
+    #[test]
+    fn logistic_orbit_is_strongly_dependent() {
+        // Consecutive uniformised values are deterministically linked, so
+        // the lag-1 correlation of the underlying orbit must differ sharply
+        // from the iid case when measured through a nonlinear functional.
+        let mut rng = seeded_rng(11);
+        let n = 20_000;
+        let u = LogisticMapDriver.simulate_uniform(n, &mut rng);
+        // For the logistic map, Y_{i+1} is a deterministic function of Y_i;
+        // the conditional variance of U_{i+1} given U_i is therefore 0.
+        // Estimate it crudely by binning.
+        let mut bins: Vec<Vec<f64>> = vec![Vec::new(); 50];
+        for w in u.windows(2) {
+            let bin = ((w[0] * 50.0) as usize).min(49);
+            bins[bin].push(w[1]);
+        }
+        let mut pooled_var = 0.0;
+        let mut count = 0.0;
+        for bin in bins.iter().filter(|b| b.len() > 10) {
+            let mean = bin.iter().sum::<f64>() / bin.len() as f64;
+            pooled_var += bin.iter().map(|v| (v - mean).powi(2)).sum::<f64>();
+            count += bin.len() as f64;
+        }
+        let conditional_var = pooled_var / count;
+        // Uniform iid would give conditional variance 1/12 ≈ 0.083; the
+        // deterministic link makes it far smaller (only bin width remains).
+        assert!(
+            conditional_var < 0.03,
+            "conditional variance {conditional_var} looks independent"
+        );
+    }
+
+    #[test]
+    fn doubling_map_is_marginally_uniform() {
+        let mut rng = seeded_rng(7);
+        let n = 100_000;
+        let sample = DoublingMapDriver::default().simulate_uniform(n, &mut rng);
+        let mean = sample.iter().sum::<f64>() / n as f64;
+        let var = sample.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+        assert!((var - 1.0 / 12.0).abs() < 0.005, "variance {var}");
+    }
+
+    #[test]
+    fn doubling_map_has_positive_lag_one_correlation() {
+        // Corr(X_t, X_{t+1}) = 1/2 for the stationary AR(1) with coefficient
+        // 1/2.
+        let mut rng = seeded_rng(13);
+        let n = 200_000;
+        let x = DoublingMapDriver::default().simulate_uniform(n, &mut rng);
+        let mean = x.iter().sum::<f64>() / n as f64;
+        let var = x.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / n as f64;
+        let cov = x
+            .windows(2)
+            .map(|w| (w[0] - mean) * (w[1] - mean))
+            .sum::<f64>()
+            / (n - 1) as f64;
+        let corr = cov / var;
+        assert!((corr - 0.5).abs() < 0.02, "lag-1 correlation {corr}");
+    }
+
+    #[test]
+    fn custom_warmup_is_respected() {
+        let driver = DoublingMapDriver::with_warmup_bits(0);
+        // Even with minimal warm-up the values stay in [0, 1].
+        let mut rng = seeded_rng(2);
+        let sample = driver.simulate_uniform(1000, &mut rng);
+        assert!(sample.iter().all(|&x| (0.0..=1.0).contains(&x)));
+    }
+}

@@ -1,0 +1,159 @@
+//! LARCH(∞) processes (Section 4.4.2).
+//!
+//! The Linear ARCH model of Giraitis, Robinson & Surgailis is the solution
+//! of `X_t = ξ_t (a + Σ_{j≥1} a_j X_{t-j})` with iid centred innovations.
+//! With geometrically decaying coefficients `a_j = K α^j` it satisfies the
+//! λ-weak-dependence condition of Proposition 4.2 with `b' = 1/2`, hence
+//! assumption (D2) with `b = 1/2`.
+
+use crate::process::StationaryProcess;
+use crate::rng::bernoulli;
+use rand::RngCore;
+
+/// A LARCH(∞) process with geometric coefficients and centred Rademacher/2
+/// innovations (`ξ_t ∈ {−1/2, +1/2}`), which keep the process bounded.
+#[derive(Debug, Clone, Copy)]
+pub struct LarchProcess {
+    intercept: f64,
+    coefficient_scale: f64,
+    decay: f64,
+    memory: usize,
+    burn_in: usize,
+}
+
+impl LarchProcess {
+    /// Creates the process `X_t = ξ_t (a + Σ_{j≥1} K α^j X_{t-j})`.
+    ///
+    /// Stationarity of the L²-solution requires
+    /// `‖ξ‖₂ · Σ_j |a_j| = (1/2) · K α/(1−α) < 1`; the constructor enforces
+    /// it.
+    pub fn new(intercept: f64, coefficient_scale: f64, decay: f64) -> Result<Self, String> {
+        if !(0.0 < decay && decay < 1.0) {
+            return Err(format!("decay must lie in (0, 1), got {decay}"));
+        }
+        if coefficient_scale < 0.0 {
+            return Err(format!(
+                "coefficient scale must be nonnegative, got {coefficient_scale}"
+            ));
+        }
+        let l1 = coefficient_scale * decay / (1.0 - decay);
+        if 0.5 * l1 >= 1.0 {
+            return Err(format!(
+                "contraction condition violated: (1/2)·K·α/(1−α) = {} ≥ 1",
+                0.5 * l1
+            ));
+        }
+        // Memory long enough that α^memory < 1e-14.
+        let memory = ((1e-14_f64).ln() / decay.ln()).ceil() as usize + 1;
+        Ok(Self {
+            intercept,
+            coefficient_scale,
+            decay,
+            memory,
+            burn_in: 4 * memory,
+        })
+    }
+
+    /// The paper-style default: `a = 1`, `a_j = 0.4 · 0.5^j`.
+    pub fn default_paper() -> Self {
+        Self::new(1.0, 0.4, 0.5).expect("default parameters satisfy the contraction condition")
+    }
+
+    /// Coefficient `a_j`.
+    pub fn coefficient(&self, j: usize) -> f64 {
+        if j == 0 {
+            0.0
+        } else {
+            self.coefficient_scale * self.decay.powi(j as i32)
+        }
+    }
+}
+
+impl StationaryProcess for LarchProcess {
+    fn name(&self) -> String {
+        format!(
+            "larch(a={}, K={}, α={})",
+            self.intercept, self.coefficient_scale, self.decay
+        )
+    }
+
+    fn simulate(&self, n: usize, rng: &mut dyn RngCore) -> Vec<f64> {
+        let total = n + self.burn_in;
+        let mut x = Vec::with_capacity(total);
+        for _t in 0..total {
+            let mut linear = self.intercept;
+            for j in 1..=self.memory.min(x.len()) {
+                linear += self.coefficient(j) * x[x.len() - j];
+            }
+            let xi = bernoulli(rng, 0.5) - 0.5;
+            x.push(xi * linear);
+        }
+        x.split_off(self.burn_in)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::seeded_rng;
+
+    #[test]
+    fn construction_enforces_contraction() {
+        assert!(LarchProcess::new(1.0, 0.4, 0.5).is_ok());
+        assert!(LarchProcess::new(1.0, 5.0, 0.9).is_err());
+        assert!(LarchProcess::new(1.0, -0.1, 0.5).is_err());
+        assert!(LarchProcess::new(1.0, 0.4, 1.0).is_err());
+    }
+
+    #[test]
+    fn coefficients_decay_geometrically() {
+        let p = LarchProcess::default_paper();
+        assert_eq!(p.coefficient(0), 0.0);
+        assert!((p.coefficient(1) - 0.2).abs() < 1e-15);
+        assert!((p.coefficient(3) - 0.05).abs() < 1e-15);
+    }
+
+    #[test]
+    fn process_is_centred_and_bounded() {
+        let p = LarchProcess::default_paper();
+        let mut rng = seeded_rng(3);
+        let n = 100_000;
+        let x = p.simulate(n, &mut rng);
+        assert_eq!(x.len(), n);
+        let mean = x.iter().sum::<f64>() / n as f64;
+        // E X_t = E ξ_t · E(a + …) = 0 since ξ is centred and independent of
+        // the past.
+        assert!(mean.abs() < 0.01, "mean {mean}");
+        // With ξ ∈ {±1/2} and the contraction condition, |X_t| is bounded by
+        // a/(2 − ‖a‖) ≈ 0.57… < 1.
+        assert!(x.iter().all(|v| v.abs() < 1.0));
+    }
+
+    #[test]
+    fn squared_process_is_positively_autocorrelated() {
+        // Volatility clustering: X_t² inherits dependence through the linear
+        // form even though X_t itself is white noise.
+        let p = LarchProcess::default_paper();
+        let mut rng = seeded_rng(19);
+        let x = p.simulate(200_000, &mut rng);
+        let sq: Vec<f64> = x.iter().map(|v| v * v).collect();
+        let n = sq.len();
+        let mean = sq.iter().sum::<f64>() / n as f64;
+        let var = sq.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / n as f64;
+        let cov1 = sq
+            .windows(2)
+            .map(|w| (w[0] - mean) * (w[1] - mean))
+            .sum::<f64>()
+            / (n - 1) as f64;
+        assert!(cov1 / var > 0.05, "squared lag-1 correlation {}", cov1 / var);
+        // The raw series is (approximately) uncorrelated.
+        let mean_x = x.iter().sum::<f64>() / n as f64;
+        let var_x = x.iter().map(|v| (v - mean_x).powi(2)).sum::<f64>() / n as f64;
+        let cov_x = x
+            .windows(2)
+            .map(|w| (w[0] - mean_x) * (w[1] - mean_x))
+            .sum::<f64>()
+            / (n - 1) as f64;
+        assert!((cov_x / var_x).abs() < 0.02);
+    }
+}

@@ -1,0 +1,69 @@
+//! # wavedens-processes
+//!
+//! Simulators for the weakly dependent time series studied in Gannaz &
+//! Wintenberger, *Adaptive density estimation under weak dependence*, plus
+//! the target marginal densities of the paper's simulation study and
+//! empirical dependence diagnostics.
+//!
+//! The crate provides:
+//!
+//! * [`densities`] — exact pdf/cdf/quantile of the target marginals
+//!   (sine+uniform mixture with a jump, bimodal Gaussian mixture, claw, …);
+//! * [`transforms`] — the `X_i = F⁻¹(G(Y_i))` marginal-transform machinery
+//!   and the iid driver (Case 1);
+//! * [`dynamical`] — expanding-map chains: the logistic map (Case 2) and
+//!   the doubling map behind Andrews' AR(1) example;
+//! * [`noncausal_ma`] — the non-causal infinite moving average of Case 3,
+//!   both as an exact truncated MA and via the paper's fixed-point scheme;
+//! * [`bernoulli_shift`], [`larch`], [`affine`] — the λ-weakly dependent
+//!   model classes of Section 4.4 (infinite MA, LARCH(∞), AR/ARCH/GARCH);
+//! * [`lsv`] — Liverani–Saussol–Vaienti intermittent maps, the
+//!   counter-example family of Section 5.5 where assumption (D) fails;
+//! * [`cases`] — the paper's three simulation cases behind one enum;
+//! * [`diagnostics`] — autocovariances and exponential/polynomial decay
+//!   fits for checking assumption (D) empirically.
+//!
+//! ```
+//! use wavedens_processes::{DependenceCase, SineUniformMixture, seeded_rng};
+//!
+//! let target = SineUniformMixture::paper();
+//! let mut rng = seeded_rng(7);
+//! let sample = DependenceCase::ExpandingMap.simulate(&target, 1024, &mut rng);
+//! assert_eq!(sample.len(), 1024);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod affine;
+pub mod bernoulli_shift;
+pub mod cases;
+pub mod densities;
+pub mod diagnostics;
+pub mod dynamical;
+pub mod larch;
+pub mod lsv;
+pub mod noncausal_ma;
+pub mod process;
+pub mod rng;
+pub mod special;
+pub mod transforms;
+
+pub use affine::{Ar1Process, Arch1Process, Garch11Process};
+pub use bernoulli_shift::{InfiniteMovingAverage, Innovation};
+pub use cases::DependenceCase;
+pub use densities::{
+    ClawDensity, GaussianComponent, GaussianMixture, SineUniformMixture, TargetDensity, Uniform01,
+};
+pub use diagnostics::{
+    autocorrelations, autocovariances, fit_exponential_decay, fit_polynomial_decay, DecayFit,
+    DependenceSummary,
+};
+pub use dynamical::{DoublingMapDriver, LogisticMapDriver};
+pub use larch::LarchProcess;
+pub use lsv::LsvMapProcess;
+pub use noncausal_ma::{
+    case3_marginal_cdf, case3_marginal_pdf, FixedPointMaDriver, NonCausalMaDriver,
+};
+pub use process::StationaryProcess;
+pub use rng::{child_rng, seeded_rng, standard_normal};
+pub use transforms::{IidDriver, TransformedProcess, UniformDriver};

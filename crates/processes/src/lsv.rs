@@ -1,0 +1,186 @@
+//! Liverani–Saussol–Vaienti (LSV) intermittent maps: the counter-example
+//! family of Section 5.5 where assumption (D) fails.
+//!
+//! The map
+//!
+//! ```text
+//! T(x) = x (1 + 2^{α'} x^{α'})   for x ∈ [0, 1/2],
+//! T(x) = 2x − 1                  for x ∈ (1/2, 1],
+//! ```
+//!
+//! has a neutral fixed point at 0 for `0 < α' < 1`, which makes covariances
+//! decay only polynomially (order `r^{1 − 1/α'}`), violating the exponential
+//! decay (D2). The invariant density is unknown in closed form, continuous
+//! on `(0, 1]`, and behaves like `x^{-α'}` near 0; Proposition 5.1 shows the
+//! thresholded wavelet estimator cannot be minimax on this family once
+//! `α' ≥ 1/(2α + 1)`.
+
+use crate::process::StationaryProcess;
+use rand::{Rng, RngCore};
+
+/// A Liverani–Saussol–Vaienti intermittent map process.
+#[derive(Debug, Clone, Copy)]
+pub struct LsvMapProcess {
+    alpha: f64,
+    burn_in_factor: usize,
+}
+
+impl LsvMapProcess {
+    /// Creates the process for intermittency parameter `α' ∈ (0, 1)`.
+    pub fn new(alpha: f64) -> Result<Self, String> {
+        if !(0.0 < alpha && alpha < 1.0) {
+            return Err(format!("LSV parameter α' must lie in (0, 1), got {alpha}"));
+        }
+        Ok(Self {
+            alpha,
+            burn_in_factor: 1,
+        })
+    }
+
+    /// The intermittency parameter `α'`.
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+
+    /// Uses a burn-in of `factor · n` iterations before collecting the `n`
+    /// retained observations (the paper uses `factor = 1`: it keeps
+    /// `(Z_{n+1}, …, Z_{2n})`).
+    pub fn with_burn_in_factor(mut self, factor: usize) -> Self {
+        self.burn_in_factor = factor;
+        self
+    }
+
+    /// One application of the map.
+    pub fn map(&self, x: f64) -> f64 {
+        if x <= 0.5 {
+            x * (1.0 + 2f64.powf(self.alpha) * x.powf(self.alpha))
+        } else {
+            2.0 * x - 1.0
+        }
+    }
+
+    /// Theoretical polynomial covariance decay exponent `1 − 1/α'`
+    /// (covariances of Lipschitz observables are of order `r^{1 − 1/α'}`).
+    pub fn covariance_decay_exponent(&self) -> f64 {
+        1.0 - 1.0 / self.alpha
+    }
+}
+
+impl StationaryProcess for LsvMapProcess {
+    fn name(&self) -> String {
+        format!("lsv(α'={})", self.alpha)
+    }
+
+    fn simulate(&self, n: usize, rng: &mut dyn RngCore) -> Vec<f64> {
+        // Start from Lebesgue measure and let the map run towards the
+        // SRB/invariant measure; the system is ergodic with polynomial rate,
+        // so a burn-in of length n (the paper's choice) is retained here.
+        let mut z: f64 = rng.gen_range(1e-12..1.0);
+        let burn_in = self.burn_in_factor * n + 1;
+        for _ in 0..burn_in {
+            z = self.map(z);
+            if z <= 0.0 || z > 1.0 || !z.is_finite() {
+                // Rounding pushed the orbit out of [0, 1]; restart from
+                // Lebesgue (probability ~0 event).
+                z = rng.gen_range(1e-12..1.0);
+            }
+        }
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            z = self.map(z);
+            if z <= 0.0 || z > 1.0 || !z.is_finite() {
+                z = rng.gen_range(1e-12..1.0);
+            }
+            out.push(z);
+        }
+        out
+    }
+
+    fn marginal_support(&self) -> Option<(f64, f64)> {
+        Some((0.0, 1.0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::seeded_rng;
+
+    #[test]
+    fn parameter_validation() {
+        assert!(LsvMapProcess::new(0.5).is_ok());
+        assert!(LsvMapProcess::new(0.0).is_err());
+        assert!(LsvMapProcess::new(1.0).is_err());
+        assert!(LsvMapProcess::new(-0.3).is_err());
+    }
+
+    #[test]
+    fn map_branches_are_correct() {
+        let p = LsvMapProcess::new(0.5).unwrap();
+        // Right branch is the doubling map.
+        assert!((p.map(0.75) - 0.5).abs() < 1e-15);
+        assert!((p.map(1.0) - 1.0).abs() < 1e-15);
+        // Left branch: T(1/2) = 1/2 (1 + 2^α (1/2)^α) = 1/2 · 2 = 1.
+        assert!((p.map(0.5) - 1.0).abs() < 1e-12);
+        // Neutral fixed point at 0: T(x) ≈ x for tiny x.
+        let x = 1e-8;
+        assert!((p.map(x) - x) / x < 1e-3);
+        assert!(p.map(x) > x, "map must push points away from 0");
+    }
+
+    #[test]
+    fn orbit_stays_in_unit_interval() {
+        let p = LsvMapProcess::new(0.7).unwrap();
+        let mut rng = seeded_rng(3);
+        let path = p.simulate(10_000, &mut rng);
+        assert_eq!(path.len(), 10_000);
+        assert!(path.iter().all(|&x| x > 0.0 && x <= 1.0));
+    }
+
+    #[test]
+    fn small_alpha_behaves_roughly_like_doubling_map() {
+        // For α' → 0 the invariant density approaches Lebesgue; the sample
+        // mean should be near 1/2 (it is pulled below 1/2 for larger α').
+        let p = LsvMapProcess::new(0.1).unwrap();
+        let mut rng = seeded_rng(9);
+        let path = p.simulate(100_000, &mut rng);
+        let mean = path.iter().sum::<f64>() / path.len() as f64;
+        assert!((mean - 0.5).abs() < 0.08, "mean {mean}");
+    }
+
+    #[test]
+    fn large_alpha_concentrates_mass_near_zero() {
+        // The invariant density blows up like x^{-α'} near 0, so the
+        // fraction of time spent in [0, 0.1] grows sharply with α'.
+        let mut rng = seeded_rng(12);
+        let frac = |alpha: f64, rng: &mut rand::rngs::StdRng| {
+            let p = LsvMapProcess::new(alpha).unwrap();
+            let path = p.simulate(80_000, rng);
+            path.iter().filter(|&&x| x < 0.1).count() as f64 / path.len() as f64
+        };
+        let low = frac(0.2, &mut rng);
+        let high = frac(0.9, &mut rng);
+        assert!(
+            high > low + 0.1,
+            "mass near zero should grow with α': {low} vs {high}"
+        );
+    }
+
+    #[test]
+    fn covariance_decay_exponent_formula() {
+        let p = LsvMapProcess::new(0.5).unwrap();
+        assert!((p.covariance_decay_exponent() + 1.0).abs() < 1e-12);
+        assert!(LsvMapProcess::new(0.9)
+            .unwrap()
+            .covariance_decay_exponent()
+            .abs()
+            < 0.12);
+    }
+
+    #[test]
+    fn name_and_support_are_reported() {
+        let p = LsvMapProcess::new(0.3).unwrap();
+        assert!(p.name().contains("0.3"));
+        assert_eq!(p.marginal_support(), Some((0.0, 1.0)));
+    }
+}

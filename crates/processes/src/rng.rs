@@ -1,0 +1,120 @@
+//! Random-number helpers shared by all process simulators: deterministic
+//! seeding and standard-normal sampling (the `rand` crate alone does not
+//! ship a normal distribution, so Box–Muller is implemented here).
+
+use rand::rngs::StdRng;
+use rand::{Rng, RngCore, SeedableRng};
+
+/// Creates a reproducible random-number generator from an integer seed.
+///
+/// Every experiment binary derives its per-repetition generators from a
+/// base seed via [`child_rng`], so whole tables are reproducible bit for
+/// bit.
+pub fn seeded_rng(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+/// Derives an independent generator for repetition `index` from a base
+/// seed. Uses SplitMix64-style mixing so neighbouring indices give
+/// uncorrelated streams.
+pub fn child_rng(base_seed: u64, index: u64) -> StdRng {
+    let mut z = base_seed
+        .wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(index.wrapping_add(1)));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^= z >> 31;
+    StdRng::seed_from_u64(z)
+}
+
+/// Draws a uniform variate in the open interval `(0, 1)`, never returning
+/// exactly 0 or 1 (so it can be fed to quantile functions safely).
+pub fn open_uniform(rng: &mut dyn RngCore) -> f64 {
+    loop {
+        let u: f64 = rng.gen();
+        if u > 0.0 && u < 1.0 {
+            return u;
+        }
+    }
+}
+
+/// Draws a standard normal variate by the Box–Muller transform.
+pub fn standard_normal(rng: &mut dyn RngCore) -> f64 {
+    let u1 = open_uniform(rng);
+    let u2: f64 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+/// Draws a normal variate with the given mean and standard deviation.
+pub fn normal(rng: &mut dyn RngCore, mean: f64, sd: f64) -> f64 {
+    mean + sd * standard_normal(rng)
+}
+
+/// Draws a Bernoulli variate in `{0.0, 1.0}` with success probability `p`.
+pub fn bernoulli(rng: &mut dyn RngCore, p: f64) -> f64 {
+    if rng.gen::<f64>() < p {
+        1.0
+    } else {
+        0.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeded_rng_is_reproducible() {
+        let mut a = seeded_rng(42);
+        let mut b = seeded_rng(42);
+        for _ in 0..16 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn child_rngs_differ_across_indices() {
+        let mut a = child_rng(7, 0);
+        let mut b = child_rng(7, 1);
+        let same = (0..32).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert!(same < 2, "child streams look identical");
+    }
+
+    #[test]
+    fn standard_normal_moments_are_plausible() {
+        let mut rng = seeded_rng(1);
+        let n = 200_000;
+        let samples: Vec<f64> = (0..n).map(|_| standard_normal(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.02, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.03, "variance {var}");
+    }
+
+    #[test]
+    fn bernoulli_frequency_matches_probability() {
+        let mut rng = seeded_rng(3);
+        let n = 100_000;
+        let mean = (0..n).map(|_| bernoulli(&mut rng, 0.3)).sum::<f64>() / n as f64;
+        assert!((mean - 0.3).abs() < 0.01, "frequency {mean}");
+    }
+
+    #[test]
+    fn open_uniform_stays_in_open_interval() {
+        let mut rng = seeded_rng(9);
+        for _ in 0..10_000 {
+            let u = open_uniform(&mut rng);
+            assert!(u > 0.0 && u < 1.0);
+        }
+    }
+
+    #[test]
+    fn normal_respects_mean_and_sd() {
+        let mut rng = seeded_rng(11);
+        let n = 100_000;
+        let samples: Vec<f64> = (0..n).map(|_| normal(&mut rng, 2.0, 0.5)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((mean - 2.0).abs() < 0.02);
+        assert!((var.sqrt() - 0.5).abs() < 0.02);
+    }
+}

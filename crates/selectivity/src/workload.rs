@@ -1,0 +1,204 @@
+//! Range queries, workload generation and accuracy evaluation.
+
+use crate::estimators::SelectivityEstimator;
+use rand::{Rng, RngCore};
+
+/// A closed range predicate `lo ≤ X ≤ hi` on the attribute domain `[0, 1]`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RangeQuery {
+    lo: f64,
+    hi: f64,
+}
+
+/// Errors from query/workload construction.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WorkloadError {
+    /// The query bounds are reversed, non-finite or outside `[0, 1]`.
+    InvalidRange {
+        /// Requested lower bound.
+        lo: f64,
+        /// Requested upper bound.
+        hi: f64,
+    },
+    /// The workload generator received an invalid parameter.
+    InvalidParameter(String),
+}
+
+impl std::fmt::Display for WorkloadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WorkloadError::InvalidRange { lo, hi } => {
+                write!(f, "invalid query range [{lo}, {hi}]")
+            }
+            WorkloadError::InvalidParameter(msg) => write!(f, "invalid workload parameter: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for WorkloadError {}
+
+impl RangeQuery {
+    /// Creates a range query; bounds must satisfy `0 ≤ lo ≤ hi ≤ 1`.
+    pub fn new(lo: f64, hi: f64) -> Result<Self, WorkloadError> {
+        if !(lo.is_finite() && hi.is_finite()) || lo > hi || lo < 0.0 || hi > 1.0 {
+            return Err(WorkloadError::InvalidRange { lo, hi });
+        }
+        Ok(Self { lo, hi })
+    }
+
+    /// Lower bound of the range.
+    pub fn lo(&self) -> f64 {
+        self.lo
+    }
+
+    /// Upper bound of the range.
+    pub fn hi(&self) -> f64 {
+        self.hi
+    }
+
+    /// Width of the range.
+    pub fn width(&self) -> f64 {
+        self.hi - self.lo
+    }
+}
+
+/// Random workload generator: query centres uniform on `[0, 1]`, widths
+/// uniform on `[min_width, max_width]`, clipped to the domain.
+#[derive(Debug, Clone, Copy)]
+pub struct WorkloadGenerator {
+    min_width: f64,
+    max_width: f64,
+}
+
+impl WorkloadGenerator {
+    /// Creates a generator with widths in `[min_width, max_width] ⊆ (0, 1]`.
+    pub fn new(min_width: f64, max_width: f64) -> Result<Self, WorkloadError> {
+        if !(0.0 < min_width && min_width <= max_width && max_width <= 1.0) {
+            return Err(WorkloadError::InvalidParameter(format!(
+                "need 0 < min_width ≤ max_width ≤ 1, got [{min_width}, {max_width}]"
+            )));
+        }
+        Ok(Self {
+            min_width,
+            max_width,
+        })
+    }
+
+    /// A typical analytical workload: ranges covering 5 % to 30 % of the
+    /// domain.
+    pub fn analytical() -> Self {
+        Self::new(0.05, 0.3).expect("static parameters are valid")
+    }
+
+    /// Draws one query.
+    pub fn draw(&self, rng: &mut dyn RngCore) -> RangeQuery {
+        let width = rng.gen_range(self.min_width..=self.max_width);
+        let centre = rng.gen_range(0.0..1.0);
+        let lo = (centre - width / 2.0).max(0.0);
+        let hi = (centre + width / 2.0).min(1.0);
+        RangeQuery { lo, hi }
+    }
+
+    /// Draws a whole workload of `count` queries.
+    pub fn draw_many(&self, count: usize, rng: &mut dyn RngCore) -> Vec<RangeQuery> {
+        (0..count).map(|_| self.draw(rng)).collect()
+    }
+}
+
+/// Accuracy summary of a selectivity estimator against ground truth over a
+/// workload.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WorkloadSummary {
+    /// Number of queries evaluated.
+    pub queries: usize,
+    /// Mean absolute error of the selectivity estimates.
+    pub mean_absolute_error: f64,
+    /// Maximum absolute error.
+    pub max_absolute_error: f64,
+    /// Mean relative error, with the denominator floored at `1/n_ref` where
+    /// `n_ref = 1000` to avoid division blow-ups on near-empty ranges.
+    pub mean_relative_error: f64,
+}
+
+/// Evaluates an estimator against exact selectivities over a workload.
+pub fn evaluate_workload(
+    estimator: &dyn SelectivityEstimator,
+    truth: &dyn SelectivityEstimator,
+    workload: &[RangeQuery],
+) -> WorkloadSummary {
+    let mut abs_sum = 0.0;
+    let mut abs_max = 0.0_f64;
+    let mut rel_sum = 0.0;
+    for query in workload {
+        let est = estimator.estimate(query);
+        let exact = truth.estimate(query);
+        let err = (est - exact).abs();
+        abs_sum += err;
+        abs_max = abs_max.max(err);
+        rel_sum += err / exact.max(1e-3);
+    }
+    let n = workload.len().max(1) as f64;
+    WorkloadSummary {
+        queries: workload.len(),
+        mean_absolute_error: abs_sum / n,
+        max_absolute_error: abs_max,
+        mean_relative_error: rel_sum / n,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::estimators::EmpiricalSelectivity;
+    use wavedens_processes::seeded_rng;
+
+    #[test]
+    fn range_query_validation() {
+        assert!(RangeQuery::new(0.2, 0.8).is_ok());
+        assert!(RangeQuery::new(0.8, 0.2).is_err());
+        assert!(RangeQuery::new(-0.1, 0.5).is_err());
+        assert!(RangeQuery::new(0.1, 1.5).is_err());
+        assert!(RangeQuery::new(f64::NAN, 0.5).is_err());
+        let q = RangeQuery::new(0.25, 0.75).unwrap();
+        assert_eq!(q.width(), 0.5);
+        assert_eq!(q.lo(), 0.25);
+        assert_eq!(q.hi(), 0.75);
+    }
+
+    #[test]
+    fn generator_respects_width_bounds() {
+        let gen = WorkloadGenerator::new(0.1, 0.2).unwrap();
+        let mut rng = seeded_rng(3);
+        for q in gen.draw_many(500, &mut rng) {
+            assert!(q.lo() >= 0.0 && q.hi() <= 1.0);
+            // Clipping at the boundary can shrink a query but never enlarge
+            // it.
+            assert!(q.width() <= 0.2 + 1e-12);
+            assert!(q.width() > 0.0);
+        }
+        assert!(WorkloadGenerator::new(0.0, 0.5).is_err());
+        assert!(WorkloadGenerator::new(0.4, 0.2).is_err());
+        assert!(WorkloadGenerator::new(0.4, 1.2).is_err());
+    }
+
+    #[test]
+    fn evaluation_against_self_is_exact() {
+        let data: Vec<f64> = (0..1000).map(|i| i as f64 / 1000.0).collect();
+        let truth = EmpiricalSelectivity::new(&data);
+        let mut rng = seeded_rng(5);
+        let workload = WorkloadGenerator::analytical().draw_many(100, &mut rng);
+        let summary = evaluate_workload(&truth, &truth, &workload);
+        assert_eq!(summary.queries, 100);
+        assert_eq!(summary.mean_absolute_error, 0.0);
+        assert_eq!(summary.max_absolute_error, 0.0);
+        assert_eq!(summary.mean_relative_error, 0.0);
+    }
+
+    #[test]
+    fn error_display() {
+        let e = WorkloadError::InvalidRange { lo: 0.9, hi: 0.1 };
+        assert!(format!("{e}").contains("0.9"));
+        let e = WorkloadError::InvalidParameter("oops".into());
+        assert!(format!("{e}").contains("oops"));
+    }
+}

@@ -1,0 +1,228 @@
+//! Exact pointwise evaluation of `φ` and `ψ` by the Daubechies–Lagarias
+//! local pyramid algorithm (Daubechies & Lagarias 1992; Vidakovic 2002).
+//!
+//! The paper notes (Section 5.3) that the Daubechies–Lagarias scheme gives
+//! the values `ψ_{j,k}(X_i)` directly but is slower than the grid
+//! approximation used with Wavelab. This module provides the exact scheme so
+//! the grid approximation of [`crate::cascade`] can be validated and so
+//! downstream users can trade speed for exactness.
+//!
+//! For `t ∈ [0, 1)` with binary digits `d_1 d_2 …`, the vector
+//! `v(t) = (φ(t), φ(t+1), …, φ(t+L-2))` satisfies
+//! `v(t) = M_{d_1} M_{d_2} ⋯ M_{d_n} v(τ_n)` where
+//! `(M_d)_{ij} = √2 h_{2i + d − j}`. The product converges geometrically to a
+//! rank-one matrix whose rows average to `v(t)` (using the partition of
+//! unity `Σ_j φ(τ + j) = 1`), so `n ≈ 40` digits give machine precision.
+
+use crate::filters::{FilterError, OrthonormalFilter, WaveletFamily};
+
+/// Number of binary digits (matrix products) used by default. Each product
+/// at least halves the error, so 48 digits exhaust `f64` precision.
+pub const DEFAULT_DIGITS: usize = 48;
+
+/// Exact evaluator for `φ` and `ψ` built on the Daubechies–Lagarias
+/// algorithm.
+#[derive(Debug, Clone)]
+pub struct PointwiseEvaluator {
+    filter: OrthonormalFilter,
+    digits: usize,
+    /// The two refinement matrices `M_0`, `M_1`, stored row-major with
+    /// dimension `(L-1) × (L-1)`.
+    m0: Vec<f64>,
+    m1: Vec<f64>,
+    dim: usize,
+}
+
+impl PointwiseEvaluator {
+    /// Builds the evaluator for `family` with the default digit count.
+    pub fn new(family: WaveletFamily) -> Result<Self, FilterError> {
+        let filter = OrthonormalFilter::new(family)?;
+        Ok(Self::from_filter(filter, DEFAULT_DIGITS))
+    }
+
+    /// Builds the evaluator from an existing filter with a custom digit
+    /// count (mostly useful to study the convergence of the algorithm).
+    pub fn from_filter(filter: OrthonormalFilter, digits: usize) -> Self {
+        let len = filter.len();
+        let dim = len - 1;
+        let sqrt2 = std::f64::consts::SQRT_2;
+        let entry = |d: usize, i: usize, j: usize| -> f64 {
+            let k = 2 * i as i64 + d as i64 - j as i64;
+            if (0..len as i64).contains(&k) {
+                sqrt2 * filter.lowpass()[k as usize]
+            } else {
+                0.0
+            }
+        };
+        let build = |d: usize| -> Vec<f64> {
+            let mut m = vec![0.0; dim * dim];
+            for i in 0..dim {
+                for j in 0..dim {
+                    m[i * dim + j] = entry(d, i, j);
+                }
+            }
+            m
+        };
+        Self {
+            m0: build(0),
+            m1: build(1),
+            dim,
+            digits: digits.max(1),
+            filter,
+        }
+    }
+
+    /// The underlying filter.
+    pub fn filter(&self) -> &OrthonormalFilter {
+        &self.filter
+    }
+
+    /// Evaluates the scaling function `φ(x)`; 0 outside `[0, 2N-1]`.
+    pub fn phi(&self, x: f64) -> f64 {
+        let support = self.filter.support_length() as f64;
+        if !(0.0..support).contains(&x) {
+            // φ vanishes at the right endpoint and outside the support.
+            return 0.0;
+        }
+        if self.filter.len() == 2 {
+            // Haar: indicator of [0, 1).
+            return if x < 1.0 { 1.0 } else { 0.0 };
+        }
+        let shift = x.floor();
+        let index = shift as usize;
+        if index >= self.dim {
+            return 0.0;
+        }
+        let v = self.vector_at(x - shift);
+        v[index]
+    }
+
+    /// Evaluates the mother wavelet `ψ(x) = √2 Σ_k g_k φ(2x − k)`.
+    pub fn psi(&self, x: f64) -> f64 {
+        let support = self.filter.support_length() as f64;
+        if !(0.0..=support).contains(&x) {
+            return 0.0;
+        }
+        let sqrt2 = std::f64::consts::SQRT_2;
+        self.filter
+            .highpass()
+            .iter()
+            .enumerate()
+            .map(|(k, &gk)| sqrt2 * gk * self.phi(2.0 * x - k as f64))
+            .sum()
+    }
+
+    /// Computes `v(t) = (φ(t), φ(t+1), …, φ(t+L-2))` for `t ∈ [0, 1)`.
+    fn vector_at(&self, t: f64) -> Vec<f64> {
+        debug_assert!((0.0..1.0).contains(&t));
+        // Product of the digit matrices, accumulated left to right.
+        let mut product: Option<Vec<f64>> = None;
+        let mut frac = t;
+        for _ in 0..self.digits {
+            frac *= 2.0;
+            let digit = if frac >= 1.0 { 1 } else { 0 };
+            if digit == 1 {
+                frac -= 1.0;
+            }
+            let m = if digit == 0 { &self.m0 } else { &self.m1 };
+            product = Some(match product {
+                None => m.clone(),
+                Some(p) => mat_mul(&p, m, self.dim),
+            });
+        }
+        let p = product.expect("at least one digit");
+        // Row averages approximate v(t).
+        (0..self.dim)
+            .map(|i| {
+                let row = &p[i * self.dim..(i + 1) * self.dim];
+                row.iter().sum::<f64>() / self.dim as f64
+            })
+            .collect()
+    }
+}
+
+fn mat_mul(a: &[f64], b: &[f64], dim: usize) -> Vec<f64> {
+    let mut out = vec![0.0; dim * dim];
+    for i in 0..dim {
+        for k in 0..dim {
+            let aik = a[i * dim + k];
+            if aik == 0.0 {
+                continue;
+            }
+            for j in 0..dim {
+                out[i * dim + j] += aik * b[k * dim + j];
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cascade::WaveletTable;
+
+    #[test]
+    fn haar_phi_is_indicator() {
+        let eval = PointwiseEvaluator::new(WaveletFamily::Haar).unwrap();
+        assert_eq!(eval.phi(0.3), 1.0);
+        assert_eq!(eval.phi(0.999), 1.0);
+        assert_eq!(eval.phi(1.2), 0.0);
+        assert_eq!(eval.phi(-0.1), 0.0);
+    }
+
+    #[test]
+    fn db2_phi_matches_cascade_table() {
+        let eval = PointwiseEvaluator::new(WaveletFamily::Daubechies(2)).unwrap();
+        let table = WaveletTable::with_levels(WaveletFamily::Daubechies(2), 14).unwrap();
+        for i in 0..60 {
+            let x = 0.05 * i as f64;
+            let exact = eval.phi(x);
+            let approx = table.phi(x);
+            assert!(
+                (exact - approx).abs() < 5e-4,
+                "phi mismatch at x={x}: exact {exact}, table {approx}"
+            );
+        }
+    }
+
+    #[test]
+    fn sym8_psi_matches_cascade_table() {
+        let eval = PointwiseEvaluator::new(WaveletFamily::Symmlet(8)).unwrap();
+        let table = WaveletTable::with_levels(WaveletFamily::Symmlet(8), 14).unwrap();
+        for i in 0..50 {
+            let x = 0.31 * i as f64;
+            assert!(
+                (eval.psi(x) - table.psi(x)).abs() < 5e-3,
+                "psi mismatch at x={x}"
+            );
+        }
+    }
+
+    #[test]
+    fn partition_of_unity_holds_exactly() {
+        let eval = PointwiseEvaluator::new(WaveletFamily::Daubechies(4)).unwrap();
+        for &x in &[0.123_f64, 0.5, 0.876, 0.333] {
+            let total: f64 = (-8..8).map(|k| eval.phi(x - k as f64)).sum();
+            assert!((total - 1.0).abs() < 1e-10, "partition of unity: {total}");
+        }
+    }
+
+    #[test]
+    fn values_outside_support_are_zero() {
+        let eval = PointwiseEvaluator::new(WaveletFamily::Symmlet(8)).unwrap();
+        assert_eq!(eval.phi(-3.0), 0.0);
+        assert_eq!(eval.phi(15.0), 0.0);
+        assert_eq!(eval.psi(15.1), 0.0);
+        assert_eq!(eval.psi(-0.0001), 0.0);
+    }
+
+    #[test]
+    fn fewer_digits_still_converge_geometrically() {
+        let filter = OrthonormalFilter::new(WaveletFamily::Daubechies(3)).unwrap();
+        let rough = PointwiseEvaluator::from_filter(filter.clone(), 10);
+        let fine = PointwiseEvaluator::from_filter(filter, 40);
+        let x = 1.73;
+        assert!((rough.phi(x) - fine.phi(x)).abs() < 1e-2);
+    }
+}

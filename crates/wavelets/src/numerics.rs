@@ -1,0 +1,403 @@
+//! Small self-contained numerical kernels used by the filter constructor:
+//! complex arithmetic, polynomial evaluation and root finding
+//! (Durand–Kerner with Newton polishing), binomial coefficients and a dense
+//! linear solver with partial pivoting.
+//!
+//! These are deliberately minimal: the polynomials involved in Daubechies
+//! filter construction have degree at most `2N - 1 ≤ 19` for the wavelet
+//! orders supported by this crate, so simple `O(d^2)`/`O(d^3)` algorithms in
+//! `f64` are both fast and accurate enough (results are verified downstream
+//! against the algebraic filter identities).
+
+use std::ops::{Add, Div, Mul, Neg, Sub};
+
+/// A complex number in Cartesian form.
+///
+/// The standard library has no complex type and pulling in a crate for a
+/// couple of hundred multiplications is not warranted, so this is a tiny
+/// local implementation supporting exactly the operations the root finder
+/// needs.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Complex {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+impl Complex {
+    /// Creates a complex number from real and imaginary parts.
+    pub const fn new(re: f64, im: f64) -> Self {
+        Self { re, im }
+    }
+
+    /// The real number `re` viewed as a complex number.
+    pub const fn real(re: f64) -> Self {
+        Self { re, im: 0.0 }
+    }
+
+    /// Complex conjugate.
+    pub fn conj(self) -> Self {
+        Self::new(self.re, -self.im)
+    }
+
+    /// Modulus `|z|`.
+    pub fn abs(self) -> f64 {
+        self.re.hypot(self.im)
+    }
+
+    /// Squared modulus `|z|^2`.
+    pub fn norm_sqr(self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+
+    /// Argument (phase) in `(-π, π]`.
+    pub fn arg(self) -> f64 {
+        self.im.atan2(self.re)
+    }
+
+    /// Principal square root.
+    pub fn sqrt(self) -> Self {
+        let r = self.abs();
+        let re = ((r + self.re) / 2.0).max(0.0).sqrt();
+        let im_mag = ((r - self.re) / 2.0).max(0.0).sqrt();
+        let im = if self.im >= 0.0 { im_mag } else { -im_mag };
+        Self::new(re, im)
+    }
+
+    /// Multiplicative inverse `1/z`.
+    pub fn inv(self) -> Self {
+        let d = self.norm_sqr();
+        Self::new(self.re / d, -self.im / d)
+    }
+}
+
+impl Add for Complex {
+    type Output = Complex;
+    fn add(self, rhs: Complex) -> Complex {
+        Complex::new(self.re + rhs.re, self.im + rhs.im)
+    }
+}
+
+impl Sub for Complex {
+    type Output = Complex;
+    fn sub(self, rhs: Complex) -> Complex {
+        Complex::new(self.re - rhs.re, self.im - rhs.im)
+    }
+}
+
+impl Mul for Complex {
+    type Output = Complex;
+    fn mul(self, rhs: Complex) -> Complex {
+        Complex::new(
+            self.re * rhs.re - self.im * rhs.im,
+            self.re * rhs.im + self.im * rhs.re,
+        )
+    }
+}
+
+impl Mul<f64> for Complex {
+    type Output = Complex;
+    fn mul(self, rhs: f64) -> Complex {
+        Complex::new(self.re * rhs, self.im * rhs)
+    }
+}
+
+impl Div for Complex {
+    type Output = Complex;
+    fn div(self, rhs: Complex) -> Complex {
+        self * rhs.inv()
+    }
+}
+
+impl Neg for Complex {
+    type Output = Complex;
+    fn neg(self) -> Complex {
+        Complex::new(-self.re, -self.im)
+    }
+}
+
+/// Evaluates a polynomial with complex coefficients at `z` using Horner's
+/// scheme. Coefficients are in ascending-degree order: `coeffs[k]` multiplies
+/// `z^k`.
+pub fn poly_eval(coeffs: &[Complex], z: Complex) -> Complex {
+    let mut acc = Complex::default();
+    for &c in coeffs.iter().rev() {
+        acc = acc * z + c;
+    }
+    acc
+}
+
+/// Evaluates the derivative of a polynomial (ascending-degree coefficients)
+/// at `z`.
+pub fn poly_eval_deriv(coeffs: &[Complex], z: Complex) -> Complex {
+    let mut acc = Complex::default();
+    for (k, &c) in coeffs.iter().enumerate().skip(1).rev() {
+        acc = acc * z + c * (k as f64);
+    }
+    acc
+}
+
+/// Finds all complex roots of a polynomial with real coefficients
+/// (ascending-degree order) using the Durand–Kerner (Weierstrass) iteration,
+/// followed by a few Newton polishing steps per root.
+///
+/// The polynomial must have a nonzero leading coefficient and degree ≥ 1.
+/// Degrees up to a few dozen are handled comfortably; the Daubechies
+/// construction never exceeds degree 19.
+///
+/// # Panics
+/// Panics if the polynomial is constant or the leading coefficient is zero.
+pub fn polynomial_roots(real_coeffs: &[f64]) -> Vec<Complex> {
+    assert!(real_coeffs.len() >= 2, "polynomial must have degree >= 1");
+    let lead = *real_coeffs.last().expect("nonempty");
+    assert!(lead != 0.0, "leading coefficient must be nonzero");
+
+    // Normalise to a monic polynomial for numerical stability of the
+    // Durand–Kerner update.
+    let coeffs: Vec<Complex> = real_coeffs
+        .iter()
+        .map(|&c| Complex::real(c / lead))
+        .collect();
+    let degree = coeffs.len() - 1;
+
+    // Initial guesses on a circle of radius derived from the Cauchy bound,
+    // with an irrational angle offset so no guess starts on a symmetry axis.
+    let cauchy_bound = 1.0
+        + coeffs[..degree]
+            .iter()
+            .map(|c| c.abs())
+            .fold(0.0_f64, f64::max);
+    let radius = cauchy_bound.min(1e6).max(1e-3);
+    let mut roots: Vec<Complex> = (0..degree)
+        .map(|k| {
+            let theta = 2.0 * std::f64::consts::PI * (k as f64) / (degree as f64) + 0.4;
+            Complex::new(radius * 0.8 * theta.cos(), radius * 0.8 * theta.sin())
+        })
+        .collect();
+
+    const MAX_ITERS: usize = 500;
+    const TOL: f64 = 1e-14;
+    for _ in 0..MAX_ITERS {
+        let mut max_step = 0.0_f64;
+        for i in 0..degree {
+            let zi = roots[i];
+            let mut denom = Complex::real(1.0);
+            for (j, &zj) in roots.iter().enumerate() {
+                if j != i {
+                    denom = denom * (zi - zj);
+                }
+            }
+            if denom.abs() < 1e-300 {
+                continue;
+            }
+            let step = poly_eval(&coeffs, zi) / denom;
+            roots[i] = zi - step;
+            max_step = max_step.max(step.abs());
+        }
+        if max_step < TOL {
+            break;
+        }
+    }
+
+    // Newton polishing sharpens each root to machine precision when the root
+    // is simple (all roots in the Daubechies construction are simple).
+    for root in &mut roots {
+        for _ in 0..20 {
+            let f = poly_eval(&coeffs, *root);
+            let df = poly_eval_deriv(&coeffs, *root);
+            if df.abs() < 1e-300 {
+                break;
+            }
+            let step = f / df;
+            *root = *root - step;
+            if step.abs() < 1e-16 {
+                break;
+            }
+        }
+    }
+    roots
+}
+
+/// Binomial coefficient `C(n, k)` computed in floating point (exact for the
+/// small arguments used here).
+pub fn binomial(n: u64, k: u64) -> f64 {
+    if k > n {
+        return 0.0;
+    }
+    let k = k.min(n - k);
+    let mut acc = 1.0_f64;
+    for i in 0..k {
+        acc = acc * ((n - i) as f64) / ((i + 1) as f64);
+    }
+    acc
+}
+
+/// Solves the dense linear system `A x = b` by Gaussian elimination with
+/// partial pivoting. `a` is row-major with dimension `n × n`.
+///
+/// Returns `None` if the matrix is numerically singular.
+pub fn solve_linear_system(a: &[Vec<f64>], b: &[f64]) -> Option<Vec<f64>> {
+    let n = b.len();
+    assert_eq!(a.len(), n, "matrix/vector dimension mismatch");
+    let mut m: Vec<Vec<f64>> = a
+        .iter()
+        .zip(b.iter())
+        .map(|(row, &rhs)| {
+            assert_eq!(row.len(), n, "matrix must be square");
+            let mut r = row.clone();
+            r.push(rhs);
+            r
+        })
+        .collect();
+
+    for col in 0..n {
+        // Partial pivoting.
+        let pivot_row = (col..n).max_by(|&i, &j| {
+            m[i][col]
+                .abs()
+                .partial_cmp(&m[j][col].abs())
+                .unwrap_or(std::cmp::Ordering::Equal)
+        })?;
+        if m[pivot_row][col].abs() < 1e-13 {
+            return None;
+        }
+        m.swap(col, pivot_row);
+        for row in (col + 1)..n {
+            let factor = m[row][col] / m[col][col];
+            for k in col..=n {
+                m[row][k] -= factor * m[col][k];
+            }
+        }
+    }
+
+    let mut x = vec![0.0_f64; n];
+    for row in (0..n).rev() {
+        let mut acc = m[row][n];
+        for col in (row + 1)..n {
+            acc -= m[row][col] * x[col];
+        }
+        x[row] = acc / m[row][row];
+    }
+    Some(x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn approx(a: f64, b: f64, tol: f64) -> bool {
+        (a - b).abs() <= tol
+    }
+
+    #[test]
+    fn complex_arithmetic_basics() {
+        let a = Complex::new(1.0, 2.0);
+        let b = Complex::new(-3.0, 0.5);
+        assert_eq!(a + b, Complex::new(-2.0, 2.5));
+        assert_eq!(a - b, Complex::new(4.0, 1.5));
+        let prod = a * b;
+        assert!(approx(prod.re, -4.0, 1e-12));
+        assert!(approx(prod.im, -5.5, 1e-12));
+        let q = (a / b) * b;
+        assert!(approx(q.re, a.re, 1e-12) && approx(q.im, a.im, 1e-12));
+        assert!(approx(a.conj().im, -2.0, 0.0));
+        assert!(approx(a.norm_sqr(), 5.0, 1e-12));
+    }
+
+    #[test]
+    fn complex_sqrt_squares_back() {
+        for &(re, im) in &[(4.0, 0.0), (-1.0, 0.0), (3.0, -4.0), (0.0, 2.0), (-2.5, 1.5)] {
+            let z = Complex::new(re, im);
+            let r = z.sqrt();
+            let sq = r * r;
+            assert!(approx(sq.re, re, 1e-10), "re mismatch for {z:?}");
+            assert!(approx(sq.im, im, 1e-10), "im mismatch for {z:?}");
+            assert!(r.re >= -1e-15, "principal branch has nonnegative real part");
+        }
+    }
+
+    #[test]
+    fn poly_eval_matches_manual() {
+        // p(z) = 2 + 3z + z^2 at z = 2 -> 2 + 6 + 4 = 12
+        let coeffs = [Complex::real(2.0), Complex::real(3.0), Complex::real(1.0)];
+        let v = poly_eval(&coeffs, Complex::real(2.0));
+        assert!(approx(v.re, 12.0, 1e-12));
+        let d = poly_eval_deriv(&coeffs, Complex::real(2.0));
+        assert!(approx(d.re, 7.0, 1e-12));
+    }
+
+    #[test]
+    fn roots_of_quadratic() {
+        // z^2 - 3z + 2 = (z-1)(z-2)
+        let roots = polynomial_roots(&[2.0, -3.0, 1.0]);
+        let mut reals: Vec<f64> = roots.iter().map(|r| r.re).collect();
+        reals.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        assert!(approx(reals[0], 1.0, 1e-10));
+        assert!(approx(reals[1], 2.0, 1e-10));
+        assert!(roots.iter().all(|r| r.im.abs() < 1e-10));
+    }
+
+    #[test]
+    fn roots_of_complex_conjugate_pair() {
+        // z^2 + 1 -> ±i
+        let roots = polynomial_roots(&[1.0, 0.0, 1.0]);
+        assert!(roots.iter().all(|r| approx(r.re, 0.0, 1e-10)));
+        let mut ims: Vec<f64> = roots.iter().map(|r| r.im).collect();
+        ims.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        assert!(approx(ims[0], -1.0, 1e-10) && approx(ims[1], 1.0, 1e-10));
+    }
+
+    #[test]
+    fn roots_of_higher_degree_polynomial_reconstruct_it() {
+        // Random-ish degree-7 polynomial with known roots.
+        let known = [-2.0, -0.5, 0.25, 1.0, 1.5, 3.0, -4.0];
+        // Expand \prod (z - r_i).
+        let mut coeffs = vec![1.0];
+        for &r in &known {
+            let mut next = vec![0.0; coeffs.len() + 1];
+            for (k, &c) in coeffs.iter().enumerate() {
+                next[k + 1] += c;
+                next[k] += -r * c;
+            }
+            coeffs = next;
+        }
+        let roots = polynomial_roots(&coeffs);
+        let mut found: Vec<f64> = roots.iter().map(|r| r.re).collect();
+        found.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let mut expected = known.to_vec();
+        expected.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        for (f, e) in found.iter().zip(expected.iter()) {
+            assert!(approx(*f, *e, 1e-7), "root {f} vs {e}");
+        }
+    }
+
+    #[test]
+    fn binomial_small_values() {
+        assert_eq!(binomial(5, 0), 1.0);
+        assert_eq!(binomial(5, 2), 10.0);
+        assert_eq!(binomial(10, 5), 252.0);
+        assert_eq!(binomial(3, 7), 0.0);
+    }
+
+    #[test]
+    fn linear_solver_solves_known_system() {
+        let a = vec![
+            vec![2.0, 1.0, -1.0],
+            vec![-3.0, -1.0, 2.0],
+            vec![-2.0, 1.0, 2.0],
+        ];
+        let b = vec![8.0, -11.0, -3.0];
+        let x = solve_linear_system(&a, &b).expect("solvable");
+        assert!(approx(x[0], 2.0, 1e-10));
+        assert!(approx(x[1], 3.0, 1e-10));
+        assert!(approx(x[2], -1.0, 1e-10));
+    }
+
+    #[test]
+    fn linear_solver_rejects_singular_matrix() {
+        let a = vec![vec![1.0, 2.0], vec![2.0, 4.0]];
+        let b = vec![1.0, 2.0];
+        assert!(solve_linear_system(&a, &b).is_none());
+    }
+}

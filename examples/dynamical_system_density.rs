@@ -1,0 +1,69 @@
+//! Estimating the invariant density of dynamical systems.
+//!
+//! Demonstrates the paper's motivating use case: the logistic map's orbit is
+//! *not* mixing in the classical sense, yet the adaptive wavelet estimator
+//! recovers its invariant (arcsine) density; for Liverani–Saussol–Vaienti
+//! intermittent maps with a strong neutral fixed point, assumption (D)
+//! fails and the estimator becomes unstable (Proposition 5.1), which we
+//! make visible through empirical dependence diagnostics.
+//!
+//! Run with: `cargo run --release --example dynamical_system_density`
+
+use wavedens::prelude::*;
+use wavedens::processes::{DependenceSummary, LogisticMapDriver, UniformDriver};
+
+fn main() {
+    let n = 1 << 11;
+
+    // --- Logistic map: invariant density is the arcsine law -------------
+    let mut rng = seeded_rng(7);
+    let orbit_uniform = LogisticMapDriver.simulate_uniform(n, &mut rng);
+    // The driver returns the uniformised orbit G(Y_i); recover Y_i through
+    // the inverse cdf so we can estimate the arcsine density itself.
+    let orbit: Vec<f64> = orbit_uniform
+        .iter()
+        .map(|&u| LogisticMapDriver::invariant_quantile(u))
+        .collect();
+    // The arcsine density is unbounded at 0 and 1, so estimate on [0.02, 0.98].
+    let estimate = WaveletDensityEstimator::stcv()
+        .with_interval(0.02, 0.98)
+        .fit(&orbit)
+        .expect("fit");
+    println!("logistic map: estimated vs true arcsine density");
+    println!("   x    estimate   true");
+    for i in 1..10 {
+        let x = i as f64 / 10.0;
+        println!(
+            "{:4.1}   {:7.3}  {:7.3}",
+            x,
+            estimate.evaluate(x),
+            LogisticMapDriver::invariant_pdf(x)
+        );
+    }
+
+    // --- LSV intermittent maps: assumption (D) fails ---------------------
+    println!("\nLSV maps: empirical covariance decay and estimator stability");
+    println!("alpha  lag1-corr  prefers-exponential-decay  max estimate on [0.01,1]");
+    for &alpha in &[0.2, 0.5, 0.8] {
+        let process = LsvMapProcess::new(alpha).expect("valid alpha");
+        let mut rng = seeded_rng(100 + (alpha * 10.0) as u64);
+        let path = process.simulate(n, &mut rng);
+        let summary = DependenceSummary::from_sample(&path, 25);
+        let estimate = WaveletDensityEstimator::stcv()
+            .with_interval(0.01, 1.0)
+            .fit(&path)
+            .expect("fit");
+        let grid = Grid::new(0.01, 1.0, 300);
+        let max = estimate
+            .evaluate_on(&grid)
+            .into_iter()
+            .fold(f64::MIN, f64::max);
+        println!(
+            "{alpha:4.1}  {:9.3}  {:25}  {:8.2}",
+            summary.lag_one_correlation,
+            summary.prefers_exponential_decay(),
+            max
+        );
+    }
+    println!("\nAs alpha grows the covariances decay polynomially (assumption (D) fails), the orbit sticks near 0 and the estimated density develops a large spike there.");
+}

@@ -1,0 +1,41 @@
+//! Wavelet thresholding vs kernel smoothing on a sharp bimodal density
+//! (the comparison behind Figures 5–6 of the paper).
+//!
+//! Run with: `cargo run --release --example kernel_vs_wavelet`
+
+use wavedens::prelude::*;
+
+fn main() {
+    let target = GaussianMixture::paper_bimodal();
+    let mut rng = seeded_rng(11);
+    let n = 1 << 10;
+    // Weakly dependent observations (Case 3: non-causal moving average).
+    let data = DependenceCase::NonCausalMa.simulate(&target, n, &mut rng);
+
+    let wavelet = WaveletDensityEstimator::stcv().fit(&data).expect("wavelet");
+    let kernel_rot = KernelDensityEstimator::rule_of_thumb()
+        .fit(&data)
+        .expect("kernel");
+    let kernel_cv = KernelDensityEstimator::cross_validated()
+        .fit(&data)
+        .expect("kernel");
+
+    println!(
+        "bandwidths: rule of thumb = {:.4}, cross-validated = {:.4}",
+        kernel_rot.bandwidth(),
+        kernel_cv.bandwidth()
+    );
+
+    let grid = Grid::new(0.0, 1.0, 401);
+    let truth = grid.evaluate(|x| target.pdf(x));
+    let report = |name: &str, values: &[f64]| {
+        let ise = grid.integrate_abs_power(values, &truth, 2.0);
+        let peak = values.iter().cloned().fold(f64::MIN, f64::max);
+        println!("{name:26} ISE = {ise:7.4}   estimated peak height = {peak:6.2} (true ≈ 10)");
+    };
+    report("wavelet STCV", &wavelet.evaluate_on(&grid));
+    report("kernel (rule of thumb)", &kernel_rot.evaluate_on(&grid));
+    report("kernel (CV bandwidth)", &kernel_cv.evaluate_on(&grid));
+
+    println!("\nThe rule-of-thumb kernel oversmooths and misses the two modes; the wavelet estimator and the CV-bandwidth kernel both resolve them — the paper's Figure 5 in one run.");
+}

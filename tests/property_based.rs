@@ -1,0 +1,180 @@
+//! Property-based tests (proptest) on the core data structures and
+//! invariants of the workspace.
+
+use proptest::prelude::*;
+use wavedens::estimation::{lp_distance, ThresholdRule};
+use wavedens::prelude::*;
+use wavedens::processes::{case3_marginal_cdf, case3_marginal_pdf, ClawDensity, Uniform01};
+use wavedens::selectivity::{EmpiricalSelectivity, HistogramSelectivity, SelectivityEstimator};
+use wavedens::wavelets::{besov_seminorm, BesovParameters, DetailLevel, Dwt, OrthonormalFilter};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Threshold functions: soft shrinkage is dominated by hard
+    /// thresholding, which is dominated by the identity; the sign is never
+    /// flipped; thresholding with λ = 0 is the identity.
+    #[test]
+    fn threshold_function_invariants(beta in -10.0_f64..10.0, lambda in 0.0_f64..5.0) {
+        let hard = ThresholdRule::Hard.apply(beta, lambda);
+        let soft = ThresholdRule::Soft.apply(beta, lambda);
+        prop_assert!(soft.abs() <= hard.abs() + 1e-15);
+        prop_assert!(hard.abs() <= beta.abs() + 1e-15);
+        prop_assert!(hard == 0.0 || hard.signum() == beta.signum());
+        prop_assert!(soft == 0.0 || soft.signum() == beta.signum());
+        prop_assert!((ThresholdRule::Hard.apply(beta, 0.0) - beta).abs() < 1e-15);
+        prop_assert!((ThresholdRule::Soft.apply(beta, 0.0) - beta).abs() < 1e-15);
+    }
+
+    /// Soft thresholding is 1-Lipschitz in the coefficient.
+    #[test]
+    fn soft_threshold_is_lipschitz(
+        a in -5.0_f64..5.0,
+        b in -5.0_f64..5.0,
+        lambda in 0.0_f64..3.0,
+    ) {
+        let fa = ThresholdRule::Soft.apply(a, lambda);
+        let fb = ThresholdRule::Soft.apply(b, lambda);
+        prop_assert!((fa - fb).abs() <= (a - b).abs() + 1e-12);
+    }
+
+    /// Grid integration of a constant function is exact, and Lp distances
+    /// satisfy the basic norm properties (nonnegativity, identity,
+    /// homogeneity for constant curves).
+    #[test]
+    fn grid_and_lp_distance_properties(c in -4.0_f64..4.0, p in 1.0_f64..8.0) {
+        let grid = Grid::new(0.0, 1.0, 101);
+        let constant = grid.evaluate(|_| c);
+        let zero = grid.evaluate(|_| 0.0);
+        prop_assert!((grid.integrate(&constant) - c).abs() < 1e-10);
+        let d = lp_distance(&grid, &constant, &zero, p);
+        prop_assert!((d - c.abs()).abs() < 1e-9);
+        prop_assert!(lp_distance(&grid, &constant, &constant, p) == 0.0);
+    }
+
+    /// The quantile function inverts the cdf for every target density at
+    /// every probability level.
+    #[test]
+    fn quantiles_invert_cdfs(u in 0.001_f64..0.999) {
+        let densities: Vec<Box<dyn TargetDensity>> = vec![
+            Box::new(Uniform01),
+            Box::new(SineUniformMixture::paper()),
+            Box::new(GaussianMixture::paper_bimodal()),
+            Box::new(ClawDensity::default()),
+        ];
+        for d in &densities {
+            let x = d.quantile(u);
+            let (lo, hi) = d.support();
+            prop_assert!(x >= lo - 1e-12 && x <= hi + 1e-12);
+            prop_assert!((d.cdf(x) - u).abs() < 1e-7, "{}: cdf(q({u})) = {}", d.name(), d.cdf(x));
+        }
+    }
+
+    /// The Case-3 marginal cdf is a genuine distribution function and is
+    /// consistent with its density.
+    #[test]
+    fn case3_marginal_is_a_distribution(a in 0.0_f64..1.0, b in 0.0_f64..1.0) {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        let diff = case3_marginal_cdf(hi) - case3_marginal_cdf(lo);
+        prop_assert!(diff >= -1e-12);
+        prop_assert!(case3_marginal_pdf(a) >= 0.0);
+        // Numerical integral of the pdf over [lo, hi] matches the cdf
+        // increment.
+        let steps = 400;
+        let dx = (hi - lo) / steps as f64;
+        let integral: f64 = (0..steps)
+            .map(|i| case3_marginal_pdf(lo + (i as f64 + 0.5) * dx) * dx)
+            .sum();
+        prop_assert!((integral - diff).abs() < 1e-3);
+    }
+
+    /// The Besov seminorm is absolutely homogeneous and monotone in the
+    /// coefficients.
+    #[test]
+    fn besov_seminorm_homogeneity(
+        scale in 0.0_f64..5.0,
+        coeffs in prop::collection::vec(-2.0_f64..2.0, 1..12),
+    ) {
+        let params = BesovParameters::new(1.2, 2.0, 2.0).unwrap();
+        let base = vec![DetailLevel { level: 4, coefficients: coeffs.clone() }];
+        let scaled = vec![DetailLevel {
+            level: 4,
+            coefficients: coeffs.iter().map(|c| c * scale).collect(),
+        }];
+        let n0 = besov_seminorm(params, &base);
+        let n1 = besov_seminorm(params, &scaled);
+        prop_assert!((n1 - scale * n0).abs() < 1e-9 * (1.0 + n0));
+    }
+
+    /// Periodised DWT round-trips arbitrary signals and preserves energy.
+    #[test]
+    fn dwt_roundtrip_and_energy(values in prop::collection::vec(-5.0_f64..5.0, 64)) {
+        let dwt = Dwt::new(WaveletFamily::Daubechies(3)).unwrap();
+        let decomposition = dwt.decompose(&values, 3).unwrap();
+        let reconstructed = dwt.reconstruct(&decomposition);
+        for (a, b) in values.iter().zip(&reconstructed) {
+            prop_assert!((a - b).abs() < 1e-8);
+        }
+        let energy: f64 = values.iter().map(|v| v * v).sum();
+        prop_assert!((decomposition.energy() - energy).abs() < 1e-7 * (1.0 + energy));
+    }
+
+    /// Quadrature-mirror filters of every supported order satisfy the
+    /// orthonormality identities.
+    #[test]
+    fn filters_are_orthonormal(order in 2_usize..=10) {
+        let filter = OrthonormalFilter::new(WaveletFamily::Daubechies(order)).unwrap();
+        prop_assert!(filter.orthonormality_defect() < 1e-8);
+        let sum: f64 = filter.lowpass().iter().sum();
+        prop_assert!((sum - std::f64::consts::SQRT_2).abs() < 1e-9);
+    }
+
+    /// Selectivity estimates always lie in [0, 1], agree with the empirical
+    /// truth on the full domain, and are monotone in the query range.
+    #[test]
+    fn selectivity_bounds_and_monotonicity(
+        data in prop::collection::vec(0.0_f64..1.0, 30..200),
+        lo in 0.0_f64..0.5,
+        width in 0.05_f64..0.5,
+    ) {
+        let hi = (lo + width).min(1.0);
+        let hist = HistogramSelectivity::fit(&data, 32);
+        let truth = EmpiricalSelectivity::new(&data);
+        let q = RangeQuery::new(lo, hi).unwrap();
+        let wider = RangeQuery::new((lo - 0.05).max(0.0), (hi + 0.05).min(1.0)).unwrap();
+        for estimator in [&hist as &dyn SelectivityEstimator, &truth] {
+            let s = estimator.estimate(&q);
+            prop_assert!((0.0..=1.0).contains(&s));
+            prop_assert!(estimator.estimate(&wider) >= s - 1e-12);
+        }
+        let full = RangeQuery::new(0.0, 1.0).unwrap();
+        prop_assert!((truth.estimate(&full) - 1.0).abs() < 1e-12);
+        prop_assert!((hist.estimate(&full) - 1.0).abs() < 1e-9);
+    }
+
+    /// The wavelet basis functions are normalised consistently across
+    /// scales: ψ_{j,k}(x) = 2^{j/2} ψ(2^j x − k) for arbitrary points.
+    #[test]
+    fn basis_dilation_identity(j in 0_i32..8, k in -10_i64..20, x in 0.0_f64..1.0) {
+        let basis = WaveletBasis::new(WaveletFamily::Symmlet(8)).unwrap();
+        let direct = 2f64.powi(j).sqrt() * basis.psi(2f64.powi(j) * x - k as f64);
+        prop_assert!((basis.psi_jk(j, k, x) - direct).abs() < 1e-12);
+    }
+}
+
+/// Estimator invariance under permutation of the sample (the empirical
+/// coefficients are symmetric functions of the data).
+#[test]
+fn estimator_is_permutation_invariant() {
+    let mut rng = seeded_rng(4);
+    let target = SineUniformMixture::paper();
+    let data = DependenceCase::Iid.simulate(&target, 300, &mut rng);
+    let mut reversed = data.clone();
+    reversed.reverse();
+    let a = WaveletDensityEstimator::stcv().fit(&data).unwrap();
+    let b = WaveletDensityEstimator::stcv().fit(&reversed).unwrap();
+    for i in 0..=30 {
+        let x = i as f64 / 30.0;
+        assert!((a.evaluate(x) - b.evaluate(x)).abs() < 1e-10);
+    }
+}
