@@ -64,7 +64,11 @@ fn primitives(c: &mut Criterion) {
     });
 
     group.bench_function("kernel_cv_bandwidth_n1024", |b| {
-        b.iter(|| KernelDensityEstimator::cross_validated().fit(&data).unwrap())
+        b.iter(|| {
+            KernelDensityEstimator::cross_validated()
+                .fit(&data)
+                .unwrap()
+        })
     });
 
     group.bench_function("simulate_case3_n1024", |b| {

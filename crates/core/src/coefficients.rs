@@ -102,7 +102,7 @@ impl EmpiricalCoefficients {
         if data.is_empty() {
             return Err(EstimatorError::EmptySample);
         }
-        if !(interval.0 < interval.1) || !interval.0.is_finite() || !interval.1.is_finite() {
+        if interval.0 >= interval.1 || !interval.0.is_finite() || !interval.1.is_finite() {
             return Err(EstimatorError::InvalidInterval {
                 lo: interval.0,
                 hi: interval.1,
@@ -176,7 +176,10 @@ impl EmpiricalCoefficients {
 
     /// The highest detail level stored.
     pub fn max_level(&self) -> i32 {
-        self.details.last().map(|l| l.level).unwrap_or(self.scaling.level)
+        self.details
+            .last()
+            .map(|l| l.level)
+            .unwrap_or(self.scaling.level)
     }
 
     /// Scaling coefficients `α̂_{j0,·}`.
@@ -302,7 +305,10 @@ mod tests {
         assert_eq!(coeffs.max_level(), 5);
         assert_eq!(coeffs.details().len(), 5);
         assert_eq!(coeffs.scaling().generator, Generator::Scaling);
-        assert!(coeffs.details().iter().all(|l| l.generator == Generator::Wavelet));
+        assert!(coeffs
+            .details()
+            .iter()
+            .all(|l| l.generator == Generator::Wavelet));
         assert!(coeffs.detail_level(4).is_some());
         assert!(coeffs.detail_level(9).is_none());
         // Level j holds 2^j + 2N − 2 translations on the unit interval.

@@ -142,7 +142,7 @@ impl WaveletDensityEstimator {
             return Err(EstimatorError::EmptySample);
         }
         let (lo, hi) = self.interval;
-        if !(lo < hi) || !lo.is_finite() || !hi.is_finite() {
+        if lo >= hi || !lo.is_finite() || !hi.is_finite() {
             return Err(EstimatorError::InvalidInterval { lo, hi });
         }
         let n = data.len();
@@ -482,7 +482,10 @@ mod tests {
     #[test]
     fn estimate_integrates_to_about_one() {
         let data = uniform_sample(512, 1);
-        for estimator in [WaveletDensityEstimator::htcv(), WaveletDensityEstimator::stcv()] {
+        for estimator in [
+            WaveletDensityEstimator::htcv(),
+            WaveletDensityEstimator::stcv(),
+        ] {
             let fit = estimator.fit(&data).unwrap();
             let mass = fit.integral();
             assert!((mass - 1.0).abs() < 0.05, "integral {mass}");
@@ -523,14 +526,14 @@ mod tests {
         assert!(fit.cross_validation().is_some());
         assert_eq!(fit.coarse_level(), 1);
         let j1 = fit.highest_level();
-        assert!(j1 >= 1 && j1 <= 11, "ĵ1 = {j1}");
+        assert!((1..=11).contains(&j1), "ĵ1 = {j1}");
         assert_eq!(fit.thresholds().j0, 1);
         assert!(fit.sparsity() > 0.5, "most coefficients should be killed");
         assert_eq!(fit.rule(), ThresholdRule::Hard);
         assert_eq!(fit.sample_size(), 1024);
         assert_eq!(fit.interval(), (0.0, 1.0));
         assert!(!fit.detail_levels().is_empty());
-        assert!(fit.scaling_coefficients().len() > 0);
+        assert!(!fit.scaling_coefficients().is_empty());
     }
 
     #[test]

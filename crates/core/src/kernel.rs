@@ -25,9 +25,7 @@ impl Kernel {
                     0.0
                 }
             }
-            Kernel::Gaussian => {
-                (-(u * u) / 2.0).exp() / (2.0 * std::f64::consts::PI).sqrt()
-            }
+            Kernel::Gaussian => (-(u * u) / 2.0).exp() / (2.0 * std::f64::consts::PI).sqrt(),
         }
     }
 
@@ -43,9 +41,7 @@ impl Kernel {
                     0.0
                 }
             }
-            Kernel::Gaussian => {
-                (-(t * t) / 4.0).exp() / (4.0 * std::f64::consts::PI).sqrt()
-            }
+            Kernel::Gaussian => (-(t * t) / 4.0).exp() / (4.0 * std::f64::consts::PI).sqrt(),
         }
     }
 
@@ -113,7 +109,7 @@ impl KernelDensityEstimator {
         sorted.sort_by(|a, b| a.partial_cmp(b).expect("data must not contain NaN"));
         let bandwidth = match self.bandwidth {
             BandwidthRule::Fixed(h) => {
-                if !(h > 0.0) || !h.is_finite() {
+                if h <= 0.0 || !h.is_finite() {
                     return Err(EstimatorError::InvalidParameter {
                         message: format!("bandwidth must be positive and finite, got {h}"),
                     });
@@ -346,7 +342,9 @@ mod tests {
         let target = GaussianMixture::paper_bimodal();
         let data = gaussian_mixture_sample(1024, 2);
         let rot = KernelDensityEstimator::rule_of_thumb().fit(&data).unwrap();
-        let cv = KernelDensityEstimator::cross_validated().fit(&data).unwrap();
+        let cv = KernelDensityEstimator::cross_validated()
+            .fit(&data)
+            .unwrap();
         assert!(
             cv.bandwidth() < rot.bandwidth(),
             "CV bandwidth {} should be below the rule of thumb {}",
@@ -372,18 +370,16 @@ mod tests {
     #[test]
     fn invalid_inputs_are_rejected() {
         assert!(KernelDensityEstimator::rule_of_thumb().fit(&[1.0]).is_err());
-        assert!(KernelDensityEstimator::new(
-            Kernel::Epanechnikov,
-            BandwidthRule::Fixed(0.0)
-        )
-        .fit(&[0.1, 0.2, 0.3])
-        .is_err());
-        assert!(KernelDensityEstimator::new(
-            Kernel::Epanechnikov,
-            BandwidthRule::Fixed(f64::NAN)
-        )
-        .fit(&[0.1, 0.2, 0.3])
-        .is_err());
+        assert!(
+            KernelDensityEstimator::new(Kernel::Epanechnikov, BandwidthRule::Fixed(0.0))
+                .fit(&[0.1, 0.2, 0.3])
+                .is_err()
+        );
+        assert!(
+            KernelDensityEstimator::new(Kernel::Epanechnikov, BandwidthRule::Fixed(f64::NAN))
+                .fit(&[0.1, 0.2, 0.3])
+                .is_err()
+        );
     }
 
     #[test]

@@ -44,8 +44,7 @@ impl RunningLevel {
         let support = basis.support_length();
         let position = (self.level as f64).exp2() * x;
         let k_lo = ((position - support).floor() as i64 + 1).max(self.k_start);
-        let k_hi =
-            ((position).ceil() as i64 - 1).min(self.k_start + self.sums.len() as i64 - 1);
+        let k_hi = ((position).ceil() as i64 - 1).min(self.k_start + self.sums.len() as i64 - 1);
         for k in k_lo..=k_hi {
             let value = match self.generator {
                 Generator::Scaling => basis.phi_jk(self.level, k, x),
@@ -94,7 +93,7 @@ impl StreamingWaveletEstimator {
         j0: i32,
         j_max: i32,
     ) -> Result<Self, EstimatorError> {
-        if !(interval.0 < interval.1) {
+        if interval.0 >= interval.1 || !interval.0.is_finite() || !interval.1.is_finite() {
             return Err(EstimatorError::InvalidInterval {
                 lo: interval.0,
                 hi: interval.1,
@@ -257,6 +256,50 @@ mod tests {
     }
 
     #[test]
+    fn streaming_matches_batch_on_dependent_data() {
+        // Same equivalence as above, but under the conditions the streaming
+        // estimator is built for: weakly dependent inserts with a
+        // non-uniform marginal, and the hard-thresholding rule. The two
+        // code paths share the CV and thresholding code but build the
+        // coefficients differently, so the estimates must agree to
+        // numerical round-off everywhere, not just at a few points.
+        use wavedens_processes::{DependenceCase, SineUniformMixture};
+        let n = 800;
+        let mut rng = seeded_rng(21);
+        let data = DependenceCase::NonCausalMa.simulate(&SineUniformMixture::paper(), n, &mut rng);
+        let j0 = crate::estimator::default_coarse_level(n, 8);
+        let j_max = crate::estimator::cv_max_level(n);
+        for rule in [ThresholdRule::Hard, ThresholdRule::Soft] {
+            let mut streaming = StreamingWaveletEstimator::new(
+                WaveletFamily::Symmlet(8),
+                (0.0, 1.0),
+                rule,
+                j0,
+                j_max,
+            )
+            .unwrap();
+            streaming.extend(data.iter().copied());
+            let online = streaming.estimate().unwrap();
+            let batch = WaveletDensityEstimator::new(rule, ThresholdSelection::CrossValidation)
+                .with_levels(Some(j0), Some(j_max))
+                .fit(&data)
+                .unwrap();
+            let grid = crate::grid::Grid::new(0.0, 1.0, 257);
+            let online_values = online.evaluate_on(&grid);
+            let batch_values = batch.evaluate_on(&grid);
+            for (i, (a, b)) in online_values.iter().zip(&batch_values).enumerate() {
+                assert!(
+                    (a - b).abs() < 1e-9,
+                    "{rule:?}: streaming and batch disagree at grid point {i}: {a} vs {b}"
+                );
+            }
+            assert!((online.integral() - batch.integral()).abs() < 1e-9);
+            assert_eq!(online.highest_level(), batch.highest_level());
+            assert_eq!(online.sample_size(), batch.sample_size());
+        }
+    }
+
+    #[test]
     fn estimate_improves_as_data_arrives() {
         let mut streaming =
             StreamingWaveletEstimator::with_expected_size(ThresholdRule::Soft, 2048).unwrap();
@@ -289,10 +332,7 @@ mod tests {
         ));
         assert_eq!(streaming.density_at(0.5), 0.0);
         assert_eq!(streaming.interval(), (0.0, 1.0));
-        assert_eq!(
-            streaming.selection(),
-            ThresholdSelection::CrossValidation
-        );
+        assert_eq!(streaming.selection(), ThresholdSelection::CrossValidation);
     }
 
     #[test]

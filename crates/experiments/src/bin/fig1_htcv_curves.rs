@@ -35,10 +35,6 @@ fn run(rule: ThresholdRule, title: &str) {
             row
         })
         .collect();
-    print_series(
-        title,
-        &["x", "true", "case1", "case2", "case3"],
-        &rows,
-    );
+    print_series(title, &["x", "true", "case1", "case2", "case3"], &rows);
     println!("\nExpected shape: all three mean curves track the true density; the jump at x = 0.7 is smoothed out (finite-sample effect noted in the paper).");
 }

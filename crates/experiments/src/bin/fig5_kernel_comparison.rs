@@ -3,7 +3,9 @@
 //! bandwidths) on the bimodal Gaussian-mixture density, for each dependence
 //! case.
 
-use wavedens_experiments::{kernel_comparison_curves, print_series, print_table, ExperimentConfig, Table};
+use wavedens_experiments::{
+    kernel_comparison_curves, print_series, print_table, ExperimentConfig, Table,
+};
 use wavedens_processes::DependenceCase;
 
 fn main() {
@@ -12,7 +14,12 @@ fn main() {
         "Figure 5 (wavelet vs kernel estimators, Gaussian-mixture density), {} replications, n = {}",
         config.replications, config.sample_size
     );
-    let mut mise_table = Table::new(["case", "wavelet STCV", "kernel (rule of thumb)", "kernel (CV width)"]);
+    let mut mise_table = Table::new([
+        "case",
+        "wavelet STCV",
+        "kernel (rule of thumb)",
+        "kernel (CV width)",
+    ]);
     for case in DependenceCase::ALL {
         let cmp = kernel_comparison_curves(&config, case);
         let stride = 8;

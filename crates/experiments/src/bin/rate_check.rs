@@ -35,7 +35,9 @@ fn main() {
                 .map(|r| r.mise_wavelet.max(1e-12).ln())
                 .collect::<Vec<_>>(),
         );
-        println!("fitted wavelet MISE decay exponent for {case}: {slope:.3} (negative = converging)");
+        println!(
+            "fitted wavelet MISE decay exponent for {case}: {slope:.3} (negative = converging)"
+        );
     }
     println!("\nExpected shape: MISE decreases with n at a similar rate in all three cases (dependence does not change the rate), with exponent roughly between -0.6 and -1.0 for this smooth-but-discontinuous density.");
 }

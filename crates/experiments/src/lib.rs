@@ -22,6 +22,6 @@ pub use mc::run_replications;
 pub use report::{print_series, print_table, Table};
 pub use scenarios::{
     case_mise, kernel_comparison_curves, lp_risk_profile, lsv_study, rate_study,
-    threshold_ablation, CaseRiskSummary, KernelComparison, LpRiskProfile, LsvSummary,
-    RateStudyRow, ThresholdAblationRow,
+    threshold_ablation, CaseRiskSummary, KernelComparison, LpRiskProfile, LsvSummary, RateStudyRow,
+    ThresholdAblationRow,
 };

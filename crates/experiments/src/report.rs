@@ -112,6 +112,10 @@ mod tests {
         let mut t = Table::new(["x"]);
         t.add_row(["1"]);
         print_table("test table", &t);
-        print_series("test series", &["x", "y"], &[vec![0.0, 1.0], vec![0.5, 2.0]]);
+        print_series(
+            "test series",
+            &["x", "y"],
+            &[vec![0.0, 1.0], vec![0.5, 2.0]],
+        );
     }
 }

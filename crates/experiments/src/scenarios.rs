@@ -77,24 +77,29 @@ pub fn case_mise(
         levels: Vec<i32>,
     }
 
-    let results = run_replications(config.replications, config.threads, config.seed, |_, rng| {
-        let data = case.simulate(&target, config.sample_size, rng);
-        let estimate = WaveletDensityEstimator::new(rule, ThresholdSelection::CrossValidation)
-            .with_basis(Arc::clone(&basis))
-            .fit(&data)
-            .expect("fit cannot fail on valid data");
-        let curve = estimate.evaluate_on(&grid);
-        let ise = grid.integrate_abs_power(&curve, &truth, 2.0);
-        let cv = estimate.cross_validation().expect("CV estimator");
-        RepResult {
-            ise,
-            j1: estimate.highest_level() as f64,
-            thresholds: cv.levels.iter().map(|l| l.lambda).collect(),
-            killed: cv.levels.iter().map(|l| l.thresholded_fraction()).collect(),
-            curve,
-            levels: cv.levels.iter().map(|l| l.level).collect(),
-        }
-    });
+    let results = run_replications(
+        config.replications,
+        config.threads,
+        config.seed,
+        |_, rng| {
+            let data = case.simulate(&target, config.sample_size, rng);
+            let estimate = WaveletDensityEstimator::new(rule, ThresholdSelection::CrossValidation)
+                .with_basis(Arc::clone(&basis))
+                .fit(&data)
+                .expect("fit cannot fail on valid data");
+            let curve = estimate.evaluate_on(&grid);
+            let ise = grid.integrate_abs_power(&curve, &truth, 2.0);
+            let cv = estimate.cross_validation().expect("CV estimator");
+            RepResult {
+                ise,
+                j1: estimate.highest_level() as f64,
+                thresholds: cv.levels.iter().map(|l| l.lambda).collect(),
+                killed: cv.levels.iter().map(|l| l.thresholded_fraction()).collect(),
+                curve,
+                levels: cv.levels.iter().map(|l| l.level).collect(),
+            }
+        },
+    );
 
     let ises: Vec<f64> = results.iter().map(|r| r.ise).collect();
     let j1s: Vec<f64> = results.iter().map(|r| r.j1).collect();
@@ -171,27 +176,32 @@ pub fn kernel_comparison_curves(
     let truth = grid.evaluate(|x| target.pdf(x));
     let basis = shared_basis();
 
-    let results = run_replications(config.replications, config.threads, config.seed, |_, rng| {
-        let data = case.simulate(&target, config.sample_size, rng);
-        let wavelet = WaveletDensityEstimator::stcv()
-            .with_basis(Arc::clone(&basis))
-            .fit(&data)
-            .expect("wavelet fit");
-        let rot = KernelDensityEstimator::rule_of_thumb()
-            .fit(&data)
-            .expect("kernel fit");
-        let cv = KernelDensityEstimator::cross_validated()
-            .fit(&data)
-            .expect("kernel fit");
-        [
-            wavelet.evaluate_on(&grid),
-            rot.evaluate_on(&grid),
-            cv.evaluate_on(&grid),
-        ]
-    });
+    let results = run_replications(
+        config.replications,
+        config.threads,
+        config.seed,
+        |_, rng| {
+            let data = case.simulate(&target, config.sample_size, rng);
+            let wavelet = WaveletDensityEstimator::stcv()
+                .with_basis(Arc::clone(&basis))
+                .fit(&data)
+                .expect("wavelet fit");
+            let rot = KernelDensityEstimator::rule_of_thumb()
+                .fit(&data)
+                .expect("kernel fit");
+            let cv = KernelDensityEstimator::cross_validated()
+                .fit(&data)
+                .expect("kernel fit");
+            [
+                wavelet.evaluate_on(&grid),
+                rot.evaluate_on(&grid),
+                cv.evaluate_on(&grid),
+            ]
+        },
+    );
 
-    let mut accumulators =
-        [(); 3].map(|_| RiskAccumulator::mise_only(Grid::new(0.0, 1.0, RISK_GRID_POINTS), truth.clone()));
+    let mut accumulators = [(); 3]
+        .map(|_| RiskAccumulator::mise_only(Grid::new(0.0, 1.0, RISK_GRID_POINTS), truth.clone()));
     for triple in &results {
         for (acc, curve) in accumulators.iter_mut().zip(triple.iter()) {
             acc.record(curve);
@@ -243,23 +253,28 @@ pub fn lp_risk_profile(
     let basis = shared_basis();
     let p_vec = p_values.to_vec();
 
-    let results = run_replications(config.replications, config.threads, config.seed, |_, rng| {
-        let data = case.simulate(&target, config.sample_size, rng);
-        let wavelet = WaveletDensityEstimator::stcv()
-            .with_basis(Arc::clone(&basis))
-            .fit(&data)
-            .expect("wavelet fit")
-            .evaluate_on(&grid);
-        let rot = KernelDensityEstimator::rule_of_thumb()
-            .fit(&data)
-            .expect("kernel fit")
-            .evaluate_on(&grid);
-        let cv = KernelDensityEstimator::cross_validated()
-            .fit(&data)
-            .expect("kernel fit")
-            .evaluate_on(&grid);
-        [wavelet, rot, cv]
-    });
+    let results = run_replications(
+        config.replications,
+        config.threads,
+        config.seed,
+        |_, rng| {
+            let data = case.simulate(&target, config.sample_size, rng);
+            let wavelet = WaveletDensityEstimator::stcv()
+                .with_basis(Arc::clone(&basis))
+                .fit(&data)
+                .expect("wavelet fit")
+                .evaluate_on(&grid);
+            let rot = KernelDensityEstimator::rule_of_thumb()
+                .fit(&data)
+                .expect("kernel fit")
+                .evaluate_on(&grid);
+            let cv = KernelDensityEstimator::cross_validated()
+                .fit(&data)
+                .expect("kernel fit")
+                .evaluate_on(&grid);
+            [wavelet, rot, cv]
+        },
+    );
 
     let mut accumulators = [(); 3].map(|_| {
         RiskAccumulator::new(
@@ -321,23 +336,33 @@ pub fn lsv_study(config: &ExperimentConfig, alpha: f64, moment_orders: usize) ->
     let grid = Grid::new(0.01, 1.0, RISK_GRID_POINTS);
     let basis = shared_basis();
 
-    let results = run_replications(config.replications, config.threads, config.seed, |_, rng| {
-        let data = process.simulate(config.sample_size, rng);
-        let wavelet = WaveletDensityEstimator::stcv()
-            .with_basis(Arc::clone(&basis))
-            .with_interval(0.01, 1.0)
-            .fit(&data)
-            .expect("wavelet fit")
-            .evaluate_on(&grid);
-        let kernel = KernelDensityEstimator::rule_of_thumb()
-            .fit(&data)
-            .expect("kernel fit")
-            .evaluate_on(&grid);
-        [wavelet, kernel]
-    });
+    let results = run_replications(
+        config.replications,
+        config.threads,
+        config.seed,
+        |_, rng| {
+            let data = process.simulate(config.sample_size, rng);
+            let wavelet = WaveletDensityEstimator::stcv()
+                .with_basis(Arc::clone(&basis))
+                .with_interval(0.01, 1.0)
+                .fit(&data)
+                .expect("wavelet fit")
+                .evaluate_on(&grid);
+            let kernel = KernelDensityEstimator::rule_of_thumb()
+                .fit(&data)
+                .expect("kernel fit")
+                .evaluate_on(&grid);
+            [wavelet, kernel]
+        },
+    );
 
     let mut accumulators = [(); 2].map(|_| {
-        RiskAccumulator::new(Grid::new(0.01, 1.0, RISK_GRID_POINTS), None, vec![], moment_orders)
+        RiskAccumulator::new(
+            Grid::new(0.01, 1.0, RISK_GRID_POINTS),
+            None,
+            vec![],
+            moment_orders,
+        )
     });
     for pair in &results {
         for (acc, curve) in accumulators.iter_mut().zip(pair.iter()) {
@@ -388,8 +413,11 @@ pub fn rate_study(
     sample_sizes
         .iter()
         .map(|&n| {
-            let results =
-                run_replications(config.replications, config.threads, config.seed, |_, rng| {
+            let results = run_replications(
+                config.replications,
+                config.threads,
+                config.seed,
+                |_, rng| {
                     let data = case.simulate(&target, n, rng);
                     let wavelet = WaveletDensityEstimator::stcv()
                         .with_basis(Arc::clone(&basis))
@@ -404,7 +432,8 @@ pub fn rate_study(
                         grid.integrate_abs_power(&wavelet, &truth, 2.0),
                         grid.integrate_abs_power(&kernel, &truth, 2.0),
                     )
-                });
+                },
+            );
             RateStudyRow {
                 n,
                 mise_wavelet: mean(&results.iter().map(|r| r.0).collect::<Vec<_>>()),
@@ -467,8 +496,11 @@ pub fn threshold_ablation(
     variants
         .into_iter()
         .map(|(label, variant)| {
-            let results =
-                run_replications(config.replications, config.threads, config.seed, |_, rng| {
+            let results = run_replications(
+                config.replications,
+                config.threads,
+                config.seed,
+                |_, rng| {
                     let data = case.simulate(&target, config.sample_size, rng);
                     let estimate = match variant {
                         Variant::Cv(rule, criterion) => {
@@ -513,7 +545,8 @@ pub fn threshold_ablation(
                         grid.integrate_abs_power(&curve, &truth, 2.0),
                         estimate.sparsity(),
                     )
-                });
+                },
+            );
             ThresholdAblationRow {
                 label,
                 mise: mean(&results.iter().map(|r| r.0).collect::<Vec<_>>()),

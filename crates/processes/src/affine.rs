@@ -76,7 +76,9 @@ impl Arch1Process {
             return Err(format!("ω must be positive, got {omega}"));
         }
         if !(0.0..1.0).contains(&alpha) {
-            return Err(format!("α must lie in [0, 1) for stationarity, got {alpha}"));
+            return Err(format!(
+                "α must lie in [0, 1) for stationarity, got {alpha}"
+            ));
         }
         Ok(Self {
             omega,
@@ -226,7 +228,10 @@ mod tests {
             .map(|w| (w[0] - mean) * (w[1] - mean))
             .sum::<f64>()
             / (n - 1) as f64;
-        assert!((cov / var).abs() < 0.02, "raw series should be uncorrelated");
+        assert!(
+            (cov / var).abs() < 0.02,
+            "raw series should be uncorrelated"
+        );
         let sq: Vec<f64> = x.iter().map(|v| v * v).collect();
         let mean_sq = sq.iter().sum::<f64>() / n as f64;
         let var_sq = sq.iter().map(|v| (v - mean_sq).powi(2)).sum::<f64>() / n as f64;

@@ -160,7 +160,11 @@ impl StationaryProcess for InfiniteMovingAverage {
     fn name(&self) -> String {
         format!(
             "{}-ma(decay={}, {:?})",
-            if self.two_sided { "two-sided" } else { "causal" },
+            if self.two_sided {
+                "two-sided"
+            } else {
+                "causal"
+            },
             self.decay,
             self.innovation
         )

@@ -66,12 +66,7 @@ impl DependenceCase {
 
     /// Draws `n` observations with marginal density `target` under this
     /// dependence scheme.
-    pub fn simulate(
-        self,
-        target: &dyn TargetDensity,
-        n: usize,
-        rng: &mut dyn RngCore,
-    ) -> Vec<f64> {
+    pub fn simulate(self, target: &dyn TargetDensity, n: usize, rng: &mut dyn RngCore) -> Vec<f64> {
         self.driver()
             .simulate_uniform(n, rng)
             .into_iter()

@@ -398,11 +398,7 @@ mod tests {
         ];
         for d in &densities {
             let mass = integral_of_pdf(d.as_ref());
-            assert!(
-                (mass - 1.0).abs() < 5e-3,
-                "{}: total mass {mass}",
-                d.name()
-            );
+            assert!((mass - 1.0).abs() < 5e-3, "{}: total mass {mass}", d.name());
         }
     }
 

@@ -189,7 +189,13 @@ mod tests {
     #[test]
     fn polynomial_fit_recovers_known_exponent() {
         let cov: Vec<f64> = (0..20)
-            .map(|r| if r == 0 { 3.0 } else { 3.0 * (r as f64).powf(-1.5) })
+            .map(|r| {
+                if r == 0 {
+                    3.0
+                } else {
+                    3.0 * (r as f64).powf(-1.5)
+                }
+            })
             .collect();
         let fit = fit_polynomial_decay(&cov).unwrap();
         assert!((fit.rate - 1.5).abs() < 1e-9);

@@ -145,7 +145,11 @@ mod tests {
             .map(|w| (w[0] - mean) * (w[1] - mean))
             .sum::<f64>()
             / (n - 1) as f64;
-        assert!(cov1 / var > 0.05, "squared lag-1 correlation {}", cov1 / var);
+        assert!(
+            cov1 / var > 0.05,
+            "squared lag-1 correlation {}",
+            cov1 / var
+        );
         // The raw series is (approximately) uncorrelated.
         let mean_x = x.iter().sum::<f64>() / n as f64;
         let var_x = x.iter().map(|v| (v - mean_x).powi(2)).sum::<f64>() / n as f64;

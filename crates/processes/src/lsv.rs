@@ -170,11 +170,13 @@ mod tests {
     fn covariance_decay_exponent_formula() {
         let p = LsvMapProcess::new(0.5).unwrap();
         assert!((p.covariance_decay_exponent() + 1.0).abs() < 1e-12);
-        assert!(LsvMapProcess::new(0.9)
-            .unwrap()
-            .covariance_decay_exponent()
-            .abs()
-            < 0.12);
+        assert!(
+            LsvMapProcess::new(0.9)
+                .unwrap()
+                .covariance_decay_exponent()
+                .abs()
+                < 0.12
+        );
     }
 
     #[test]

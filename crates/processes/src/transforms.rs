@@ -96,8 +96,8 @@ mod tests {
         let mut rng = seeded_rng(5);
         let sample = IidDriver.simulate_uniform(50_000, &mut rng);
         let mean = sample.iter().sum::<f64>() / sample.len() as f64;
-        let below_quarter = sample.iter().filter(|&&u| u < 0.25).count() as f64
-            / sample.len() as f64;
+        let below_quarter =
+            sample.iter().filter(|&&u| u < 0.25).count() as f64 / sample.len() as f64;
         assert!((mean - 0.5).abs() < 0.01);
         assert!((below_quarter - 0.25).abs() < 0.01);
     }

@@ -323,7 +323,9 @@ mod tests {
         let wavelet = WaveletSelectivity::fit(&data).unwrap();
         let coarse_hist = HistogramSelectivity::fit(&data, 8);
         let mut rng = seeded_rng(11);
-        let workload = WorkloadGenerator::new(0.02, 0.15).unwrap().draw_many(300, &mut rng);
+        let workload = WorkloadGenerator::new(0.02, 0.15)
+            .unwrap()
+            .draw_many(300, &mut rng);
         let w = evaluate_workload(&wavelet, &truth, &workload);
         let h = evaluate_workload(&coarse_hist, &truth, &workload);
         assert!(

@@ -30,13 +30,13 @@ impl BesovParameters {
     /// (`s + 1/2 − 1/π > 0` guarantees the Besov space embeds in `L²`-usable
     /// classes).
     pub fn new(s: f64, pi: f64, r: f64) -> Result<Self, String> {
-        if !(s > 0.0) {
+        if s.is_nan() || s <= 0.0 {
             return Err(format!("smoothness s must be positive, got {s}"));
         }
-        if !(pi >= 1.0) {
+        if pi.is_nan() || pi < 1.0 {
             return Err(format!("integrability π must be ≥ 1, got {pi}"));
         }
-        if !(r >= 1.0) {
+        if r.is_nan() || r < 1.0 {
             return Err(format!("summability r must be ≥ 1 (or ∞), got {r}"));
         }
         if s + 0.5 - 1.0 / pi <= 0.0 {
@@ -80,11 +80,7 @@ pub struct DetailLevel {
 ///
 /// `alpha_reference` plays the role of `|α_{0,0}|`; pass the `ℓ^π` norm of
 /// the coarse-scale coefficients when working on a bounded interval.
-pub fn besov_norm(
-    params: BesovParameters,
-    alpha_reference: f64,
-    details: &[DetailLevel],
-) -> f64 {
+pub fn besov_norm(params: BesovParameters, alpha_reference: f64, details: &[DetailLevel]) -> f64 {
     alpha_reference.abs() + besov_seminorm(params, details)
 }
 
@@ -103,10 +99,7 @@ pub fn besov_seminorm(params: BesovParameters, details: &[DetailLevel]) -> f64 {
     if r.is_infinite() {
         level_terms.fold(0.0_f64, f64::max)
     } else {
-        level_terms
-            .map(|t| t.powf(r))
-            .sum::<f64>()
-            .powf(1.0 / r)
+        level_terms.map(|t| t.powf(r)).sum::<f64>().powf(1.0 / r)
     }
 }
 
@@ -175,9 +168,7 @@ mod tests {
         let p = params(1.5, 2.0, 2.0);
         assert!(besov_seminorm(p, &large) > besov_seminorm(p, &small));
         // Scaling by 2 scales the seminorm by 2 (it is a norm).
-        assert!(
-            (besov_seminorm(p, &large) - 2.0 * besov_seminorm(p, &small)).abs() < 1e-12
-        );
+        assert!((besov_seminorm(p, &large) - 2.0 * besov_seminorm(p, &small)).abs() < 1e-12);
     }
 
     #[test]

@@ -133,7 +133,11 @@ fn interpolate(values: &[f64], step: f64, x: f64) -> f64 {
     let pos = x / step;
     let idx = pos.floor() as usize;
     if idx + 1 >= values.len() {
-        return if idx + 1 == values.len() { values[idx] } else { 0.0 };
+        return if idx + 1 == values.len() {
+            values[idx]
+        } else {
+            0.0
+        };
     }
     let frac = pos - idx as f64;
     values[idx] * (1.0 - frac) + values[idx + 1] * frac

@@ -211,7 +211,11 @@ mod tests {
                 .zip(&rec)
                 .map(|(a, b)| (a - b).abs())
                 .fold(0.0_f64, f64::max);
-            assert!(max_err < 1e-9, "{}: reconstruction error {max_err}", fam.name());
+            assert!(
+                max_err < 1e-9,
+                "{}: reconstruction error {max_err}",
+                fam.name()
+            );
         }
     }
 

@@ -504,10 +504,10 @@ mod tests {
             let len = h.len();
             for m in 0..(len / 2) {
                 let mut acc = 0.0;
-                for k in 0..len {
-                    let idx = k as i64 + 2 * m as i64;
-                    if idx >= 0 && (idx as usize) < len {
-                        acc += h[k] * g[idx as usize];
+                for (k, &hk) in h.iter().enumerate() {
+                    let idx = k + 2 * m;
+                    if idx < len {
+                        acc += hk * g[idx];
                     }
                 }
                 assert!(acc.abs() < 1e-9, "{}: <h, g(·-2m)> = {}", fam.name(), acc);

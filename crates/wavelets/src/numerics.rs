@@ -105,6 +105,7 @@ impl Mul<f64> for Complex {
 
 impl Div for Complex {
     type Output = Complex;
+    #[allow(clippy::suspicious_arithmetic_impl)] // division via reciprocal
     fn div(self, rhs: Complex) -> Complex {
         self * rhs.inv()
     }
@@ -168,7 +169,7 @@ pub fn polynomial_roots(real_coeffs: &[f64]) -> Vec<Complex> {
             .iter()
             .map(|c| c.abs())
             .fold(0.0_f64, f64::max);
-    let radius = cauchy_bound.min(1e6).max(1e-3);
+    let radius = cauchy_bound.clamp(1e-3, 1e6);
     let mut roots: Vec<Complex> = (0..degree)
         .map(|k| {
             let theta = 2.0 * std::f64::consts::PI * (k as f64) / (degree as f64) + 0.4;
@@ -265,8 +266,10 @@ pub fn solve_linear_system(a: &[Vec<f64>], b: &[f64]) -> Option<Vec<f64>> {
         m.swap(col, pivot_row);
         for row in (col + 1)..n {
             let factor = m[row][col] / m[col][col];
-            for k in col..=n {
-                m[row][k] -= factor * m[col][k];
+            let (pivot_rows, rest) = m.split_at_mut(row);
+            let pivot = &pivot_rows[col][col..=n];
+            for (dst, &src) in rest[0][col..=n].iter_mut().zip(pivot) {
+                *dst -= factor * src;
             }
         }
     }
@@ -307,7 +310,13 @@ mod tests {
 
     #[test]
     fn complex_sqrt_squares_back() {
-        for &(re, im) in &[(4.0, 0.0), (-1.0, 0.0), (3.0, -4.0), (0.0, 2.0), (-2.5, 1.5)] {
+        for &(re, im) in &[
+            (4.0, 0.0),
+            (-1.0, 0.0),
+            (3.0, -4.0),
+            (0.0, 2.0),
+            (-2.5, 1.5),
+        ] {
             let z = Complex::new(re, im);
             let r = z.sqrt();
             let sq = r * r;

@@ -15,8 +15,12 @@ fn main() {
     println!("simulated {n} weakly dependent observations (logistic-map orbit)");
 
     // 2. Fit the cross-validated wavelet estimators of the paper.
-    let htcv = WaveletDensityEstimator::htcv().fit(&data).expect("HTCV fit");
-    let stcv = WaveletDensityEstimator::stcv().fit(&data).expect("STCV fit");
+    let htcv = WaveletDensityEstimator::htcv()
+        .fit(&data)
+        .expect("HTCV fit");
+    let stcv = WaveletDensityEstimator::stcv()
+        .fit(&data)
+        .expect("STCV fit");
     println!(
         "HTCV: j0 = {}, data-driven j1 = {}, sparsity = {:.2}",
         htcv.coarse_level(),

@@ -22,7 +22,10 @@ fn main() {
         synopsis.observe_many(chunk.iter().copied());
     }
     synopsis.refresh().expect("refresh");
-    println!("ingested {} rows into the wavelet synopsis", synopsis.rows());
+    println!(
+        "ingested {} rows into the wavelet synopsis",
+        synopsis.rows()
+    );
 
     // Answer a few ad-hoc range queries.
     let truth = EmpiricalSelectivity::new(&stream);

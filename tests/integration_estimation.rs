@@ -28,11 +28,7 @@ fn all_cases_and_rules_recover_the_marginal_density() {
             let fit = estimator.fit(&data).expect("fit");
             let values = fit.evaluate_on(&grid);
             let ise = grid.integrate_abs_power(&values, &truth, 2.0);
-            assert!(
-                ise < 0.35,
-                "{case}, rule {:?}: ISE = {ise}",
-                fit.rule()
-            );
+            assert!(ise < 0.35, "{case}, rule {:?}: ISE = {ise}", fit.rule());
             let mass = fit.integral();
             assert!(
                 (mass - 1.0).abs() < 0.1,

@@ -5,12 +5,12 @@
 //! result — who wins, what grows, what stays flat — at a scale small enough
 //! for the regular test suite.
 
+use wavedens::estimation::ThresholdRule;
+use wavedens::prelude::*;
 use wavedens_experiments::{
     case_mise, kernel_comparison_curves, lp_risk_profile, lsv_study, threshold_ablation,
     ExperimentConfig,
 };
-use wavedens::estimation::ThresholdRule;
-use wavedens::prelude::*;
 
 fn small_config() -> ExperimentConfig {
     ExperimentConfig::default()
@@ -37,7 +37,10 @@ fn table1_shape_mise_comparable_across_cases() {
         "STCV MISEs should be of the same order across cases: {stcv:?}"
     );
     for (s, h) in stcv.iter().zip(&htcv) {
-        assert!(s <= &(h * 1.2), "STCV {s} should not be much worse than HTCV {h}");
+        assert!(
+            s <= &(h * 1.2),
+            "STCV {s} should not be much worse than HTCV {h}"
+        );
     }
 }
 
@@ -53,9 +56,12 @@ fn table2_shape_j1_insensitive_to_dependence() {
     for j1 in &j1s {
         assert!((3.0..9.0).contains(j1), "mean ĵ1 = {j1}");
     }
-    let spread = j1s.iter().cloned().fold(f64::MIN, f64::max)
-        - j1s.iter().cloned().fold(f64::MAX, f64::min);
-    assert!(spread < 2.5, "ĵ1 should be insensitive to the case: {j1s:?}");
+    let spread =
+        j1s.iter().cloned().fold(f64::MIN, f64::max) - j1s.iter().cloned().fold(f64::MAX, f64::min);
+    assert!(
+        spread < 2.5,
+        "ĵ1 should be insensitive to the case: {j1s:?}"
+    );
 }
 
 /// Figure 3's shape: cross-validated thresholds increase with the
@@ -100,8 +106,14 @@ fn figure5_shape_kernel_rule_of_thumb_oversmooths() {
     assert!(peak(&cmp.mean_kernel_rot) < 7.0, "rule-of-thumb peak");
     assert!(peak(&cmp.mean_wavelet) > 7.0, "wavelet peak");
     assert!(peak(&cmp.mean_kernel_cv) > 7.0, "CV kernel peak");
-    assert!(cmp.mise[1] > cmp.mise[0], "rule-of-thumb worse than wavelet");
-    assert!(cmp.mise[1] > cmp.mise[2], "rule-of-thumb worse than CV kernel");
+    assert!(
+        cmp.mise[1] > cmp.mise[0],
+        "rule-of-thumb worse than wavelet"
+    );
+    assert!(
+        cmp.mise[1] > cmp.mise[2],
+        "rule-of-thumb worse than CV kernel"
+    );
 }
 
 /// Figure 6's shape: the CV-bandwidth kernel beats the wavelet estimator

@@ -9,7 +9,10 @@ use wavedens::selectivity::{EmpiricalSelectivity, HistogramSelectivity, Selectiv
 use wavedens::wavelets::{besov_seminorm, BesovParameters, DetailLevel, Dwt, OrthonormalFilter};
 
 proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+    // Fixed case count AND generator seed: tier-1 must be reproducible
+    // run-to-run, so the generated inputs are pinned rather than drawn
+    // from ambient entropy.
+    #![proptest_config(ProptestConfig::with_cases(64).with_rng_seed(0x5EED_BA5E_2026_0001))]
 
     /// Threshold functions: soft shrinkage is dominated by hard
     /// thresholding, which is dominated by the identity; the sign is never

@@ -1,0 +1,233 @@
+//! Offline, API-compatible subset of the `criterion` benchmarking crate.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors the part of the Criterion API its benches use: [`Criterion`],
+//! [`BenchmarkGroup`], `bench_function`, `iter`, `iter_batched`,
+//! [`BatchSize`], [`black_box`] and the [`criterion_group!`] /
+//! [`criterion_main!`] macros.
+//!
+//! Measurement is intentionally simple — a fixed warm-up followed by a
+//! timed batch per sample, reporting min/mean/max of the per-iteration
+//! time — with none of upstream's statistical machinery. Bench targets
+//! stay `harness = false` executables, so `cargo bench` runs them and
+//! `cargo bench --no-run` compiles them, exactly as with upstream.
+
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+/// Prevents the optimiser from deleting a computed value (upstream
+/// `criterion::black_box`).
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// How `iter_batched` amortises setup cost; only the variants used by the
+/// workspace are provided.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small inputs: one setup per measured iteration is acceptable.
+    SmallInput,
+    /// Large inputs: identical behaviour in this shim.
+    LargeInput,
+    /// Per-iteration setup (identical behaviour in this shim).
+    PerIteration,
+}
+
+/// The benchmark driver handed to `criterion_group!` targets.
+#[derive(Debug)]
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Runs a single named benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(&id.into(), self.sample_size, f);
+        self
+    }
+
+    /// Opens a named group of benchmarks sharing configuration.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("group: {name}");
+        BenchmarkGroup {
+            _criterion: self,
+            name,
+            sample_size: 10,
+        }
+    }
+}
+
+/// A group of related benchmarks (upstream `BenchmarkGroup`).
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of samples collected per benchmark in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Sets the target measurement time. Accepted for API compatibility;
+    /// the shim's fixed sampling ignores it.
+    pub fn measurement_time(&mut self, _duration: Duration) -> &mut Self {
+        self
+    }
+
+    /// Runs a single named benchmark inside the group.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into());
+        run_one(&full, self.sample_size, f);
+        self
+    }
+
+    /// Finishes the group.
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(name: &str, sample_size: usize, mut f: F) {
+    let mut bencher = Bencher {
+        samples: Vec::with_capacity(sample_size),
+        sample_size,
+    };
+    f(&mut bencher);
+    if bencher.samples.is_empty() {
+        println!("  {name}: no samples recorded");
+        return;
+    }
+    let n = bencher.samples.len() as f64;
+    let mean = bencher.samples.iter().sum::<Duration>().as_secs_f64() / n;
+    let min = bencher
+        .samples
+        .iter()
+        .min()
+        .expect("nonempty")
+        .as_secs_f64();
+    let max = bencher
+        .samples
+        .iter()
+        .max()
+        .expect("nonempty")
+        .as_secs_f64();
+    println!(
+        "  {name}: time [{} {} {}]",
+        format_time(min),
+        format_time(mean),
+        format_time(max)
+    );
+}
+
+fn format_time(seconds: f64) -> String {
+    if seconds < 1e-6 {
+        format!("{:.3} ns", seconds * 1e9)
+    } else if seconds < 1e-3 {
+        format!("{:.3} µs", seconds * 1e6)
+    } else if seconds < 1.0 {
+        format!("{:.3} ms", seconds * 1e3)
+    } else {
+        format!("{seconds:.3} s")
+    }
+}
+
+/// Measures closures; handed to each benchmark body.
+#[derive(Debug)]
+pub struct Bencher {
+    samples: Vec<Duration>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Times `routine`, recording one sample per call after a warm-up
+    /// call. The routine's output is passed through [`black_box`].
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        black_box(routine());
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            black_box(routine());
+            self.samples.push(start.elapsed());
+        }
+    }
+
+    /// Times `routine` on inputs produced by `setup`, excluding setup time
+    /// from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        black_box(routine(setup()));
+        for _ in 0..self.sample_size {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            self.samples.push(start.elapsed());
+        }
+    }
+}
+
+/// Declares a function that runs a list of benchmark targets (upstream
+/// `criterion_group!`). Only the positional form is supported.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the `main` function of a `harness = false` bench executable
+/// (upstream `criterion_main!`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_records_samples() {
+        let mut c = Criterion::default();
+        let mut ran = 0_u64;
+        c.bench_function("smoke", |b| b.iter(|| ran += 1));
+        assert!(ran > 0);
+    }
+
+    #[test]
+    fn groups_and_batched_iteration() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group.sample_size(3);
+        let mut total = 0_u64;
+        group.bench_function("batched", |b| {
+            b.iter_batched(|| 5_u64, |x| total += x, BatchSize::SmallInput)
+        });
+        group.finish();
+        assert!(total >= 20);
+    }
+}

@@ -1,0 +1,120 @@
+//! Offline, API-compatible subset of the `proptest` crate.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors the slice of `proptest` that its property-based tests use: the
+//! [`proptest!`] macro, `prop_assert*!` macros, numeric range strategies,
+//! [`collection::vec`], and [`test_runner::Config`] (`ProptestConfig`).
+//!
+//! Differences from upstream, by design:
+//!
+//! * case generation is **deterministic**: every run draws cases from a
+//!   PRNG seeded with [`test_runner::Config::rng_seed`] (default
+//!   `0xWAVE_DE45` style constant), so tier-1 runs are reproducible
+//!   bit for bit;
+//! * there is no shrinking — a failing case panics immediately and the
+//!   generated inputs are printed alongside the panic.
+
+#![warn(missing_docs)]
+
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+/// Common imports for property-based tests, mirroring
+/// `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Asserts a condition inside a [`proptest!`] case; on failure the
+/// generated inputs are printed and the test panics (no shrinking).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        assert!($cond)
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        assert!($cond, $($fmt)+)
+    };
+}
+
+/// Equality assertion counterpart of [`prop_assert!`].
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(, $($fmt:tt)+)?) => {
+        assert_eq!($left, $right $(, $($fmt)+)?)
+    };
+}
+
+/// Inequality assertion counterpart of [`prop_assert!`].
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(, $($fmt:tt)+)?) => {
+        assert_ne!($left, $right $(, $($fmt)+)?)
+    };
+}
+
+/// Declares property-based test functions.
+///
+/// Supports the upstream surface used in this workspace: an optional
+/// `#![proptest_config(...)]` inner attribute followed by `#[test]`
+/// functions whose arguments are drawn from strategies with `name in
+/// strategy` syntax.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_cases! { ($config); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_cases! {
+            ($crate::test_runner::Config::default()); $($rest)*
+        }
+    };
+}
+
+/// Implementation detail of [`proptest!`]: expands each case into a plain
+/// `#[test]` function that loops over deterministically generated inputs.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_cases {
+    (($config:expr);) => {};
+    (
+        ($config:expr);
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::Config = $config;
+            for case_index in 0..config.cases {
+                let mut rng = config.case_rng(case_index, stringify!($name));
+                $(let $arg = $crate::strategy::Strategy::generate(&($strat), &mut rng);)+
+                let case_desc = {
+                    let mut parts: Vec<String> = Vec::new();
+                    $(parts.push(format!(
+                        "{} = {:?}",
+                        stringify!($arg),
+                        &$arg
+                    ));)+
+                    parts.join(", ")
+                };
+                let outcome = ::std::panic::catch_unwind(
+                    ::std::panic::AssertUnwindSafe(|| $body),
+                );
+                if let Err(payload) = outcome {
+                    eprintln!(
+                        "proptest case {case_index}/{} of `{}` failed with inputs: {case_desc}",
+                        config.cases,
+                        stringify!($name),
+                    );
+                    ::std::panic::resume_unwind(payload);
+                }
+            }
+        }
+        $crate::__proptest_cases! { ($config); $($rest)* }
+    };
+}
