@@ -1,0 +1,124 @@
+//! Query-throughput benchmark of the selectivity synopsis: insert 10k
+//! rows, answer 1k range queries, comparing the precomputed-CDF fast path
+//! against the per-query quadrature path it replaced.
+//!
+//! Besides the usual Criterion timings, the run writes the headline
+//! numbers to `BENCH_query_throughput.json` at the repository root so the
+//! performance trajectory of the query path is tracked across PRs.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use std::time::Instant;
+use wavedens_bench::paper_sample;
+use wavedens_core::WaveletDensityEstimate;
+use wavedens_processes::seeded_rng;
+use wavedens_selectivity::{
+    integrate_density, RangeQuery, SelectivityEstimator, WaveletSelectivity, WorkloadGenerator,
+};
+
+const ROWS: usize = 10_000;
+const QUERIES: usize = 1_000;
+/// Wall-clock repetitions per measured path; the minimum total is
+/// reported to suppress scheduler noise.
+const REPEATS: usize = 5;
+
+/// Minimum total wall time of `routine` over [`REPEATS`] runs.
+fn min_total_seconds(mut routine: impl FnMut() -> f64) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..REPEATS {
+        let start = Instant::now();
+        black_box(routine());
+        best = best.min(start.elapsed().as_secs_f64());
+    }
+    best
+}
+
+fn query_throughput(c: &mut Criterion) {
+    let data = paper_sample(ROWS, 11);
+    let mut rng = seeded_rng(29);
+    let workload: Vec<RangeQuery> = WorkloadGenerator::analytical().draw_many(QUERIES, &mut rng);
+
+    // Ingestion: 10k rows through the batched streaming path.
+    let insert_start = Instant::now();
+    let mut synopsis = WaveletSelectivity::with_expected_rows(ROWS).expect("synopsis");
+    synopsis.observe_many(data.iter().copied());
+    let insert_seconds = insert_start.elapsed().as_secs_f64();
+
+    // One cross-validation rebuild + dense CDF construction.
+    let rebuild_start = Instant::now();
+    synopsis.refresh().expect("refresh");
+    let rebuild_seconds = rebuild_start.elapsed().as_secs_f64();
+    let density: WaveletDensityEstimate = synopsis.refresh().expect("refresh").clone();
+
+    // Fast path: warm-cache CDF queries.
+    let cdf_seconds =
+        min_total_seconds(|| workload.iter().map(|q| synopsis.estimate(q)).sum::<f64>());
+
+    // Reference path: fresh trapezoidal quadrature per query (what every
+    // warm-cache query cost before the CDF fast path).
+    let integration_seconds = min_total_seconds(|| {
+        workload
+            .iter()
+            .map(|q| integrate_density(q, |x| density.evaluate(x)))
+            .sum::<f64>()
+    });
+
+    // The two paths must agree on the answers they speed up.
+    let mean_abs_difference = workload
+        .iter()
+        .map(|q| (synopsis.estimate(q) - integrate_density(q, |x| density.evaluate(x))).abs())
+        .sum::<f64>()
+        / QUERIES as f64;
+
+    // A stale-cache burst must trigger exactly one rebuild.
+    let rebuilds_before = synopsis.rebuild_count();
+    synopsis.observe(0.5);
+    for q in &workload {
+        black_box(synopsis.estimate(q));
+    }
+    let stale_burst_rebuilds = synopsis.rebuild_count() - rebuilds_before;
+
+    let speedup = integration_seconds / cdf_seconds;
+    println!(
+        "\nquery_throughput: {ROWS} rows, {QUERIES} queries\n\
+         insert           {insert_seconds:10.6} s\n\
+         rebuild (CV+CDF) {rebuild_seconds:10.6} s\n\
+         CDF path         {cdf_seconds:10.6} s  ({:10.0} queries/s)\n\
+         integration path {integration_seconds:10.6} s  ({:10.0} queries/s)\n\
+         speedup          {speedup:10.1}×\n\
+         mean |Δ|         {mean_abs_difference:10.2e}\n\
+         stale-burst rebuilds {stale_burst_rebuilds}",
+        QUERIES as f64 / cdf_seconds,
+        QUERIES as f64 / integration_seconds,
+    );
+
+    let json = format!(
+        "{{\n  \"bench\": \"query_throughput\",\n  \"rows\": {ROWS},\n  \"queries\": {QUERIES},\n  \
+         \"insert_seconds\": {insert_seconds:.6},\n  \"rebuild_seconds\": {rebuild_seconds:.6},\n  \
+         \"cdf_path\": {{ \"total_seconds\": {cdf_seconds:.6}, \"queries_per_second\": {:.0} }},\n  \
+         \"integration_path\": {{ \"total_seconds\": {integration_seconds:.6}, \"queries_per_second\": {:.0} }},\n  \
+         \"speedup\": {speedup:.1},\n  \"stale_burst_rebuilds\": {stale_burst_rebuilds},\n  \
+         \"mean_abs_difference\": {mean_abs_difference:.3e}\n}}\n",
+        QUERIES as f64 / cdf_seconds,
+        QUERIES as f64 / integration_seconds,
+    );
+    let path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../BENCH_query_throughput.json"
+    );
+    match std::fs::write(path, &json) {
+        Ok(()) => println!("wrote {path}"),
+        Err(err) => eprintln!("could not write {path}: {err}"),
+    }
+
+    let mut group = c.benchmark_group("query_throughput");
+    group.sample_size(10);
+    let query = RangeQuery::new(0.2, 0.45).expect("valid query");
+    group.bench_function("cdf_query", |b| b.iter(|| synopsis.estimate(&query)));
+    group.bench_function("integration_query", |b| {
+        b.iter(|| integrate_density(&query, |x| density.evaluate(x)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, query_throughput);
+criterion_main!(benches);

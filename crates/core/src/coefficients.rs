@@ -39,8 +39,10 @@ pub struct LevelCoefficients {
     pub k_start: i64,
     /// Empirical coefficients, `values[m] = δ̂_{j, k_start + m}`.
     pub values: Vec<f64>,
-    /// Per-coefficient sums of squares `Σ_i δ_{j,k}(X_i)²`.
-    pub sum_squares: Vec<f64>,
+    /// Per-coefficient sums of squares `Σ_i δ_{j,k}(X_i)²`, shared via
+    /// [`Arc`] so that snapshotting a streaming estimator does not copy
+    /// the vector (cross-validation only ever reads it).
+    pub sum_squares: Arc<Vec<f64>>,
 }
 
 impl LevelCoefficients {
@@ -198,6 +200,73 @@ impl EmpiricalCoefficients {
     }
 }
 
+/// The clamped range of translations `k` with `δ_{j,k}(x) ≠ 0`:
+/// `δ_{j,k}(x) ≠ 0` requires `0 < position − k < 2N−1` (with
+/// `position = 2^j x`), i.e. `position − (2N−1) < k < position`,
+/// intersected with the stored window `[k_start, k_start + count)`.
+///
+/// This derivation is shared by the batch coefficient accumulation, the
+/// streaming running sums and the pointwise estimate evaluation so the
+/// three paths cannot drift apart.
+pub(crate) fn active_translations(
+    support: f64,
+    position: f64,
+    k_start: i64,
+    count: usize,
+) -> std::ops::RangeInclusive<i64> {
+    let k_lo = ((position - support).floor() as i64 + 1).max(k_start);
+    let k_hi = (position.ceil() as i64 - 1).min(k_start + count as i64 - 1);
+    k_lo..=k_hi
+}
+
+/// Scatters observations into the running sums (and sums of squares) of
+/// one resolution level — the shared inner loop of the batch
+/// [`accumulate_level`] and the streaming `RunningLevel::push`.
+///
+/// The per-level constants (`2^j`, the support length) are hoisted into
+/// the struct so that batched ingestion pays them once per level, not
+/// once per observation.
+pub(crate) struct LevelAccumulator<'a> {
+    basis: &'a WaveletBasis,
+    generator: Generator,
+    level: i32,
+    scale: f64,
+    support: f64,
+    k_start: i64,
+}
+
+impl<'a> LevelAccumulator<'a> {
+    pub(crate) fn new(
+        basis: &'a WaveletBasis,
+        generator: Generator,
+        level: i32,
+        k_start: i64,
+    ) -> Self {
+        Self {
+            basis,
+            generator,
+            level,
+            scale: (level as f64).exp2(),
+            support: basis.support_length(),
+            k_start,
+        }
+    }
+
+    /// Adds `δ_{j,k}(x)` (and its square) to every affected translation.
+    pub(crate) fn scatter(&self, x: f64, sums: &mut [f64], sum_squares: &mut [f64]) {
+        let position = self.scale * x;
+        for k in active_translations(self.support, position, self.k_start, sums.len()) {
+            let value = match self.generator {
+                Generator::Scaling => self.basis.phi_jk(self.level, k, x),
+                Generator::Wavelet => self.basis.psi_jk(self.level, k, x),
+            };
+            let idx = (k - self.k_start) as usize;
+            sums[idx] += value;
+            sum_squares[idx] += value * value;
+        }
+    }
+}
+
 fn accumulate_level(
     basis: &WaveletBasis,
     data: &[f64],
@@ -210,24 +279,9 @@ fn accumulate_level(
     let count = (*range.end() - k_start + 1).max(0) as usize;
     let mut sums = vec![0.0_f64; count];
     let mut sum_squares = vec![0.0_f64; count];
-    let support = basis.support_length();
-    let scale = (level as f64).exp2();
-
+    let accumulator = LevelAccumulator::new(basis, generator, level, k_start);
     for &x in data {
-        // δ_{j,k}(x) ≠ 0 requires 0 < 2^j x − k < 2N−1, i.e.
-        // 2^j x − (2N−1) < k < 2^j x.
-        let position = scale * x;
-        let k_lo = (position - support).floor() as i64 + 1;
-        let k_hi = (position).ceil() as i64 - 1;
-        for k in k_lo.max(k_start)..=k_hi.min(k_start + count as i64 - 1) {
-            let value = match generator {
-                Generator::Scaling => basis.phi_jk(level, k, x),
-                Generator::Wavelet => basis.psi_jk(level, k, x),
-            };
-            let idx = (k - k_start) as usize;
-            sums[idx] += value;
-            sum_squares[idx] += value * value;
-        }
+        accumulator.scatter(x, &mut sums, &mut sum_squares);
     }
 
     let n = data.len() as f64;
@@ -237,7 +291,7 @@ fn accumulate_level(
         generator,
         k_start,
         values,
-        sum_squares,
+        sum_squares: Arc::new(sum_squares),
     }
 }
 

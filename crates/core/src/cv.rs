@@ -243,7 +243,7 @@ mod tests {
             generator: Generator::Wavelet,
             k_start: 0,
             values,
-            sum_squares,
+            sum_squares: Arc::new(sum_squares),
         }
     }
 

@@ -113,6 +113,11 @@ impl WaveletDensityEstimator {
 
     /// Sets the dependence exponent `b` of assumption (D2) used by the
     /// theoretical `j1` rule (default 1, the expanding-map value).
+    ///
+    /// `b` must be strictly positive: [`fit`](Self::fit) rejects `b ≤ 0`
+    /// (and non-finite values), which would otherwise drive the
+    /// `ln(n)^{−2/b−3}` factor of [`theoretical_max_level`] through a
+    /// NaN/∞ exponent.
     pub fn with_dependence_exponent(mut self, b: f64) -> Self {
         self.dependence_exponent = b;
         self
@@ -144,6 +149,14 @@ impl WaveletDensityEstimator {
         let (lo, hi) = self.interval;
         if lo >= hi || !lo.is_finite() || !hi.is_finite() {
             return Err(EstimatorError::InvalidInterval { lo, hi });
+        }
+        if self.dependence_exponent <= 0.0 || !self.dependence_exponent.is_finite() {
+            return Err(EstimatorError::InvalidParameter {
+                message: format!(
+                    "dependence exponent b must be a positive finite number, got {}",
+                    self.dependence_exponent
+                ),
+            });
         }
         let n = data.len();
         let basis = match &self.basis {
@@ -345,16 +358,69 @@ impl WaveletDensityEstimate {
         total
     }
 
-    /// Evaluates the estimate on a grid.
+    /// Evaluates the estimate on a grid, one [`evaluate`](Self::evaluate)
+    /// call per point. Prefer [`evaluate_dense`](Self::evaluate_dense) for
+    /// dense uniform grids — it is algebraically the same sum arranged per
+    /// coefficient instead of per point, and much faster.
     pub fn evaluate_on(&self, grid: &Grid) -> Vec<f64> {
         grid.evaluate(|x| self.evaluate(x))
     }
 
+    /// Evaluates the estimate on a uniform grid by looping **per surviving
+    /// coefficient over its compact support** with a constant table
+    /// stride, instead of re-deriving the active translation range and
+    /// interpolating per point as [`evaluate`](Self::evaluate) does.
+    ///
+    /// For one coefficient at level `j`, the table argument
+    /// `2^j x − k` advances by the constant `2^j · grid_step` between
+    /// neighbouring grid points, so its whole support is swept with one
+    /// strided pass ([`wavedens_wavelets::WaveletTable::accumulate_psi`]).
+    /// Thresholded-to-zero coefficients are skipped entirely, which is
+    /// where sparse cross-validated fits win big. The result agrees with
+    /// [`evaluate_on`](Self::evaluate_on) up to floating-point rounding
+    /// (≈ 1e-12).
+    pub fn evaluate_dense(&self, grid: &Grid) -> Vec<f64> {
+        let mut values = vec![0.0_f64; grid.len()];
+        accumulate_dense(
+            &self.basis,
+            grid,
+            self.scaling.level,
+            self.scaling.k_start,
+            &self.scaling.values,
+            true,
+            &mut values,
+        );
+        for level in &self.details {
+            if level.surviving == 0 {
+                continue;
+            }
+            accumulate_dense(
+                &self.basis,
+                grid,
+                level.level,
+                level.k_start,
+                &level.coefficients,
+                false,
+                &mut values,
+            );
+        }
+        values
+    }
+
+    /// Builds the cumulative (CDF) representation of this estimate on a
+    /// dense grid of `points` points: `cdf(x)` / `range_mass(lo, hi)`
+    /// queries then cost O(1) instead of an integration sweep.
+    pub fn cumulative(&self, points: usize) -> crate::dense::CumulativeEstimate {
+        crate::dense::CumulativeEstimate::from_estimate(self, points)
+    }
+
     /// Numerical integral of the estimate over the estimation interval
     /// (should be close to 1 when the data live inside the interval).
+    /// Computed with the dense per-coefficient sweep of
+    /// [`evaluate_dense`](Self::evaluate_dense).
     pub fn integral(&self) -> f64 {
         let grid = Grid::new(self.interval.0, self.interval.1, 2048);
-        grid.integrate(&self.evaluate_on(&grid))
+        grid.integrate(&self.evaluate_dense(&grid))
     }
 
     /// Sample size the estimate was fitted on.
@@ -432,10 +498,10 @@ fn level_sum(
     }
     let support = basis.support_length();
     let position = (level as f64).exp2() * x;
-    let k_lo = ((position - support).floor() as i64 + 1).max(k_start);
-    let k_hi = ((position).ceil() as i64 - 1).min(k_start + coefficients.len() as i64 - 1);
     let mut acc = 0.0;
-    for k in k_lo..=k_hi {
+    for k in
+        crate::coefficients::active_translations(support, position, k_start, coefficients.len())
+    {
         let coeff = coefficients[(k - k_start) as usize];
         if coeff == 0.0 {
             continue;
@@ -448,6 +514,56 @@ fn level_sum(
         acc += coeff * value;
     }
     acc
+}
+
+/// Adds `Σ_k c_k δ_{j,k}(grid_i)` of one level to `out`, sweeping each
+/// nonzero coefficient's support with a strided table pass.
+fn accumulate_dense(
+    basis: &WaveletBasis,
+    grid: &Grid,
+    level: i32,
+    k_start: i64,
+    coefficients: &[f64],
+    scaling: bool,
+    out: &mut [f64],
+) {
+    if coefficients.is_empty() {
+        return;
+    }
+    let scale = (level as f64).exp2();
+    let sqrt_scale = scale.sqrt();
+    let support = basis.support_length();
+    let step = grid.step();
+    let lo = grid.lo();
+    let stride = scale * step;
+    let table = basis.table();
+    for (m, &coeff) in coefficients.iter().enumerate() {
+        if coeff == 0.0 {
+            continue;
+        }
+        let k = k_start + m as i64;
+        // Support of δ_{j,k} in x: [k / 2^j, (k + 2N−1) / 2^j].
+        let x_lo = k as f64 / scale;
+        let x_hi = (k as f64 + support) / scale;
+        let first = (((x_lo - lo) / step).ceil().max(0.0)) as usize;
+        let last_f = ((x_hi - lo) / step).floor();
+        if last_f < 0.0 || first >= out.len() {
+            continue;
+        }
+        let last = (last_f as usize).min(out.len() - 1);
+        if first > last {
+            continue;
+        }
+        // δ_{j,k}(x) = 2^{j/2} δ(2^j x − k): the table argument at grid
+        // point `first` is `u0`, advancing by `stride` per point.
+        let u0 = scale * (lo + step * first as f64) - k as f64;
+        let window = &mut out[first..=last];
+        if scaling {
+            table.accumulate_phi(u0, stride, coeff * sqrt_scale, window);
+        } else {
+            table.accumulate_psi(u0, stride, coeff * sqrt_scale, window);
+        }
+    }
 }
 
 #[cfg(test)]
@@ -619,6 +735,39 @@ mod tests {
                 .unwrap_err(),
             EstimatorError::InvalidLevels { .. }
         ));
+    }
+
+    #[test]
+    fn nonpositive_dependence_exponents_are_rejected() {
+        // b ≤ 0 would send theoretical_max_level through ln(n)^(−2/b − 3)
+        // with a NaN/∞ exponent; fit must reject it for every selection
+        // scheme, not just the theoretical rule that consumes it.
+        let data = uniform_sample(64, 12);
+        for b in [0.0, -1.0, f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            for estimator in [
+                WaveletDensityEstimator::htcv(),
+                WaveletDensityEstimator::new(
+                    ThresholdRule::Hard,
+                    ThresholdSelection::Theoretical { kappa: 1.0 },
+                ),
+            ] {
+                assert!(
+                    matches!(
+                        estimator
+                            .with_dependence_exponent(b)
+                            .fit(&data)
+                            .unwrap_err(),
+                        EstimatorError::InvalidParameter { .. }
+                    ),
+                    "b = {b} must be rejected"
+                );
+            }
+        }
+        // A positive exponent other than the default still fits.
+        assert!(WaveletDensityEstimator::htcv()
+            .with_dependence_exponent(0.5)
+            .fit(&data)
+            .is_ok());
     }
 
     #[test]

@@ -15,6 +15,9 @@
 //! * [`cv`] — the per-level cross-validation criteria of Section 5.1 and
 //!   the data-driven highest resolution `ĵ1`;
 //! * [`coefficients`] — empirical wavelet coefficients of a sample;
+//! * [`dense`] — dense-grid evaluation and the precomputed cumulative
+//!   (CDF) table answering `cdf`/`range_mass` queries in O(1), the fast
+//!   path behind the selectivity synopsis;
 //! * [`threshold`] — hard/soft threshold functions and threshold profiles;
 //! * [`kernel`] — Epanechnikov/Gaussian kernel density estimators with the
 //!   paper's rule-of-thumb and least-squares-CV bandwidths (the baselines
@@ -47,6 +50,7 @@
 
 pub mod coefficients;
 pub mod cv;
+pub mod dense;
 pub mod error;
 pub mod estimator;
 pub mod grid;
@@ -59,6 +63,7 @@ pub use coefficients::{EmpiricalCoefficients, Generator, LevelCoefficients};
 pub use cv::{
     cross_validate, cross_validate_with, CrossValidationResult, CvCriterion, LevelCrossValidation,
 };
+pub use dense::{CumulativeEstimate, DEFAULT_CDF_POINTS};
 pub use error::EstimatorError;
 pub use estimator::{
     cv_max_level, default_coarse_level, theoretical_max_level, ThresholdedLevel,

@@ -8,7 +8,7 @@
 //! producing *exactly* the same estimate as a batch fit on the observations
 //! seen so far.
 
-use crate::coefficients::{EmpiricalCoefficients, Generator, LevelCoefficients};
+use crate::coefficients::{EmpiricalCoefficients, Generator, LevelAccumulator, LevelCoefficients};
 use crate::cv::cross_validate;
 use crate::error::EstimatorError;
 use crate::estimator::{ThresholdedLevel, WaveletDensityEstimate};
@@ -17,13 +17,19 @@ use std::sync::Arc;
 use wavedens_wavelets::{WaveletBasis, WaveletFamily};
 
 /// Running sums for one resolution level.
+///
+/// `sum_squares` sits behind an [`Arc`] so that [`RunningLevel::snapshot`]
+/// can hand cross-validation a read-only view without copying the vector;
+/// ingestion uses copy-on-write ([`Arc::make_mut`]), which only actually
+/// clones when a snapshot from a previous `estimate()` call is still
+/// alive.
 #[derive(Debug, Clone)]
 struct RunningLevel {
     level: i32,
     generator: Generator,
     k_start: i64,
     sums: Vec<f64>,
-    sum_squares: Vec<f64>,
+    sum_squares: Arc<Vec<f64>>,
 }
 
 impl RunningLevel {
@@ -36,23 +42,25 @@ impl RunningLevel {
             generator,
             k_start,
             sums: vec![0.0; count],
-            sum_squares: vec![0.0; count],
+            sum_squares: Arc::new(vec![0.0; count]),
         }
     }
 
     fn push(&mut self, basis: &WaveletBasis, x: f64) {
-        let support = basis.support_length();
-        let position = (self.level as f64).exp2() * x;
-        let k_lo = ((position - support).floor() as i64 + 1).max(self.k_start);
-        let k_hi = ((position).ceil() as i64 - 1).min(self.k_start + self.sums.len() as i64 - 1);
-        for k in k_lo..=k_hi {
-            let value = match self.generator {
-                Generator::Scaling => basis.phi_jk(self.level, k, x),
-                Generator::Wavelet => basis.psi_jk(self.level, k, x),
-            };
-            let idx = (k - self.k_start) as usize;
-            self.sums[idx] += value;
-            self.sum_squares[idx] += value * value;
+        self.push_batch(basis, std::slice::from_ref(&x));
+    }
+
+    /// Ingests a batch of observations with the per-level constants
+    /// (`2^j`, support length, translation window) hoisted out of the
+    /// per-observation loop.
+    fn push_batch(&mut self, basis: &WaveletBasis, values: &[f64]) {
+        if values.is_empty() {
+            return;
+        }
+        let accumulator = LevelAccumulator::new(basis, self.generator, self.level, self.k_start);
+        let squares = Arc::make_mut(&mut self.sum_squares);
+        for &x in values {
+            accumulator.scatter(x, &mut self.sums, squares);
         }
     }
 
@@ -62,7 +70,7 @@ impl RunningLevel {
             generator: self.generator,
             k_start: self.k_start,
             values: self.sums.iter().map(|s| s / n as f64).collect(),
-            sum_squares: self.sum_squares.clone(),
+            sum_squares: Arc::clone(&self.sum_squares),
         }
     }
 }
@@ -150,11 +158,35 @@ impl StreamingWaveletEstimator {
         }
     }
 
-    /// Ingests many observations.
-    pub fn extend<I: IntoIterator<Item = f64>>(&mut self, values: I) {
-        for x in values {
-            self.push(x);
+    /// Ingests a batch of observations.
+    ///
+    /// Numerically identical to pushing the values one by one (the
+    /// per-translation accumulation order is the same), but the per-level
+    /// constants — `2^j`, the support length, the stored translation
+    /// window — are computed once per level instead of once per
+    /// observation, which is markedly faster for bulk inserts.
+    pub fn push_batch(&mut self, values: &[f64]) {
+        self.count += values.len();
+        self.scaling.push_batch(&self.basis, values);
+        for level in &mut self.details {
+            level.push_batch(&self.basis, values);
         }
+    }
+
+    /// Ingests many observations via [`push_batch`](Self::push_batch),
+    /// buffering the iterator in fixed-size chunks so arbitrarily long
+    /// (or lazy) sources ingest with bounded memory.
+    pub fn extend<I: IntoIterator<Item = f64>>(&mut self, values: I) {
+        const CHUNK: usize = 1024;
+        let mut buffer = Vec::with_capacity(CHUNK);
+        for x in values {
+            buffer.push(x);
+            if buffer.len() == CHUNK {
+                self.push_batch(&buffer);
+                buffer.clear();
+            }
+        }
+        self.push_batch(&buffer);
     }
 
     /// Produces the current estimate, cross-validating the thresholds on
@@ -199,10 +231,18 @@ impl StreamingWaveletEstimator {
     }
 
     /// Convenience: the current estimate's value at `x` (0 before any data).
+    ///
+    /// Only the empty stream maps to the silent 0 fallback; any other
+    /// estimation failure indicates an internal inconsistency and trips a
+    /// debug assertion (returning 0 in release builds).
     pub fn density_at(&self, x: f64) -> f64 {
         match self.estimate() {
             Ok(est) => est.evaluate(x),
-            Err(_) => 0.0,
+            Err(EstimatorError::EmptySample) => 0.0,
+            Err(err) => {
+                debug_assert!(false, "streaming estimate failed unexpectedly: {err}");
+                0.0
+            }
         }
     }
 
@@ -320,6 +360,59 @@ mod tests {
             err(&late)
         );
         assert_eq!(streaming.count(), 2048);
+    }
+
+    #[test]
+    fn push_batch_is_bitwise_identical_to_repeated_push() {
+        use wavedens_processes::{DependenceCase, SineUniformMixture};
+        let n = 600;
+        let mut rng = seeded_rng(33);
+        let data = DependenceCase::ExpandingMap.simulate(&SineUniformMixture::paper(), n, &mut rng);
+        let mut one_by_one =
+            StreamingWaveletEstimator::with_expected_size(ThresholdRule::Hard, n).unwrap();
+        for &x in &data {
+            one_by_one.push(x);
+        }
+        let mut batched =
+            StreamingWaveletEstimator::with_expected_size(ThresholdRule::Hard, n).unwrap();
+        batched.push_batch(&data);
+        assert_eq!(one_by_one.count(), batched.count());
+        let a = one_by_one.estimate().unwrap();
+        let b = batched.estimate().unwrap();
+        // The per-translation accumulation order is identical, so the two
+        // ingestion paths must agree bit for bit, not just approximately.
+        for i in 0..=200 {
+            let x = i as f64 / 200.0;
+            assert_eq!(a.evaluate(x), b.evaluate(x), "mismatch at x = {x}");
+        }
+        assert_eq!(a.highest_level(), b.highest_level());
+    }
+
+    #[test]
+    fn snapshots_share_sum_squares_without_copying() {
+        let mut streaming =
+            StreamingWaveletEstimator::with_expected_size(ThresholdRule::Soft, 256).unwrap();
+        streaming.push_batch(&sample(256, 15));
+        // Two successive estimates without intervening pushes must share
+        // the same sum-of-squares allocation (Arc, not clone).
+        let first = streaming.estimate().unwrap();
+        let second = streaming.estimate().unwrap();
+        let a = &first.scaling_coefficients().sum_squares;
+        let b = &second.scaling_coefficients().sum_squares;
+        assert!(
+            std::sync::Arc::ptr_eq(a, b),
+            "re-estimation should not reallocate sum_squares"
+        );
+        // Pushing after a snapshot copy-on-writes instead of corrupting
+        // the outstanding snapshot.
+        let before: Vec<f64> = first.scaling_coefficients().sum_squares.to_vec();
+        streaming.push(0.5);
+        assert_eq!(*first.scaling_coefficients().sum_squares, before);
+        let third = streaming.estimate().unwrap();
+        assert!(!std::sync::Arc::ptr_eq(
+            a,
+            &third.scaling_coefficients().sum_squares
+        ));
     }
 
     #[test]

@@ -1,13 +1,16 @@
 //! Selectivity estimators: the wavelet synopsis and its baselines.
 
 use crate::workload::RangeQuery;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::RwLock;
 use wavedens_core::{
-    EstimatorError, Grid, KernelDensityEstimate, KernelDensityEstimator, StreamingWaveletEstimator,
-    ThresholdRule, WaveletDensityEstimate, WaveletDensityEstimator,
+    CumulativeEstimate, EstimatorError, Grid, KernelDensityEstimate, KernelDensityEstimator,
+    StreamingWaveletEstimator, ThresholdRule, WaveletDensityEstimate, WaveletDensityEstimator,
+    DEFAULT_CDF_POINTS,
 };
 
 /// Number of integration points per unit length used when turning a density
-/// estimate into a range probability.
+/// estimate into a range probability by quadrature.
 const INTEGRATION_RESOLUTION: usize = 2048;
 
 /// Anything that can answer range-selectivity queries on `[0, 1]`.
@@ -19,8 +22,15 @@ pub trait SelectivityEstimator {
     fn estimate(&self, query: &RangeQuery) -> f64;
 }
 
-/// Integrates a density estimate over a query range.
-fn integrate_density(query: &RangeQuery, density: impl Fn(f64) -> f64) -> f64 {
+/// Integrates a density estimate over a query range by trapezoidal
+/// quadrature, `INTEGRATION_RESOLUTION` points per unit length.
+///
+/// This is the slow reference path: every call re-evaluates the density
+/// pointwise across the range. The wavelet synopses answer queries from a
+/// precomputed [`CumulativeEstimate`] instead and only use quadrature in
+/// tests and benchmarks (see the `query_throughput` bench target); the
+/// kernel baseline still integrates directly.
+pub fn integrate_density(query: &RangeQuery, density: impl Fn(f64) -> f64) -> f64 {
     let width = query.width();
     if width == 0.0 {
         return 0.0;
@@ -60,16 +70,61 @@ impl SelectivityEstimator for EmpiricalSelectivity {
     }
 }
 
+/// The refreshed state of a [`WaveletSelectivity`]: the thresholded
+/// density estimate plus its precomputed cumulative (CDF) table.
+#[derive(Debug, Clone)]
+struct RefreshedSynopsis {
+    density: WaveletDensityEstimate,
+    cumulative: CumulativeEstimate,
+}
+
+impl RefreshedSynopsis {
+    fn build(stream: &StreamingWaveletEstimator) -> Result<Self, EstimatorError> {
+        let density = stream.estimate()?;
+        let cumulative = density.cumulative(DEFAULT_CDF_POINTS);
+        Ok(Self {
+            density,
+            cumulative,
+        })
+    }
+}
+
 /// The adaptive-wavelet selectivity synopsis.
 ///
 /// Internally this is a [`StreamingWaveletEstimator`], so rows can keep
 /// arriving after construction ([`WaveletSelectivity::observe`]); the
-/// selectivity of a query is the integral of the current thresholded
-/// density estimate over the query range.
-#[derive(Debug, Clone)]
+/// selectivity of a query is the mass of the current thresholded density
+/// estimate over the query range.
+///
+/// # Refresh / cache semantics
+///
+/// Queries are answered from a cached [`CumulativeEstimate`] in O(1) —
+/// an index computation and a linear interpolation, no per-query
+/// integration sweep. Ingesting rows marks the cache stale; the **first**
+/// query (or an explicit [`refresh`](Self::refresh)) after that runs
+/// exactly one cross-validation rebuild and one dense CDF construction,
+/// and every further query reuses the result until the next insert. A
+/// burst of queries against a stale cache therefore triggers **one**
+/// rebuild, never one per query ([`rebuild_count`](Self::rebuild_count)
+/// exposes the counter). The lazy rebuild happens behind an [`RwLock`]:
+/// warm-cache queries only take the shared read lock, so concurrent
+/// readers do not serialize; the exclusive write lock is held for the
+/// one rebuild.
+#[derive(Debug)]
 pub struct WaveletSelectivity {
     stream: StreamingWaveletEstimator,
-    cached: Option<WaveletDensityEstimate>,
+    cache: RwLock<Option<RefreshedSynopsis>>,
+    rebuilds: AtomicUsize,
+}
+
+impl Clone for WaveletSelectivity {
+    fn clone(&self) -> Self {
+        Self {
+            stream: self.stream.clone(),
+            cache: RwLock::new(self.cache.read().expect("synopsis cache poisoned").clone()),
+            rebuilds: AtomicUsize::new(self.rebuild_count()),
+        }
+    }
 }
 
 impl WaveletSelectivity {
@@ -80,7 +135,8 @@ impl WaveletSelectivity {
                 ThresholdRule::Soft,
                 expected_rows,
             )?,
-            cached: None,
+            cache: RwLock::new(None),
+            rebuilds: AtomicUsize::new(0),
         })
     }
 
@@ -91,15 +147,17 @@ impl WaveletSelectivity {
         Ok(synopsis)
     }
 
-    /// Ingests one attribute value.
+    /// Ingests one attribute value, marking the cached estimate stale.
     pub fn observe(&mut self, value: f64) {
-        self.cached = None;
+        self.invalidate();
         self.stream.push(value);
     }
 
-    /// Ingests many attribute values.
+    /// Ingests many attribute values in one batched pass
+    /// ([`StreamingWaveletEstimator::push_batch`]), marking the cached
+    /// estimate stale once.
     pub fn observe_many<I: IntoIterator<Item = f64>>(&mut self, values: I) {
-        self.cached = None;
+        self.invalidate();
         self.stream.extend(values);
     }
 
@@ -108,26 +166,69 @@ impl WaveletSelectivity {
         self.stream.count()
     }
 
-    /// Refreshes (and returns) the thresholded density estimate backing the
-    /// synopsis. Called lazily by [`estimate`](SelectivityEstimator::estimate).
-    pub fn refresh(&mut self) -> Result<&WaveletDensityEstimate, EstimatorError> {
-        if self.cached.is_none() {
-            self.cached = Some(self.stream.estimate()?);
-        }
-        Ok(self.cached.as_ref().expect("just populated"))
+    /// Number of cross-validation rebuilds performed so far: increments
+    /// once per stale-cache refresh, regardless of how many queries hit
+    /// the stale cache.
+    pub fn rebuild_count(&self) -> usize {
+        self.rebuilds.load(Ordering::Relaxed)
     }
 
-    fn estimate_or_rebuild(&self, query: &RangeQuery) -> f64 {
-        // Without interior mutability we rebuild the estimate when the cache
-        // is stale; callers that issue many queries between inserts should
-        // call `refresh` first.
-        match &self.cached {
-            Some(est) => integrate_density(query, |x| est.evaluate(x)),
-            None => match self.stream.estimate() {
-                Ok(est) => integrate_density(query, |x| est.evaluate(x)),
-                Err(_) => 0.0,
-            },
+    /// Refreshes (and returns) the thresholded density estimate backing the
+    /// synopsis. A no-op when the cache is already fresh; called lazily by
+    /// the first [`estimate`](SelectivityEstimator::estimate) after an
+    /// insert otherwise.
+    pub fn refresh(&mut self) -> Result<&WaveletDensityEstimate, EstimatorError> {
+        let cache = self.cache.get_mut().expect("synopsis cache poisoned");
+        if cache.is_none() {
+            *cache = Some(RefreshedSynopsis::build(&self.stream)?);
+            *self.rebuilds.get_mut() += 1;
         }
+        Ok(&cache.as_ref().expect("just populated").density)
+    }
+
+    /// The cumulative (CDF) table answering the queries, refreshing it
+    /// first if stale.
+    pub fn cumulative(&mut self) -> Result<&CumulativeEstimate, EstimatorError> {
+        self.refresh()?;
+        let cache = self.cache.get_mut().expect("synopsis cache poisoned");
+        Ok(&cache.as_ref().expect("refreshed above").cumulative)
+    }
+
+    fn invalidate(&mut self) {
+        *self.cache.get_mut().expect("synopsis cache poisoned") = None;
+    }
+
+    /// Answers a query from the cached CDF, rebuilding the cache at most
+    /// once if it is stale. The warm path only takes the shared read
+    /// lock; double-checked locking keeps concurrent stale bursts at one
+    /// rebuild total.
+    fn query_cached(&self, query: &RangeQuery) -> f64 {
+        let answer = |synopsis: &RefreshedSynopsis| {
+            synopsis
+                .cumulative
+                .range_mass(query.lo(), query.hi())
+                .clamp(0.0, 1.0)
+        };
+        let cache = self.cache.read().expect("synopsis cache poisoned");
+        if let Some(synopsis) = cache.as_ref() {
+            return answer(synopsis);
+        }
+        drop(cache);
+        let mut cache = self.cache.write().expect("synopsis cache poisoned");
+        if cache.is_none() {
+            match RefreshedSynopsis::build(&self.stream) {
+                Ok(built) => {
+                    *cache = Some(built);
+                    self.rebuilds.fetch_add(1, Ordering::Relaxed);
+                }
+                Err(EstimatorError::EmptySample) => return 0.0,
+                Err(err) => {
+                    debug_assert!(false, "synopsis refresh failed unexpectedly: {err}");
+                    return 0.0;
+                }
+            }
+        }
+        answer(cache.as_ref().expect("populated above"))
     }
 }
 
@@ -137,7 +238,7 @@ impl SelectivityEstimator for WaveletSelectivity {
     }
 
     fn estimate(&self, query: &RangeQuery) -> f64 {
-        self.estimate_or_rebuild(query)
+        self.query_cached(query)
     }
 }
 
@@ -232,22 +333,31 @@ impl SelectivityEstimator for KernelSelectivity {
 /// A batch-fitted wavelet selectivity estimator built from an existing
 /// [`WaveletDensityEstimate`]; useful when the density estimate is already
 /// available (e.g. shared with other components of a query optimiser).
+/// The CDF table is precomputed at construction, so queries are O(1).
 #[derive(Debug, Clone)]
 pub struct FittedWaveletSelectivity {
     estimate: WaveletDensityEstimate,
+    cumulative: CumulativeEstimate,
 }
 
 impl FittedWaveletSelectivity {
     /// Wraps an existing density estimate.
     pub fn new(estimate: WaveletDensityEstimate) -> Self {
-        Self { estimate }
+        let cumulative = estimate.cumulative(DEFAULT_CDF_POINTS);
+        Self {
+            estimate,
+            cumulative,
+        }
     }
 
     /// Fits the STCV estimator to a batch of data.
     pub fn fit(data: &[f64]) -> Result<Self, EstimatorError> {
-        Ok(Self {
-            estimate: WaveletDensityEstimator::stcv().fit(data)?,
-        })
+        Ok(Self::new(WaveletDensityEstimator::stcv().fit(data)?))
+    }
+
+    /// The wrapped density estimate.
+    pub fn density(&self) -> &WaveletDensityEstimate {
+        &self.estimate
     }
 }
 
@@ -257,7 +367,9 @@ impl SelectivityEstimator for FittedWaveletSelectivity {
     }
 
     fn estimate(&self, query: &RangeQuery) -> f64 {
-        integrate_density(query, |x| self.estimate.evaluate(x))
+        self.cumulative
+            .range_mass(query.lo(), query.hi())
+            .clamp(0.0, 1.0)
     }
 }
 
@@ -345,6 +457,75 @@ mod tests {
         let q = RangeQuery::new(0.3, 0.6).unwrap();
         let batch = WaveletSelectivity::fit(&data).unwrap();
         assert!((streaming.estimate(&q) - batch.estimate(&q)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn stale_cache_query_burst_rebuilds_exactly_once() {
+        let data = dependent_sample(1024, 7);
+        let mut synopsis = WaveletSelectivity::fit(&data).unwrap();
+        assert_eq!(synopsis.rebuild_count(), 0, "construction must stay lazy");
+        let mut rng = seeded_rng(17);
+        let workload = WorkloadGenerator::analytical().draw_many(100, &mut rng);
+        for q in &workload {
+            let s = synopsis.estimate(q);
+            assert!((0.0..=1.0).contains(&s));
+        }
+        assert_eq!(
+            synopsis.rebuild_count(),
+            1,
+            "a burst of stale-cache queries must trigger exactly one rebuild"
+        );
+        // Fresh cache: more queries, still one rebuild.
+        for q in &workload {
+            synopsis.estimate(q);
+        }
+        assert_eq!(synopsis.rebuild_count(), 1);
+        // An insert marks the cache stale; the next burst costs one more.
+        synopsis.observe(0.5);
+        for q in &workload {
+            synopsis.estimate(q);
+        }
+        assert_eq!(synopsis.rebuild_count(), 2);
+        // An explicit refresh also counts once and makes queries free.
+        synopsis.observe(0.25);
+        synopsis.refresh().unwrap();
+        for q in &workload {
+            synopsis.estimate(q);
+        }
+        assert_eq!(synopsis.rebuild_count(), 3);
+    }
+
+    #[test]
+    fn cached_cdf_matches_direct_quadrature() {
+        let data = dependent_sample(2048, 8);
+        let mut synopsis = WaveletSelectivity::fit(&data).unwrap();
+        let density = synopsis.refresh().unwrap().clone();
+        let mut rng = seeded_rng(23);
+        let workload = WorkloadGenerator::new(0.01, 0.4)
+            .unwrap()
+            .draw_many(100, &mut rng);
+        for q in &workload {
+            let fast = synopsis.estimate(q);
+            let slow = integrate_density(q, |x| density.evaluate(x));
+            assert!(
+                (fast - slow).abs() < 2e-3,
+                "[{}, {}]: cdf {fast} vs quadrature {slow}",
+                q.lo(),
+                q.hi()
+            );
+        }
+    }
+
+    #[test]
+    fn cloned_synopsis_preserves_cache_and_counter() {
+        let data = dependent_sample(512, 9);
+        let synopsis = WaveletSelectivity::fit(&data).unwrap();
+        let q = RangeQuery::new(0.2, 0.7).unwrap();
+        let answer = synopsis.estimate(&q);
+        let clone = synopsis.clone();
+        assert_eq!(clone.rebuild_count(), 1);
+        assert_eq!(clone.estimate(&q), answer);
+        assert_eq!(clone.rebuild_count(), 1, "clone reuses the cached CDF");
     }
 
     #[test]

@@ -15,8 +15,12 @@
 //!
 //! Provided estimators:
 //!
-//! * [`WaveletSelectivity`] — integrates the thresholded wavelet density
-//!   estimate over the query range (streaming or batch construction);
+//! * [`WaveletSelectivity`] — answers queries from a precomputed
+//!   cumulative (CDF) table of the thresholded wavelet density estimate
+//!   in O(1) per query (streaming or batch construction; a stale cache is
+//!   rebuilt exactly once, not per query);
+//! * [`FittedWaveletSelectivity`] — the same fast path wrapped around an
+//!   existing batch-fitted density estimate;
 //! * [`HistogramSelectivity`] — the classic equi-width histogram baseline;
 //! * [`KernelSelectivity`] — a kernel-density baseline (rule-of-thumb or
 //!   CV bandwidth);
@@ -39,8 +43,8 @@ pub mod estimators;
 pub mod workload;
 
 pub use estimators::{
-    EmpiricalSelectivity, HistogramSelectivity, KernelSelectivity, SelectivityEstimator,
-    WaveletSelectivity,
+    integrate_density, EmpiricalSelectivity, FittedWaveletSelectivity, HistogramSelectivity,
+    KernelSelectivity, SelectivityEstimator, WaveletSelectivity,
 };
 pub use workload::{
     evaluate_workload, RangeQuery, WorkloadError, WorkloadGenerator, WorkloadSummary,

@@ -116,6 +116,58 @@ impl WaveletTable {
         let squared: Vec<f64> = self.psi.iter().map(|v| v * v).collect();
         trapezoid(&squared, self.step)
     }
+
+    /// Accumulates `coeff · φ(start + i·stride)` into `out[i]` for every
+    /// slot of `out`.
+    ///
+    /// This is the dense-evaluation fast path: when a density estimate is
+    /// evaluated on a uniform grid, the table argument of one basis
+    /// function `φ_{j,k}` advances by the constant `2^j · grid_step`
+    /// between neighbouring grid points, so the whole support can be
+    /// swept with one strided pass instead of re-deriving the active
+    /// translation range at every point. Arguments outside the tabulated
+    /// support contribute nothing, exactly as [`WaveletTable::phi`].
+    pub fn accumulate_phi(&self, start: f64, stride: f64, coeff: f64, out: &mut [f64]) {
+        accumulate_strided(&self.phi, self.step, start, stride, coeff, out);
+    }
+
+    /// Accumulates `coeff · ψ(start + i·stride)` into `out[i]`; the `ψ`
+    /// counterpart of [`WaveletTable::accumulate_phi`].
+    pub fn accumulate_psi(&self, start: f64, stride: f64, coeff: f64, out: &mut [f64]) {
+        accumulate_strided(&self.psi, self.step, start, stride, coeff, out);
+    }
+}
+
+/// Strided linear interpolation: `out[i] += coeff · table(start + i·stride)`.
+///
+/// The table position is recomputed multiplicatively per slot (not by
+/// repeated addition), so there is no cumulative drift over long grids.
+fn accumulate_strided(
+    values: &[f64],
+    step: f64,
+    start: f64,
+    stride: f64,
+    coeff: f64,
+    out: &mut [f64],
+) {
+    let inv_step = 1.0 / step;
+    let pos0 = start * inv_step;
+    let dpos = stride * inv_step;
+    for (i, slot) in out.iter_mut().enumerate() {
+        let pos = pos0 + dpos * i as f64;
+        if pos < 0.0 {
+            continue;
+        }
+        let idx = pos as usize;
+        if idx + 1 >= values.len() {
+            if idx + 1 == values.len() {
+                *slot += coeff * values[idx];
+            }
+            continue;
+        }
+        let frac = pos - idx as f64;
+        *slot += coeff * (values[idx] * (1.0 - frac) + values[idx + 1] * frac);
+    }
 }
 
 fn trapezoid(values: &[f64], step: f64) -> f64 {
@@ -330,6 +382,44 @@ mod tests {
         assert_eq!(t.psi(-1e-9), 0.0);
         assert_eq!(t.phi(t.support_end() + 0.1), 0.0);
         assert_eq!(t.psi(1e9), 0.0);
+    }
+
+    #[test]
+    fn strided_accumulation_matches_pointwise_interpolation() {
+        let t = table(WaveletFamily::Symmlet(8));
+        for &(start, stride, coeff) in &[
+            (-1.3_f64, 0.017_f64, 2.5_f64),
+            (0.0, 0.29, -0.75),
+            (12.9, 0.5, 1.0),
+            (3.4, 1.7e-3, 4.0),
+        ] {
+            let mut phi_out = vec![0.0_f64; 500];
+            let mut psi_out = vec![0.0_f64; 500];
+            t.accumulate_phi(start, stride, coeff, &mut phi_out);
+            t.accumulate_psi(start, stride, coeff, &mut psi_out);
+            for i in 0..500 {
+                let x = start + stride * i as f64;
+                assert!(
+                    (phi_out[i] - coeff * t.phi(x)).abs() < 1e-12,
+                    "φ strided mismatch at slot {i} (x = {x})"
+                );
+                assert!(
+                    (psi_out[i] - coeff * t.psi(x)).abs() < 1e-12,
+                    "ψ strided mismatch at slot {i} (x = {x})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn strided_accumulation_adds_onto_existing_values() {
+        let t = table(WaveletFamily::Daubechies(4));
+        let mut out = vec![1.0_f64; 64];
+        t.accumulate_phi(0.5, 0.05, 2.0, &mut out);
+        for (i, v) in out.iter().enumerate() {
+            let expected = 1.0 + 2.0 * t.phi(0.5 + 0.05 * i as f64);
+            assert!((v - expected).abs() < 1e-12, "slot {i}");
+        }
     }
 
     #[test]

@@ -37,8 +37,8 @@ pub use wavedens_wavelets as wavelets;
 /// Convenience re-exports of the most commonly used items.
 pub mod prelude {
     pub use wavedens_core::{
-        Grid, KernelDensityEstimator, StreamingWaveletEstimator, ThresholdRule, ThresholdSelection,
-        WaveletDensityEstimate, WaveletDensityEstimator,
+        CumulativeEstimate, Grid, KernelDensityEstimator, StreamingWaveletEstimator, ThresholdRule,
+        ThresholdSelection, WaveletDensityEstimate, WaveletDensityEstimator,
     };
     pub use wavedens_processes::{
         seeded_rng, DependenceCase, GaussianMixture, LsvMapProcess, SineUniformMixture,
