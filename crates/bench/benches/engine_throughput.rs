@@ -1,0 +1,201 @@
+//! Throughput benchmark of the multi-attribute synopsis engine: sharded
+//! ingest scaling over the 1-shard baseline, plus a mixed workload where
+//! range queries are served concurrently with ingest bursts and synopsis
+//! rebuilds.
+//!
+//! Besides the usual Criterion timings, the run writes the headline
+//! numbers to `BENCH_engine_throughput.json` at the repository root so
+//! the scaling trajectory of the engine is tracked across PRs.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::time::Instant;
+use wavedens_bench::paper_sample;
+use wavedens_core::CoefficientSketch;
+use wavedens_engine::{ShardedIngest, SynopsisCatalog, SynopsisConfig};
+
+/// Rows ingested per attribute (and per ingest-scaling run).
+const ROWS: usize = 50_000;
+/// Attributes in the mixed-workload catalog phase.
+const ATTRIBUTES: usize = 3;
+/// Shard counts swept in the ingest-scaling phase.
+const SHARD_COUNTS: [usize; 3] = [1, 2, 4];
+/// Wall-clock repetitions per measured configuration; the minimum is
+/// reported to suppress scheduler noise.
+const REPEATS: usize = 3;
+
+fn min_seconds(mut routine: impl FnMut()) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..REPEATS {
+        let start = Instant::now();
+        routine();
+        best = best.min(start.elapsed().as_secs_f64());
+    }
+    best
+}
+
+fn engine_throughput(c: &mut Criterion) {
+    let data = paper_sample(ROWS, 41);
+    let template = CoefficientSketch::sized_for(ROWS).expect("template");
+
+    // Phase 1 — ingest scaling: the same bulk load through 1, 2 and 4
+    // shards filled by scoped threads, merged at the end (the merge is
+    // part of the measured cost: it is what estimate time pays).
+    let mut ingest_seconds = Vec::new();
+    for &shards in &SHARD_COUNTS {
+        let seconds = min_seconds(|| {
+            let sharded = ShardedIngest::new(&template, shards).expect("shards");
+            sharded.ingest_parallel(&data);
+            black_box(sharded.merged().expect("merge"));
+        });
+        println!(
+            "ingest {ROWS} rows, {shards} shard(s): {seconds:.4} s \
+             ({:.0} rows/s)",
+            ROWS as f64 / seconds
+        );
+        ingest_seconds.push((shards, seconds));
+    }
+    let baseline = ingest_seconds[0].1;
+    let best = ingest_seconds
+        .iter()
+        .copied()
+        .min_by(|a, b| a.1.total_cmp(&b.1))
+        .expect("nonempty");
+    let speedup = baseline / best.1;
+    println!(
+        "best: {} shard(s), {speedup:.2}× over the 1-shard baseline",
+        best.0
+    );
+
+    // Phase 2 — mixed workload: ATTRIBUTES writers ingesting bursts and
+    // forcing rebuilds, while two readers answer range queries the whole
+    // time from the atomically swapped snapshots.
+    let catalog = SynopsisCatalog::new();
+    let names: Vec<String> = (0..ATTRIBUTES).map(|i| format!("attr{i}")).collect();
+    let config = SynopsisConfig::default()
+        .with_expected_rows(ROWS)
+        .with_shards(4);
+    for name in &names {
+        catalog.register(name, config.clone()).expect("register");
+    }
+    let streams: Vec<Vec<f64>> = (0..ATTRIBUTES)
+        .map(|i| paper_sample(ROWS, 50 + i as u64))
+        .collect();
+
+    let queries_answered = AtomicUsize::new(0);
+    let writers_done = AtomicBool::new(false);
+    let mut max_query_latency = 0.0_f64;
+    let concurrent_start = Instant::now();
+    std::thread::scope(|scope| {
+        for (name, stream) in names.iter().zip(&streams) {
+            let catalog = &catalog;
+            scope.spawn(move || {
+                for chunk in stream.chunks(ROWS / 8) {
+                    catalog.ingest_parallel(name, chunk).expect("registered");
+                    // Force the rebuild a first query would trigger, so
+                    // readers overlap with cross-validation runs.
+                    catalog.refreshed(name).expect("registered");
+                }
+            });
+        }
+        let mut latency_handles = Vec::new();
+        for reader in 0..2 {
+            let catalog = &catalog;
+            let names = &names;
+            let queries_answered = &queries_answered;
+            let writers_done = &writers_done;
+            latency_handles.push(scope.spawn(move || {
+                let mut worst = 0.0_f64;
+                let mut i = 0usize;
+                while !writers_done.load(Ordering::Acquire) || i < 500 {
+                    let name = &names[(reader + i) % names.len()];
+                    let lo = (i % 60) as f64 / 100.0;
+                    let start = Instant::now();
+                    let s = catalog
+                        .selectivity(name, lo, lo + 0.25)
+                        .expect("registered");
+                    worst = worst.max(start.elapsed().as_secs_f64());
+                    assert!((0.0..=1.0).contains(&s));
+                    queries_answered.fetch_add(1, Ordering::Relaxed);
+                    i += 1;
+                }
+                worst
+            }));
+        }
+        // Release the readers once every writer's rows have landed.
+        while catalog.total_rows() < ATTRIBUTES * ROWS {
+            std::thread::yield_now();
+        }
+        writers_done.store(true, Ordering::Release);
+        for handle in latency_handles {
+            max_query_latency = max_query_latency.max(handle.join().expect("reader"));
+        }
+    });
+    let concurrent_seconds = concurrent_start.elapsed().as_secs_f64();
+    let queries = queries_answered.load(Ordering::Relaxed);
+    let rebuilds: usize = names
+        .iter()
+        .map(|name| catalog.attribute(name).expect("registered").rebuild_count())
+        .sum();
+    println!(
+        "mixed load: {queries} queries answered in {concurrent_seconds:.3} s \
+         ({:.0} queries/s) while {} rows were ingested and {rebuilds} \
+         rebuilds ran; worst single-query latency {:.2} ms",
+        queries as f64 / concurrent_seconds,
+        ATTRIBUTES * ROWS,
+        max_query_latency * 1e3,
+    );
+
+    let ingest_json: Vec<String> = ingest_seconds
+        .iter()
+        .map(|(shards, seconds)| {
+            format!(
+                "    \"shards_{shards}\": {{ \"seconds\": {seconds:.6}, \"rows_per_second\": {:.0} }}",
+                ROWS as f64 / seconds
+            )
+        })
+        .collect();
+    // The shard threads can only spread over the cores the host grants;
+    // record that so the scaling factor is interpretable (a 1-core CI
+    // runner will honestly report ≈ 1×).
+    let cores = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1);
+    let json = format!(
+        "{{\n  \"bench\": \"engine_throughput\",\n  \"rows_per_attribute\": {ROWS},\n  \
+         \"attributes\": {ATTRIBUTES},\n  \"available_parallelism\": {cores},\n  \
+         \"ingest_scaling\": {{\n{}\n  }},\n  \
+         \"best_shards\": {},\n  \"ingest_speedup_over_1_shard\": {speedup:.2},\n  \
+         \"concurrent\": {{\n    \"queries\": {queries},\n    \"seconds\": {concurrent_seconds:.6},\n    \
+         \"queries_per_second\": {:.0},\n    \"rebuilds\": {rebuilds},\n    \
+         \"max_query_latency_ms\": {:.3}\n  }}\n}}\n",
+        ingest_json.join(",\n"),
+        best.0,
+        queries as f64 / concurrent_seconds,
+        max_query_latency * 1e3,
+    );
+    let path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../BENCH_engine_throughput.json"
+    );
+    match std::fs::write(path, &json) {
+        Ok(()) => println!("wrote {path}"),
+        Err(err) => eprintln!("could not write {path}: {err}"),
+    }
+
+    // Criterion micro-benchmarks on the merge and query hot paths.
+    let sharded = ShardedIngest::new(&template, 4).expect("shards");
+    sharded.ingest_parallel(&data);
+    let mut group = c.benchmark_group("engine_throughput");
+    group.sample_size(10);
+    group.bench_function("merge_4_shards", |b| {
+        b.iter(|| black_box(sharded.merged().expect("merge")))
+    });
+    group.bench_function("catalog_query", |b| {
+        b.iter(|| black_box(catalog.selectivity("attr0", 0.2, 0.45).expect("registered")))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, engine_throughput);
+criterion_main!(benches);

@@ -11,7 +11,7 @@ use wavedens_selectivity::{
 
 fn selectivity(c: &mut Criterion) {
     let data = paper_sample(1 << 12, 5);
-    let truth = EmpiricalSelectivity::new(&data);
+    let truth = EmpiricalSelectivity::new(&data).unwrap();
     let query = RangeQuery::new(0.2, 0.45).unwrap();
     let wavelet = WaveletSelectivity::fit(&data).unwrap();
     let histogram = HistogramSelectivity::fit(&data, 64);

@@ -104,42 +104,17 @@ impl EmpiricalCoefficients {
         if data.is_empty() {
             return Err(EstimatorError::EmptySample);
         }
-        if interval.0 >= interval.1 || !interval.0.is_finite() || !interval.1.is_finite() {
-            return Err(EstimatorError::InvalidInterval {
-                lo: interval.0,
-                hi: interval.1,
-            });
-        }
-        if j_max < j0 {
-            return Err(EstimatorError::InvalidLevels {
-                message: format!("j_max = {j_max} is smaller than j0 = {j0}"),
-            });
-        }
-        if j0 < 0 {
-            return Err(EstimatorError::InvalidLevels {
-                message: format!("j0 must be nonnegative, got {j0}"),
-            });
-        }
-
-        let scaling = accumulate_level(&basis, data, interval, j0, Generator::Scaling);
-        let details: Vec<LevelCoefficients> = (j0..=j_max)
-            .map(|j| accumulate_level(&basis, data, interval, j, Generator::Wavelet))
-            .collect();
-
-        Ok(Self {
-            basis,
-            n: data.len(),
-            interval,
-            scaling,
-            details,
-        })
+        let mut sketch = crate::sketch::CoefficientSketch::with_basis(basis, interval, j0, j_max)?;
+        sketch.push_batch(data);
+        sketch.snapshot()
     }
 
     /// Assembles an `EmpiricalCoefficients` from precomputed parts.
     ///
-    /// Used by the streaming estimator, which maintains the running sums
-    /// itself; the caller is responsible for the parts being mutually
-    /// consistent (same basis, same interval, `details` ordered by level).
+    /// Used by [`crate::sketch::CoefficientSketch::snapshot`], which
+    /// maintains the running sums itself; the caller is responsible for
+    /// the parts being mutually consistent (same basis, same interval,
+    /// `details` ordered by level).
     pub fn from_parts(
         basis: Arc<WaveletBasis>,
         n: usize,
@@ -220,8 +195,9 @@ pub(crate) fn active_translations(
 }
 
 /// Scatters observations into the running sums (and sums of squares) of
-/// one resolution level — the shared inner loop of the batch
-/// [`accumulate_level`] and the streaming `RunningLevel::push`.
+/// one resolution level — the shared inner loop of
+/// [`crate::sketch::CoefficientSketch`] ingestion (and therefore of both
+/// the batch and the streaming coefficient paths layered on it).
 ///
 /// The per-level constants (`2^j`, the support length) are hoisted into
 /// the struct so that batched ingestion pays them once per level, not
@@ -264,34 +240,6 @@ impl<'a> LevelAccumulator<'a> {
             sums[idx] += value;
             sum_squares[idx] += value * value;
         }
-    }
-}
-
-fn accumulate_level(
-    basis: &WaveletBasis,
-    data: &[f64],
-    interval: (f64, f64),
-    level: i32,
-    generator: Generator,
-) -> LevelCoefficients {
-    let range = basis.translations_covering(level, interval.0, interval.1);
-    let k_start = *range.start();
-    let count = (*range.end() - k_start + 1).max(0) as usize;
-    let mut sums = vec![0.0_f64; count];
-    let mut sum_squares = vec![0.0_f64; count];
-    let accumulator = LevelAccumulator::new(basis, generator, level, k_start);
-    for &x in data {
-        accumulator.scatter(x, &mut sums, &mut sum_squares);
-    }
-
-    let n = data.len() as f64;
-    let values = sums.iter().map(|s| s / n).collect();
-    LevelCoefficients {
-        level,
-        generator,
-        k_start,
-        values,
-        sum_squares: Arc::new(sum_squares),
     }
 }
 

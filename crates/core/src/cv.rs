@@ -174,12 +174,7 @@ pub fn cross_validate_level(
 
     // Sort coefficient indices by decreasing magnitude.
     let mut order: Vec<usize> = (0..total).collect();
-    order.sort_by(|&a, &b| {
-        level.values[b]
-            .abs()
-            .partial_cmp(&level.values[a].abs())
-            .unwrap_or(std::cmp::Ordering::Equal)
-    });
+    order.sort_by(|&a, &b| level.values[b].abs().total_cmp(&level.values[a].abs()));
 
     // The empty active set (λ above every |β̂|) always attains criterion 0.
     let max_abs = level.max_abs();

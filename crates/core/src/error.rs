@@ -25,6 +25,24 @@ pub enum EstimatorError {
         /// Explanation of the problem.
         message: String,
     },
+    /// The sample contains a non-finite value (NaN or ±∞).
+    NonFiniteSample {
+        /// Index of the first offending observation.
+        index: usize,
+        /// The offending value.
+        value: f64,
+    },
+    /// Two coefficient sketches cannot be merged because they accumulate
+    /// different coefficients (family, interval or levels differ).
+    IncompatibleSketches {
+        /// Explanation of the mismatch.
+        message: String,
+    },
+    /// A serialized coefficient sketch could not be decoded.
+    InvalidSerialization {
+        /// Explanation of the problem.
+        message: String,
+    },
     /// Constructing the underlying wavelet filter failed.
     Filter(FilterError),
 }
@@ -41,6 +59,15 @@ impl std::fmt::Display for EstimatorError {
             }
             EstimatorError::InvalidParameter { message } => {
                 write!(f, "invalid parameter: {message}")
+            }
+            EstimatorError::NonFiniteSample { index, value } => {
+                write!(f, "non-finite observation {value} at index {index}")
+            }
+            EstimatorError::IncompatibleSketches { message } => {
+                write!(f, "incompatible coefficient sketches: {message}")
+            }
+            EstimatorError::InvalidSerialization { message } => {
+                write!(f, "invalid sketch serialization: {message}")
             }
             EstimatorError::Filter(err) => write!(f, "wavelet filter error: {err}"),
         }

@@ -100,13 +100,18 @@ impl KernelDensityEstimator {
         Self { kernel, bandwidth }
     }
 
-    /// Fits the estimator to data.
+    /// Fits the estimator to data. Non-finite observations (NaN, ±∞) are
+    /// rejected with [`EstimatorError::NonFiniteSample`] — they would
+    /// silently corrupt the sorted sample and every bandwidth rule.
     pub fn fit(&self, data: &[f64]) -> Result<KernelDensityEstimate, EstimatorError> {
         if data.len() < 2 {
             return Err(EstimatorError::EmptySample);
         }
+        if let Some((index, &value)) = data.iter().enumerate().find(|(_, v)| !v.is_finite()) {
+            return Err(EstimatorError::NonFiniteSample { index, value });
+        }
         let mut sorted = data.to_vec();
-        sorted.sort_by(|a, b| a.partial_cmp(b).expect("data must not contain NaN"));
+        sorted.sort_by(f64::total_cmp);
         let bandwidth = match self.bandwidth {
             BandwidthRule::Fixed(h) => {
                 if h <= 0.0 || !h.is_finite() {
@@ -152,6 +157,24 @@ impl KernelDensityEstimate {
     /// Sample size.
     pub fn sample_size(&self) -> usize {
         self.sorted_data.len()
+    }
+
+    /// The interval outside which the estimate is (numerically) zero:
+    /// the data range padded by the kernel radius — the same support
+    /// radius that [`evaluate`](Self::evaluate) prunes with, so the two
+    /// sites cannot disagree. For kernels with unbounded support
+    /// (Gaussian), the radius is truncated at `8h` (the tail mass beyond
+    /// is below 1e-15).
+    pub fn support_interval(&self) -> (f64, f64) {
+        let radius = self.kernel.support_radius() * self.bandwidth;
+        let radius = if radius.is_finite() {
+            radius
+        } else {
+            8.0 * self.bandwidth
+        };
+        let first = *self.sorted_data.first().expect("fit requires data");
+        let last = *self.sorted_data.last().expect("fit requires data");
+        (first - radius, last + radius)
     }
 
     /// Evaluates the estimate at a point, exploiting the sorted data and
@@ -380,6 +403,37 @@ mod tests {
                 .fit(&[0.1, 0.2, 0.3])
                 .is_err()
         );
+        // Non-finite observations are rejected with a pinpointed error
+        // instead of the panic the old partial_cmp sort produced.
+        assert!(matches!(
+            KernelDensityEstimator::rule_of_thumb()
+                .fit(&[0.1, f64::NAN, 0.3])
+                .unwrap_err(),
+            EstimatorError::NonFiniteSample { index: 1, value } if value.is_nan()
+        ));
+        assert!(matches!(
+            KernelDensityEstimator::rule_of_thumb()
+                .fit(&[f64::INFINITY, 0.3, 0.4])
+                .unwrap_err(),
+            EstimatorError::NonFiniteSample { index: 0, .. }
+        ));
+    }
+
+    #[test]
+    fn support_interval_pads_the_data_range_by_the_kernel_radius() {
+        let data = vec![0.4, 0.5, 0.6];
+        let fit = KernelDensityEstimator::new(Kernel::Epanechnikov, BandwidthRule::Fixed(0.05))
+            .fit(&data)
+            .unwrap();
+        let (lo, hi) = fit.support_interval();
+        assert!((lo - 0.35).abs() < 1e-12 && (hi - 0.65).abs() < 1e-12);
+        assert_eq!(fit.evaluate(lo - 1e-9), 0.0);
+        assert_eq!(fit.evaluate(hi + 1e-9), 0.0);
+        let gaussian = KernelDensityEstimator::new(Kernel::Gaussian, BandwidthRule::Fixed(0.05))
+            .fit(&data)
+            .unwrap();
+        let (glo, ghi) = gaussian.support_interval();
+        assert!(gaussian.evaluate(glo) < 1e-12 && gaussian.evaluate(ghi) < 1e-12);
     }
 
     #[test]

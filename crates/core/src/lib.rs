@@ -24,8 +24,13 @@
 //!   of Section 5.4);
 //! * [`risk`] — ISE / mean-`L^p` risks and integrated moments, the metrics
 //!   of Tables 1–2 and Figures 6 and 8;
+//! * [`sketch`] — the mergeable accumulation state of the estimator
+//!   (per-level sums, sums of squares, count): sketches of data partitions
+//!   merge into exactly the single-stream state and (de)serialize to a
+//!   compact binary form for shipping between nodes;
 //! * [`streaming`] — an online variant maintaining the coefficients
-//!   incrementally (exactly equivalent to a batch fit);
+//!   incrementally (exactly equivalent to a batch fit), a thin layer over
+//!   [`sketch`];
 //! * [`grid`], [`error`] — shared utilities.
 //!
 //! ## Quick start
@@ -56,6 +61,7 @@ pub mod estimator;
 pub mod grid;
 pub mod kernel;
 pub mod risk;
+pub mod sketch;
 pub mod streaming;
 pub mod threshold;
 
@@ -72,6 +78,7 @@ pub use estimator::{
 pub use grid::Grid;
 pub use kernel::{BandwidthRule, Kernel, KernelDensityEstimate, KernelDensityEstimator};
 pub use risk::{integrated_squared_error, lp_distance, RiskAccumulator};
+pub use sketch::CoefficientSketch;
 pub use streaming::StreamingWaveletEstimator;
 pub use threshold::{ThresholdProfile, ThresholdRule, ThresholdSelection};
 

@@ -1,0 +1,725 @@
+//! Mergeable coefficient sketches — the accumulation state of the
+//! estimator as a first-class, distributable object.
+//!
+//! The empirical coefficients `α̂_{j,k}`, `β̂_{j,k}` are sample means of
+//! `δ_{j,k}(X_i)`, and the cross-validation criteria additionally need the
+//! per-coefficient sums of squares. The *entire* estimator state is
+//! therefore a classic mergeable sketch: per-level running sums, running
+//! sums of squares and an observation count. Two sketches over the same
+//! basis/interval/levels combine by plain addition of their sums (the
+//! "weighted recombination" of the means happens implicitly when the
+//! merged sums are divided by the merged count), which is **exactly**
+//! equivalent to a single-stream fit on the concatenated data up to
+//! floating-point summation order.
+//!
+//! This module separates that accumulation state ([`CoefficientSketch`])
+//! from model selection (cross-validation + thresholding, still performed
+//! downstream on a [`snapshot`](CoefficientSketch::snapshot)). Both the
+//! streaming estimator and the batch coefficient construction are thin
+//! layers over it, and the `wavedens-engine` crate builds sharded ingest
+//! and multi-attribute synopsis catalogs on top.
+//!
+//! Sketches also (de)serialize to a compact little-endian binary form
+//! ([`to_bytes`](CoefficientSketch::to_bytes) /
+//! [`from_bytes`](CoefficientSketch::from_bytes)) so synopses can be
+//! shipped between nodes and merged where they land.
+
+use crate::coefficients::{EmpiricalCoefficients, Generator, LevelAccumulator, LevelCoefficients};
+use crate::cv::cross_validate;
+use crate::error::EstimatorError;
+use crate::estimator::{ThresholdedLevel, WaveletDensityEstimate};
+use crate::threshold::{ThresholdProfile, ThresholdRule};
+use std::sync::Arc;
+use wavedens_wavelets::{WaveletBasis, WaveletFamily};
+
+/// Running sums for one resolution level.
+///
+/// `sum_squares` sits behind an [`Arc`] so that snapshotting hands
+/// cross-validation a read-only view without copying the vector; ingestion
+/// and merging use copy-on-write ([`Arc::make_mut`]), which only actually
+/// clones when a snapshot from a previous estimate is still alive.
+#[derive(Debug, Clone)]
+struct SketchLevel {
+    level: i32,
+    generator: Generator,
+    k_start: i64,
+    sums: Vec<f64>,
+    sum_squares: Arc<Vec<f64>>,
+}
+
+impl SketchLevel {
+    fn new(basis: &WaveletBasis, interval: (f64, f64), level: i32, generator: Generator) -> Self {
+        let range = basis.translations_covering(level, interval.0, interval.1);
+        let k_start = *range.start();
+        let count = (*range.end() - k_start + 1).max(0) as usize;
+        Self {
+            level,
+            generator,
+            k_start,
+            sums: vec![0.0; count],
+            sum_squares: Arc::new(vec![0.0; count]),
+        }
+    }
+
+    fn push_batch(&mut self, basis: &WaveletBasis, values: &[f64]) {
+        if values.is_empty() {
+            return;
+        }
+        let accumulator = LevelAccumulator::new(basis, self.generator, self.level, self.k_start);
+        let squares = Arc::make_mut(&mut self.sum_squares);
+        for &x in values {
+            accumulator.scatter(x, &mut self.sums, squares);
+        }
+    }
+
+    fn merge(&mut self, other: &Self) {
+        debug_assert_eq!(self.sums.len(), other.sums.len());
+        for (acc, v) in self.sums.iter_mut().zip(&other.sums) {
+            *acc += v;
+        }
+        let squares = Arc::make_mut(&mut self.sum_squares);
+        for (acc, v) in squares.iter_mut().zip(other.sum_squares.iter()) {
+            *acc += v;
+        }
+    }
+
+    fn snapshot(&self, n: usize) -> LevelCoefficients {
+        LevelCoefficients {
+            level: self.level,
+            generator: self.generator,
+            k_start: self.k_start,
+            values: self.sums.iter().map(|s| s / n as f64).collect(),
+            sum_squares: Arc::clone(&self.sum_squares),
+        }
+    }
+}
+
+/// The mergeable accumulation state of the wavelet density estimator:
+/// per-level running sums `Σ_i δ_{j,k}(X_i)`, running sums of squares
+/// `Σ_i δ_{j,k}(X_i)²` and the observation count.
+///
+/// * [`push`](Self::push) / [`push_batch`](Self::push_batch) ingest
+///   observations;
+/// * [`merge`](Self::merge) combines two sketches over the same
+///   configuration, exactly equivalent to a single-stream fit on the
+///   concatenation of their inputs;
+/// * [`snapshot`](Self::snapshot) produces the [`EmpiricalCoefficients`]
+///   that the cross-validation + thresholding pipeline consumes, and
+///   [`estimate`](Self::estimate) runs that pipeline;
+/// * [`to_bytes`](Self::to_bytes) / [`from_bytes`](Self::from_bytes)
+///   round-trip a compact binary form for shipping between nodes.
+#[derive(Debug, Clone)]
+pub struct CoefficientSketch {
+    basis: Arc<WaveletBasis>,
+    interval: (f64, f64),
+    count: usize,
+    scaling: SketchLevel,
+    details: Vec<SketchLevel>,
+}
+
+impl CoefficientSketch {
+    /// Creates an empty sketch on `interval` with scaling level `j0` and
+    /// detail levels `j0..=j_max`.
+    pub fn new(
+        family: WaveletFamily,
+        interval: (f64, f64),
+        j0: i32,
+        j_max: i32,
+    ) -> Result<Self, EstimatorError> {
+        Self::with_basis(Arc::new(WaveletBasis::new(family)?), interval, j0, j_max)
+    }
+
+    /// Creates an empty sketch reusing an existing basis (avoids
+    /// re-tabulating `φ`/`ψ` when many sketches share one).
+    pub fn with_basis(
+        basis: Arc<WaveletBasis>,
+        interval: (f64, f64),
+        j0: i32,
+        j_max: i32,
+    ) -> Result<Self, EstimatorError> {
+        if interval.0 >= interval.1 || !interval.0.is_finite() || !interval.1.is_finite() {
+            return Err(EstimatorError::InvalidInterval {
+                lo: interval.0,
+                hi: interval.1,
+            });
+        }
+        if j0 < 0 {
+            return Err(EstimatorError::InvalidLevels {
+                message: format!("j0 must be nonnegative, got {j0}"),
+            });
+        }
+        if j_max < j0 {
+            return Err(EstimatorError::InvalidLevels {
+                message: format!("j_max = {j_max} is smaller than j0 = {j0}"),
+            });
+        }
+        let scaling = SketchLevel::new(&basis, interval, j0, Generator::Scaling);
+        let details = (j0..=j_max)
+            .map(|j| SketchLevel::new(&basis, interval, j, Generator::Wavelet))
+            .collect();
+        Ok(Self {
+            basis,
+            interval,
+            count: 0,
+            scaling,
+            details,
+        })
+    }
+
+    /// Creates an empty sketch on `[0, 1]` sized for roughly `expected_n`
+    /// observations with the paper's defaults (Symmlet 8, level rules of
+    /// Theorem 3.1 / Section 5.1).
+    pub fn sized_for(expected_n: usize) -> Result<Self, EstimatorError> {
+        let n = expected_n.max(2);
+        let j0 = crate::estimator::default_coarse_level(n, 8);
+        let j_max = crate::estimator::cv_max_level(n);
+        Self::new(WaveletFamily::Symmlet(8), (0.0, 1.0), j0, j_max)
+    }
+
+    /// The wavelet basis the sketch accumulates in.
+    pub fn basis(&self) -> &Arc<WaveletBasis> {
+        &self.basis
+    }
+
+    /// The estimation interval.
+    pub fn interval(&self) -> (f64, f64) {
+        self.interval
+    }
+
+    /// Number of observations accumulated.
+    pub fn count(&self) -> usize {
+        self.count
+    }
+
+    /// Whether the sketch has seen no observations.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// The coarse scaling level `j0`.
+    pub fn coarse_level(&self) -> i32 {
+        self.scaling.level
+    }
+
+    /// The highest detail level accumulated.
+    pub fn max_level(&self) -> i32 {
+        self.details
+            .last()
+            .map(|l| l.level)
+            .unwrap_or(self.scaling.level)
+    }
+
+    /// Ingests one observation.
+    pub fn push(&mut self, x: f64) {
+        self.push_batch(std::slice::from_ref(&x));
+    }
+
+    /// Ingests a batch of observations with the per-level constants
+    /// (`2^j`, support length, translation window) hoisted out of the
+    /// per-observation loop. Numerically identical to pushing the values
+    /// one by one.
+    pub fn push_batch(&mut self, values: &[f64]) {
+        self.count += values.len();
+        self.scaling.push_batch(&self.basis, values);
+        for level in &mut self.details {
+            level.push_batch(&self.basis, values);
+        }
+    }
+
+    /// Ingests many observations via [`push_batch`](Self::push_batch),
+    /// buffering the iterator in fixed-size chunks so arbitrarily long
+    /// (or lazy) sources ingest with bounded memory.
+    pub fn extend<I: IntoIterator<Item = f64>>(&mut self, values: I) {
+        for_each_batch(values, |chunk| self.push_batch(chunk));
+    }
+
+    /// Checks that `other` accumulates the same coefficients as `self`
+    /// (same wavelet family, interval and resolution levels).
+    pub fn is_compatible(&self, other: &Self) -> Result<(), EstimatorError> {
+        let incompatible = |message: String| EstimatorError::IncompatibleSketches { message };
+        if self.basis.family() != other.basis.family() {
+            return Err(incompatible(format!(
+                "wavelet families differ: {} vs {}",
+                self.basis.family().name(),
+                other.basis.family().name()
+            )));
+        }
+        if self.interval != other.interval {
+            return Err(incompatible(format!(
+                "intervals differ: [{}, {}] vs [{}, {}]",
+                self.interval.0, self.interval.1, other.interval.0, other.interval.1
+            )));
+        }
+        if self.coarse_level() != other.coarse_level() || self.max_level() != other.max_level() {
+            return Err(incompatible(format!(
+                "resolution levels differ: {}..={} vs {}..={}",
+                self.coarse_level(),
+                self.max_level(),
+                other.coarse_level(),
+                other.max_level()
+            )));
+        }
+        Ok(())
+    }
+
+    /// Folds another sketch into this one. After the merge, `self` is
+    /// exactly the sketch a single stream over the concatenation of both
+    /// inputs would have produced (the raw sums and sums of squares add;
+    /// the count-weighted recombination of the coefficient means happens
+    /// when [`snapshot`](Self::snapshot) divides by the merged count).
+    ///
+    /// Fails with [`EstimatorError::IncompatibleSketches`] when the two
+    /// sketches do not accumulate the same coefficients.
+    pub fn merge(&mut self, other: &Self) -> Result<(), EstimatorError> {
+        self.is_compatible(other)?;
+        self.count += other.count;
+        self.scaling.merge(&other.scaling);
+        for (mine, theirs) in self.details.iter_mut().zip(&other.details) {
+            mine.merge(theirs);
+        }
+        Ok(())
+    }
+
+    /// The empirical coefficients of everything accumulated so far — the
+    /// input of the cross-validation + thresholding pipeline. Cheap: the
+    /// sums of squares are shared by [`Arc`], only the coefficient means
+    /// are materialised.
+    pub fn snapshot(&self) -> Result<EmpiricalCoefficients, EstimatorError> {
+        if self.count == 0 {
+            return Err(EstimatorError::EmptySample);
+        }
+        Ok(EmpiricalCoefficients::from_parts(
+            Arc::clone(&self.basis),
+            self.count,
+            self.interval,
+            self.scaling.snapshot(self.count),
+            self.details
+                .iter()
+                .map(|l| l.snapshot(self.count))
+                .collect(),
+        ))
+    }
+
+    /// Runs the downstream model-selection pipeline (cross-validated
+    /// per-level thresholds, data-driven `ĵ1`, thresholding) on the
+    /// current accumulation state — equivalent to a batch CV fit with the
+    /// same levels on the concatenation of everything pushed or merged in.
+    pub fn estimate(&self, rule: ThresholdRule) -> Result<WaveletDensityEstimate, EstimatorError> {
+        let coefficients = self.snapshot()?;
+        let cv = cross_validate(&coefficients, rule);
+        let profile: ThresholdProfile = cv.thresholds();
+        let thresholded: Vec<ThresholdedLevel> = coefficients
+            .details()
+            .iter()
+            .map(|level| {
+                ThresholdedLevel::from_coefficients(level, rule, profile.level(level.level))
+            })
+            .collect();
+        Ok(WaveletDensityEstimate::from_parts(
+            Arc::clone(&self.basis),
+            self.interval,
+            self.count,
+            rule,
+            coefficients.scaling().clone(),
+            thresholded,
+            profile,
+            cv.j1,
+            Some(cv),
+        ))
+    }
+
+    /// Serializes the sketch to a compact little-endian binary form
+    /// (magic + version header, wavelet family, interval, count, levels,
+    /// then the raw sums and sums of squares of every level).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.serialized_len());
+        out.extend_from_slice(MAGIC);
+        out.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+        let (family_tag, order) = encode_family(self.basis.family());
+        out.push(family_tag);
+        out.extend_from_slice(&(order as u16).to_le_bytes());
+        out.extend_from_slice(&self.interval.0.to_le_bytes());
+        out.extend_from_slice(&self.interval.1.to_le_bytes());
+        out.extend_from_slice(&(self.count as u64).to_le_bytes());
+        out.extend_from_slice(&self.coarse_level().to_le_bytes());
+        out.extend_from_slice(&self.max_level().to_le_bytes());
+        for level in std::iter::once(&self.scaling).chain(&self.details) {
+            out.extend_from_slice(&(level.sums.len() as u64).to_le_bytes());
+            for v in &level.sums {
+                out.extend_from_slice(&v.to_le_bytes());
+            }
+            for v in level.sum_squares.iter() {
+                out.extend_from_slice(&v.to_le_bytes());
+            }
+        }
+        out
+    }
+
+    fn serialized_len(&self) -> usize {
+        let header = MAGIC.len() + 2 + 3 + 16 + 8 + 8;
+        let levels: usize = std::iter::once(&self.scaling)
+            .chain(&self.details)
+            .map(|l| 8 + 16 * l.sums.len())
+            .sum();
+        header + levels
+    }
+
+    /// Deserializes a sketch previously produced by
+    /// [`to_bytes`](Self::to_bytes), rebuilding the wavelet basis from the
+    /// encoded family. Fails with
+    /// [`EstimatorError::InvalidSerialization`] on any malformed input.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, EstimatorError> {
+        let mut reader = Reader::new(bytes);
+        let magic = reader.take(MAGIC.len())?;
+        if magic != MAGIC {
+            return Err(invalid("bad magic bytes"));
+        }
+        let version = reader.u16()?;
+        if version != FORMAT_VERSION {
+            return Err(invalid(&format!(
+                "unsupported format version {version} (expected {FORMAT_VERSION})"
+            )));
+        }
+        let family_tag = reader.u8()?;
+        let order = reader.u16()? as usize;
+        let family = decode_family(family_tag, order)?;
+        let lo = reader.f64()?;
+        let hi = reader.f64()?;
+        let count = reader.u64()? as usize;
+        let j0 = reader.i32()?;
+        let j_max = reader.i32()?;
+        let mut sketch = Self::new(family, (lo, hi), j0, j_max)?;
+        sketch.count = count;
+        read_level(&mut reader, &mut sketch.scaling)?;
+        for level in &mut sketch.details {
+            read_level(&mut reader, level)?;
+        }
+        if !reader.is_done() {
+            return Err(invalid("trailing bytes after the last level"));
+        }
+        // Consistency between the count and the level payloads: a sketch
+        // of zero observations has identically zero sums, so a corrupted
+        // count field cannot smuggle phantom mass past an is_empty()
+        // check (and the later division by count).
+        if count == 0 {
+            let has_mass = std::iter::once(&sketch.scaling)
+                .chain(&sketch.details)
+                .any(|level| {
+                    level.sums.iter().any(|v| *v != 0.0)
+                        || level.sum_squares.iter().any(|v| *v != 0.0)
+                });
+            if has_mass {
+                return Err(invalid("count is zero but level sums are nonzero"));
+            }
+        }
+        Ok(sketch)
+    }
+}
+
+/// Feeds `values` to `flush` in fixed-size batches so arbitrarily long
+/// (or lazy) sources are consumed with bounded memory. The single home of
+/// the streaming chunk policy, shared by [`CoefficientSketch::extend`]
+/// and the engine crate's streaming ingestion. The trailing (possibly
+/// empty) batch is flushed too; batch consumers treat an empty slice as a
+/// no-op.
+pub fn for_each_batch<I: IntoIterator<Item = f64>>(values: I, mut flush: impl FnMut(&[f64])) {
+    const CHUNK: usize = 1024;
+    let mut buffer = Vec::with_capacity(CHUNK);
+    for x in values {
+        buffer.push(x);
+        if buffer.len() == CHUNK {
+            flush(&buffer);
+            buffer.clear();
+        }
+    }
+    flush(&buffer);
+}
+
+const MAGIC: &[u8] = b"WDSK";
+const FORMAT_VERSION: u16 = 1;
+
+fn invalid(message: &str) -> EstimatorError {
+    EstimatorError::InvalidSerialization {
+        message: message.to_string(),
+    }
+}
+
+fn encode_family(family: WaveletFamily) -> (u8, usize) {
+    match family {
+        WaveletFamily::Haar => (0, 1),
+        WaveletFamily::Daubechies(n) => (1, n),
+        WaveletFamily::Symmlet(n) => (2, n),
+    }
+}
+
+fn decode_family(tag: u8, order: usize) -> Result<WaveletFamily, EstimatorError> {
+    match tag {
+        0 => Ok(WaveletFamily::Haar),
+        1 => Ok(WaveletFamily::Daubechies(order)),
+        2 => Ok(WaveletFamily::Symmlet(order)),
+        _ => Err(invalid(&format!("unknown wavelet family tag {tag}"))),
+    }
+}
+
+fn read_level(reader: &mut Reader<'_>, level: &mut SketchLevel) -> Result<(), EstimatorError> {
+    let len = reader.u64()? as usize;
+    if len != level.sums.len() {
+        return Err(invalid(&format!(
+            "level {} stores {} translations, payload has {len}",
+            level.level,
+            level.sums.len()
+        )));
+    }
+    for slot in &mut level.sums {
+        let value = reader.f64()?;
+        if !value.is_finite() {
+            return Err(invalid(&format!("non-finite sum {value} in level payload")));
+        }
+        *slot = value;
+    }
+    let squares = Arc::make_mut(&mut level.sum_squares);
+    for slot in squares.iter_mut() {
+        let value = reader.f64()?;
+        // Sums of squares are nonnegative by construction; anything else
+        // is corruption and would poison cross-validation downstream.
+        if !value.is_finite() || value < 0.0 {
+            return Err(invalid(&format!(
+                "invalid sum of squares {value} in level payload"
+            )));
+        }
+        *slot = value;
+    }
+    Ok(())
+}
+
+/// A bounds-checked little-endian cursor over a byte slice.
+struct Reader<'a> {
+    bytes: &'a [u8],
+    offset: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(bytes: &'a [u8]) -> Self {
+        Self { bytes, offset: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], EstimatorError> {
+        let end = self
+            .offset
+            .checked_add(n)
+            .filter(|&end| end <= self.bytes.len())
+            .ok_or_else(|| invalid("payload truncated"))?;
+        let slice = &self.bytes[self.offset..end];
+        self.offset = end;
+        Ok(slice)
+    }
+
+    fn u8(&mut self) -> Result<u8, EstimatorError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u16(&mut self) -> Result<u16, EstimatorError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().expect("len 2")))
+    }
+
+    fn i32(&mut self) -> Result<i32, EstimatorError> {
+        Ok(i32::from_le_bytes(self.take(4)?.try_into().expect("len 4")))
+    }
+
+    fn u64(&mut self) -> Result<u64, EstimatorError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("len 8")))
+    }
+
+    fn f64(&mut self) -> Result<f64, EstimatorError> {
+        Ok(f64::from_le_bytes(self.take(8)?.try_into().expect("len 8")))
+    }
+
+    fn is_done(&self) -> bool {
+        self.offset == self.bytes.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+    use wavedens_processes::seeded_rng;
+
+    fn sample(n: usize, seed: u64) -> Vec<f64> {
+        let mut rng = seeded_rng(seed);
+        (0..n).map(|_| rng.gen::<f64>()).collect()
+    }
+
+    #[test]
+    fn merge_matches_single_stream_sketch() {
+        let data = sample(900, 1);
+        let mut single = CoefficientSketch::sized_for(900).unwrap();
+        single.push_batch(&data);
+        let mut left = CoefficientSketch::sized_for(900).unwrap();
+        let mut right = CoefficientSketch::sized_for(900).unwrap();
+        left.push_batch(&data[..311]);
+        right.push_batch(&data[311..]);
+        left.merge(&right).unwrap();
+        assert_eq!(left.count(), single.count());
+        let a = left.snapshot().unwrap();
+        let b = single.snapshot().unwrap();
+        for (la, lb) in
+            std::iter::once((a.scaling(), b.scaling())).chain(a.details().iter().zip(b.details()))
+        {
+            assert_eq!(la.k_start, lb.k_start);
+            for (va, vb) in la.values.iter().zip(&lb.values) {
+                assert!((va - vb).abs() < 1e-12 * (1.0 + vb.abs()), "{va} vs {vb}");
+            }
+            for (sa, sb) in la.sum_squares.iter().zip(lb.sum_squares.iter()) {
+                assert!((sa - sb).abs() < 1e-12 * (1.0 + sb.abs()), "{sa} vs {sb}");
+            }
+        }
+    }
+
+    #[test]
+    fn merge_of_empty_sketch_is_identity() {
+        let data = sample(256, 2);
+        let mut sketch = CoefficientSketch::sized_for(256).unwrap();
+        sketch.push_batch(&data);
+        let before = sketch.snapshot().unwrap().scaling().values.clone();
+        let empty = CoefficientSketch::sized_for(256).unwrap();
+        sketch.merge(&empty).unwrap();
+        assert_eq!(sketch.count(), 256);
+        assert_eq!(sketch.snapshot().unwrap().scaling().values, before);
+    }
+
+    #[test]
+    fn incompatible_sketches_are_rejected() {
+        let base = CoefficientSketch::new(WaveletFamily::Symmlet(8), (0.0, 1.0), 1, 5).unwrap();
+        let mut probe = base.clone();
+        let other_family =
+            CoefficientSketch::new(WaveletFamily::Daubechies(4), (0.0, 1.0), 1, 5).unwrap();
+        let other_interval =
+            CoefficientSketch::new(WaveletFamily::Symmlet(8), (0.0, 2.0), 1, 5).unwrap();
+        let other_levels =
+            CoefficientSketch::new(WaveletFamily::Symmlet(8), (0.0, 1.0), 1, 6).unwrap();
+        for other in [&other_family, &other_interval, &other_levels] {
+            assert!(matches!(
+                probe.merge(other).unwrap_err(),
+                EstimatorError::IncompatibleSketches { .. }
+            ));
+        }
+        // The failed merges must not have touched the state.
+        assert_eq!(probe.count(), 0);
+    }
+
+    #[test]
+    fn empty_sketch_cannot_snapshot_or_estimate() {
+        let sketch = CoefficientSketch::sized_for(100).unwrap();
+        assert!(sketch.is_empty());
+        assert!(matches!(
+            sketch.snapshot().unwrap_err(),
+            EstimatorError::EmptySample
+        ));
+        assert!(matches!(
+            sketch.estimate(ThresholdRule::Soft).unwrap_err(),
+            EstimatorError::EmptySample
+        ));
+    }
+
+    #[test]
+    fn invalid_configurations_are_rejected() {
+        assert!(matches!(
+            CoefficientSketch::new(WaveletFamily::Symmlet(8), (1.0, 0.0), 1, 5).unwrap_err(),
+            EstimatorError::InvalidInterval { .. }
+        ));
+        assert!(matches!(
+            CoefficientSketch::new(WaveletFamily::Symmlet(8), (0.0, 1.0), 5, 1).unwrap_err(),
+            EstimatorError::InvalidLevels { .. }
+        ));
+        assert!(matches!(
+            CoefficientSketch::new(WaveletFamily::Symmlet(8), (0.0, 1.0), -1, 1).unwrap_err(),
+            EstimatorError::InvalidLevels { .. }
+        ));
+    }
+
+    #[test]
+    fn serialization_round_trips() {
+        let data = sample(500, 3);
+        let mut sketch =
+            CoefficientSketch::new(WaveletFamily::Symmlet(8), (0.0, 1.0), 1, 6).unwrap();
+        sketch.push_batch(&data);
+        let bytes = sketch.to_bytes();
+        assert_eq!(bytes.len(), sketch.serialized_len());
+        let restored = CoefficientSketch::from_bytes(&bytes).unwrap();
+        assert_eq!(restored.count(), sketch.count());
+        assert_eq!(restored.interval(), sketch.interval());
+        assert_eq!(restored.coarse_level(), sketch.coarse_level());
+        assert_eq!(restored.max_level(), sketch.max_level());
+        let a = sketch.estimate(ThresholdRule::Soft).unwrap();
+        let b = restored.estimate(ThresholdRule::Soft).unwrap();
+        for i in 0..=100 {
+            let x = i as f64 / 100.0;
+            assert_eq!(a.evaluate(x), b.evaluate(x), "mismatch at {x}");
+        }
+        // A deserialized sketch keeps accumulating and merging.
+        let mut restored = restored;
+        restored.push_batch(&sample(100, 4));
+        assert_eq!(restored.count(), 600);
+    }
+
+    #[test]
+    fn malformed_payloads_are_rejected() {
+        let mut sketch = CoefficientSketch::new(WaveletFamily::Haar, (0.0, 1.0), 0, 1).unwrap();
+        sketch.push_batch(&sample(32, 5));
+        let bytes = sketch.to_bytes();
+        // Truncations at every prefix length must error, never panic.
+        for len in 0..bytes.len() {
+            assert!(
+                CoefficientSketch::from_bytes(&bytes[..len]).is_err(),
+                "truncation to {len} bytes must be rejected"
+            );
+        }
+        // Bad magic.
+        let mut bad = bytes.clone();
+        bad[0] = b'X';
+        assert!(matches!(
+            CoefficientSketch::from_bytes(&bad).unwrap_err(),
+            EstimatorError::InvalidSerialization { .. }
+        ));
+        // Bad version.
+        let mut bad = bytes.clone();
+        bad[4] = 0xFF;
+        assert!(CoefficientSketch::from_bytes(&bad).is_err());
+        // Bad family tag.
+        let mut bad = bytes.clone();
+        bad[6] = 9;
+        assert!(CoefficientSketch::from_bytes(&bad).is_err());
+        // Trailing garbage.
+        let mut bad = bytes.clone();
+        bad.push(0);
+        assert!(CoefficientSketch::from_bytes(&bad).is_err());
+        // A corrupted count (zero) with intact nonzero level sums must
+        // not deserialize into a sketch that claims to be empty: the
+        // count field sits at bytes 25..33 of the header.
+        let mut bad = bytes.clone();
+        bad[25..33].copy_from_slice(&0_u64.to_le_bytes());
+        assert!(CoefficientSketch::from_bytes(&bad).is_err());
+        // Non-finite sums are rejected; the first scaling sum starts
+        // right after the header (41 bytes) and the level length (8).
+        let mut bad = bytes.clone();
+        bad[49..57].copy_from_slice(&f64::NAN.to_le_bytes());
+        assert!(CoefficientSketch::from_bytes(&bad).is_err());
+        // Negative sums of squares are rejected (they are sums of squares
+        // of reals). The squares block follows the sums block.
+        let squares_offset = 49 + 8 * sketch.snapshot().unwrap().scaling().len();
+        let mut bad = bytes.clone();
+        bad[squares_offset..squares_offset + 8].copy_from_slice(&(-1.0_f64).to_le_bytes());
+        assert!(CoefficientSketch::from_bytes(&bad).is_err());
+    }
+
+    #[test]
+    fn estimate_matches_streaming_pipeline() {
+        let data = sample(700, 6);
+        let mut sketch = CoefficientSketch::sized_for(700).unwrap();
+        sketch.extend(data.iter().copied());
+        let estimate = sketch.estimate(ThresholdRule::Soft).unwrap();
+        assert_eq!(estimate.sample_size(), 700);
+        assert!((estimate.integral() - 1.0).abs() < 0.1);
+    }
+}

@@ -7,73 +7,19 @@
 //! that motivates the selectivity-estimation application crate — while
 //! producing *exactly* the same estimate as a batch fit on the observations
 //! seen so far.
+//!
+//! The accumulation state lives in a [`CoefficientSketch`]; this type is a
+//! thin layer binding a sketch to a thresholding rule. Because sketches
+//! are mergeable, two streaming estimators over partitions of a stream can
+//! be combined ([`CoefficientSketch::merge`]) into exactly the estimator a
+//! single stream would have produced — the basis of the sharded ingest in
+//! the `wavedens-engine` crate.
 
-use crate::coefficients::{EmpiricalCoefficients, Generator, LevelAccumulator, LevelCoefficients};
-use crate::cv::cross_validate;
 use crate::error::EstimatorError;
-use crate::estimator::{ThresholdedLevel, WaveletDensityEstimate};
-use crate::threshold::{ThresholdProfile, ThresholdRule, ThresholdSelection};
-use std::sync::Arc;
-use wavedens_wavelets::{WaveletBasis, WaveletFamily};
-
-/// Running sums for one resolution level.
-///
-/// `sum_squares` sits behind an [`Arc`] so that [`RunningLevel::snapshot`]
-/// can hand cross-validation a read-only view without copying the vector;
-/// ingestion uses copy-on-write ([`Arc::make_mut`]), which only actually
-/// clones when a snapshot from a previous `estimate()` call is still
-/// alive.
-#[derive(Debug, Clone)]
-struct RunningLevel {
-    level: i32,
-    generator: Generator,
-    k_start: i64,
-    sums: Vec<f64>,
-    sum_squares: Arc<Vec<f64>>,
-}
-
-impl RunningLevel {
-    fn new(basis: &WaveletBasis, interval: (f64, f64), level: i32, generator: Generator) -> Self {
-        let range = basis.translations_covering(level, interval.0, interval.1);
-        let k_start = *range.start();
-        let count = (*range.end() - k_start + 1).max(0) as usize;
-        Self {
-            level,
-            generator,
-            k_start,
-            sums: vec![0.0; count],
-            sum_squares: Arc::new(vec![0.0; count]),
-        }
-    }
-
-    fn push(&mut self, basis: &WaveletBasis, x: f64) {
-        self.push_batch(basis, std::slice::from_ref(&x));
-    }
-
-    /// Ingests a batch of observations with the per-level constants
-    /// (`2^j`, support length, translation window) hoisted out of the
-    /// per-observation loop.
-    fn push_batch(&mut self, basis: &WaveletBasis, values: &[f64]) {
-        if values.is_empty() {
-            return;
-        }
-        let accumulator = LevelAccumulator::new(basis, self.generator, self.level, self.k_start);
-        let squares = Arc::make_mut(&mut self.sum_squares);
-        for &x in values {
-            accumulator.scatter(x, &mut self.sums, squares);
-        }
-    }
-
-    fn snapshot(&self, n: usize) -> LevelCoefficients {
-        LevelCoefficients {
-            level: self.level,
-            generator: self.generator,
-            k_start: self.k_start,
-            values: self.sums.iter().map(|s| s / n as f64).collect(),
-            sum_squares: Arc::clone(&self.sum_squares),
-        }
-    }
-}
+use crate::estimator::WaveletDensityEstimate;
+use crate::sketch::CoefficientSketch;
+use crate::threshold::{ThresholdRule, ThresholdSelection};
+use wavedens_wavelets::WaveletFamily;
 
 /// An online wavelet density estimator over a data stream.
 ///
@@ -83,12 +29,8 @@ impl RunningLevel {
 /// observations using the same rules as the batch estimator.
 #[derive(Debug, Clone)]
 pub struct StreamingWaveletEstimator {
-    basis: Arc<WaveletBasis>,
-    interval: (f64, f64),
+    sketch: CoefficientSketch,
     rule: ThresholdRule,
-    scaling: RunningLevel,
-    details: Vec<RunningLevel>,
-    count: usize,
 }
 
 impl StreamingWaveletEstimator {
@@ -101,30 +43,16 @@ impl StreamingWaveletEstimator {
         j0: i32,
         j_max: i32,
     ) -> Result<Self, EstimatorError> {
-        if interval.0 >= interval.1 || !interval.0.is_finite() || !interval.1.is_finite() {
-            return Err(EstimatorError::InvalidInterval {
-                lo: interval.0,
-                hi: interval.1,
-            });
-        }
-        if j0 < 0 || j_max < j0 {
-            return Err(EstimatorError::InvalidLevels {
-                message: format!("need 0 ≤ j0 ≤ j_max, got j0={j0}, j_max={j_max}"),
-            });
-        }
-        let basis = Arc::new(WaveletBasis::new(family)?);
-        let scaling = RunningLevel::new(&basis, interval, j0, Generator::Scaling);
-        let details = (j0..=j_max)
-            .map(|j| RunningLevel::new(&basis, interval, j, Generator::Wavelet))
-            .collect();
         Ok(Self {
-            basis,
-            interval,
+            sketch: CoefficientSketch::new(family, interval, j0, j_max)?,
             rule,
-            scaling,
-            details,
-            count: 0,
         })
+    }
+
+    /// Wraps an existing accumulation state (for example one merged from
+    /// several shards) with a thresholding rule.
+    pub fn from_sketch(sketch: CoefficientSketch, rule: ThresholdRule) -> Self {
+        Self { sketch, rule }
     }
 
     /// Creates a streaming estimator sized for roughly `expected_n`
@@ -133,29 +61,37 @@ impl StreamingWaveletEstimator {
         rule: ThresholdRule,
         expected_n: usize,
     ) -> Result<Self, EstimatorError> {
-        let family = WaveletFamily::Symmlet(8);
-        let j0 = crate::estimator::default_coarse_level(expected_n.max(2), 8);
-        let j_max = crate::estimator::cv_max_level(expected_n.max(2));
-        Self::new(family, (0.0, 1.0), rule, j0, j_max)
+        Ok(Self {
+            sketch: CoefficientSketch::sized_for(expected_n)?,
+            rule,
+        })
     }
 
     /// Number of observations pushed so far.
     pub fn count(&self) -> usize {
-        self.count
+        self.sketch.count()
     }
 
     /// The estimation interval.
     pub fn interval(&self) -> (f64, f64) {
-        self.interval
+        self.sketch.interval()
+    }
+
+    /// The underlying accumulation state.
+    pub fn sketch(&self) -> &CoefficientSketch {
+        &self.sketch
+    }
+
+    /// Consumes the estimator, returning its accumulation state (for
+    /// example to merge it into another shard's sketch or ship it to a
+    /// different node).
+    pub fn into_sketch(self) -> CoefficientSketch {
+        self.sketch
     }
 
     /// Ingests one observation.
     pub fn push(&mut self, x: f64) {
-        self.count += 1;
-        self.scaling.push(&self.basis, x);
-        for level in &mut self.details {
-            level.push(&self.basis, x);
-        }
+        self.sketch.push(x);
     }
 
     /// Ingests a batch of observations.
@@ -166,68 +102,21 @@ impl StreamingWaveletEstimator {
     /// window — are computed once per level instead of once per
     /// observation, which is markedly faster for bulk inserts.
     pub fn push_batch(&mut self, values: &[f64]) {
-        self.count += values.len();
-        self.scaling.push_batch(&self.basis, values);
-        for level in &mut self.details {
-            level.push_batch(&self.basis, values);
-        }
+        self.sketch.push_batch(values);
     }
 
     /// Ingests many observations via [`push_batch`](Self::push_batch),
     /// buffering the iterator in fixed-size chunks so arbitrarily long
     /// (or lazy) sources ingest with bounded memory.
     pub fn extend<I: IntoIterator<Item = f64>>(&mut self, values: I) {
-        const CHUNK: usize = 1024;
-        let mut buffer = Vec::with_capacity(CHUNK);
-        for x in values {
-            buffer.push(x);
-            if buffer.len() == CHUNK {
-                self.push_batch(&buffer);
-                buffer.clear();
-            }
-        }
-        self.push_batch(&buffer);
+        self.sketch.extend(values);
     }
 
     /// Produces the current estimate, cross-validating the thresholds on
     /// the observations seen so far (equivalent to a batch CV fit with the
     /// same levels).
     pub fn estimate(&self) -> Result<WaveletDensityEstimate, EstimatorError> {
-        if self.count == 0 {
-            return Err(EstimatorError::EmptySample);
-        }
-        let scaling = self.scaling.snapshot(self.count);
-        let details: Vec<LevelCoefficients> = self
-            .details
-            .iter()
-            .map(|l| l.snapshot(self.count))
-            .collect();
-        let coefficients = EmpiricalCoefficients::from_parts(
-            Arc::clone(&self.basis),
-            self.count,
-            self.interval,
-            scaling.clone(),
-            details.clone(),
-        );
-        let cv = cross_validate(&coefficients, self.rule);
-        let profile: ThresholdProfile = cv.thresholds();
-        let thresholded: Vec<ThresholdedLevel> = details
-            .iter()
-            .map(|level| {
-                ThresholdedLevel::from_coefficients(level, self.rule, profile.level(level.level))
-            })
-            .collect();
-        Ok(WaveletDensityEstimate::from_parts(
-            Arc::clone(&self.basis),
-            self.interval,
-            self.count,
-            self.rule,
-            scaling,
-            thresholded,
-            profile,
-            cv.j1,
-            Some(cv),
-        ))
+        self.sketch.estimate(self.rule)
     }
 
     /// Convenience: the current estimate's value at `x` (0 before any data).

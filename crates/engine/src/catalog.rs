@@ -1,0 +1,245 @@
+//! A named registry of attribute synopses — the multi-attribute face of
+//! the engine.
+//!
+//! A query optimiser tracks selectivities for many table columns at once;
+//! the catalog maps attribute names to [`AttributeSynopsis`] instances so
+//! one process can ingest and answer for all of them concurrently. The
+//! registry itself is read-mostly (attributes are registered once, then
+//! ingested into and queried forever), so it sits behind an [`RwLock`]
+//! whose write lock is only taken at registration time; every per-row and
+//! per-query operation proceeds under the shared read lock against the
+//! attribute's own `Arc`.
+
+use crate::synopsis::{AttributeSynopsis, RefreshedSynopsis, SynopsisConfig};
+use std::collections::BTreeMap;
+use std::sync::{Arc, RwLock};
+use wavedens_core::EstimatorError;
+
+/// Errors raised by the catalog.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EngineError {
+    /// The named attribute has not been registered.
+    UnknownAttribute {
+        /// The attribute name that failed to resolve.
+        name: String,
+    },
+    /// Building a synopsis (or its sketch) failed.
+    Estimator(EstimatorError),
+}
+
+impl std::fmt::Display for EngineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EngineError::UnknownAttribute { name } => {
+                write!(f, "attribute {name:?} is not registered in the catalog")
+            }
+            EngineError::Estimator(err) => write!(f, "estimator error: {err}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            EngineError::Estimator(err) => Some(err),
+            _ => None,
+        }
+    }
+}
+
+impl From<EstimatorError> for EngineError {
+    fn from(err: EstimatorError) -> Self {
+        EngineError::Estimator(err)
+    }
+}
+
+/// A named multi-attribute registry of synopses.
+///
+/// All methods take `&self`: the catalog is designed to be shared across
+/// threads behind a plain reference or an [`Arc`], with writers ingesting
+/// into different attributes (or different shards of one attribute) and
+/// readers querying concurrently — including while an attribute's
+/// synopsis is being rebuilt.
+#[derive(Debug, Default)]
+pub struct SynopsisCatalog {
+    attributes: RwLock<BTreeMap<String, Arc<AttributeSynopsis>>>,
+}
+
+impl SynopsisCatalog {
+    /// Creates an empty catalog.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers an attribute with the given configuration, returning its
+    /// synopsis. Registering an existing name is idempotent: the existing
+    /// synopsis is returned untouched (and keeps its data).
+    pub fn register(
+        &self,
+        name: &str,
+        config: SynopsisConfig,
+    ) -> Result<Arc<AttributeSynopsis>, EngineError> {
+        {
+            let attributes = self.attributes.read().expect("catalog poisoned");
+            if let Some(existing) = attributes.get(name) {
+                return Ok(Arc::clone(existing));
+            }
+        }
+        let mut attributes = self.attributes.write().expect("catalog poisoned");
+        // Double-checked: another writer may have registered the name
+        // between the read and write locks.
+        if let Some(existing) = attributes.get(name) {
+            return Ok(Arc::clone(existing));
+        }
+        let synopsis = Arc::new(AttributeSynopsis::new(&config)?);
+        attributes.insert(name.to_string(), Arc::clone(&synopsis));
+        Ok(synopsis)
+    }
+
+    /// The synopsis of a registered attribute.
+    pub fn attribute(&self, name: &str) -> Option<Arc<AttributeSynopsis>> {
+        self.attributes
+            .read()
+            .expect("catalog poisoned")
+            .get(name)
+            .map(Arc::clone)
+    }
+
+    /// Resolves an attribute or errors with
+    /// [`EngineError::UnknownAttribute`].
+    fn resolve(&self, name: &str) -> Result<Arc<AttributeSynopsis>, EngineError> {
+        self.attribute(name)
+            .ok_or_else(|| EngineError::UnknownAttribute {
+                name: name.to_string(),
+            })
+    }
+
+    /// Ingests a batch of values into a registered attribute.
+    pub fn ingest(&self, name: &str, values: &[f64]) -> Result<(), EngineError> {
+        self.resolve(name)?.ingest(values);
+        Ok(())
+    }
+
+    /// Bulk-loads values into a registered attribute with parallel
+    /// sharded ingestion.
+    pub fn ingest_parallel(&self, name: &str, values: &[f64]) -> Result<(), EngineError> {
+        self.resolve(name)?.ingest_parallel(values);
+        Ok(())
+    }
+
+    /// Estimated selectivity `P(lo ≤ X ≤ hi)` for a registered attribute
+    /// (0 while the attribute has no rows).
+    pub fn selectivity(&self, name: &str, lo: f64, hi: f64) -> Result<f64, EngineError> {
+        Ok(self.resolve(name)?.selectivity(lo, hi))
+    }
+
+    /// The refreshed synopsis of a registered attribute (`None` while it
+    /// has no rows).
+    pub fn refreshed(&self, name: &str) -> Result<Option<Arc<RefreshedSynopsis>>, EngineError> {
+        Ok(self.resolve(name)?.refreshed()?)
+    }
+
+    /// Names of all registered attributes (sorted).
+    pub fn names(&self) -> Vec<String> {
+        self.attributes
+            .read()
+            .expect("catalog poisoned")
+            .keys()
+            .cloned()
+            .collect()
+    }
+
+    /// Number of registered attributes.
+    pub fn len(&self) -> usize {
+        self.attributes.read().expect("catalog poisoned").len()
+    }
+
+    /// Whether no attribute is registered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total rows ingested across all attributes.
+    pub fn total_rows(&self) -> usize {
+        self.attributes
+            .read()
+            .expect("catalog poisoned")
+            .values()
+            .map(|synopsis| synopsis.rows())
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+    use wavedens_processes::seeded_rng;
+
+    fn sample(n: usize, seed: u64) -> Vec<f64> {
+        let mut rng = seeded_rng(seed);
+        (0..n).map(|_| rng.gen::<f64>()).collect()
+    }
+
+    fn small_config() -> SynopsisConfig {
+        SynopsisConfig::default()
+            .with_expected_rows(1024)
+            .with_shards(2)
+    }
+
+    #[test]
+    fn register_is_idempotent_and_keeps_data() {
+        let catalog = SynopsisCatalog::new();
+        let first = catalog.register("a", small_config()).unwrap();
+        first.ingest(&sample(100, 1));
+        let second = catalog.register("a", small_config()).unwrap();
+        assert!(Arc::ptr_eq(&first, &second));
+        assert_eq!(second.rows(), 100);
+        assert_eq!(catalog.len(), 1);
+        assert!(!catalog.is_empty());
+    }
+
+    #[test]
+    fn unknown_attributes_error() {
+        let catalog = SynopsisCatalog::new();
+        assert!(matches!(
+            catalog.ingest("missing", &[0.5]).unwrap_err(),
+            EngineError::UnknownAttribute { .. }
+        ));
+        assert!(matches!(
+            catalog.selectivity("missing", 0.0, 1.0).unwrap_err(),
+            EngineError::UnknownAttribute { .. }
+        ));
+        assert!(catalog.attribute("missing").is_none());
+        let err = catalog.refreshed("missing").unwrap_err();
+        assert!(format!("{err}").contains("missing"));
+    }
+
+    #[test]
+    fn attributes_are_independent() {
+        let catalog = SynopsisCatalog::new();
+        catalog.register("uniform", small_config()).unwrap();
+        catalog.register("peaked", small_config()).unwrap();
+        catalog.ingest("uniform", &sample(2048, 2)).unwrap();
+        // A point mass near 0.25 (jittered so the estimate stays sane).
+        let peaked: Vec<f64> = sample(2048, 3).iter().map(|u| 0.2 + 0.1 * u).collect();
+        catalog.ingest_parallel("peaked", &peaked).unwrap();
+        let u = catalog.selectivity("uniform", 0.2, 0.3).unwrap();
+        let p = catalog.selectivity("peaked", 0.2, 0.3).unwrap();
+        assert!((u - 0.1).abs() < 0.05, "uniform selectivity {u}");
+        assert!(p > 0.9, "peaked selectivity {p}");
+        assert_eq!(catalog.total_rows(), 4096);
+        assert_eq!(catalog.names(), vec!["peaked", "uniform"]);
+    }
+
+    #[test]
+    fn refreshed_exposes_the_density_estimate() {
+        let catalog = SynopsisCatalog::new();
+        catalog.register("x", small_config()).unwrap();
+        assert!(catalog.refreshed("x").unwrap().is_none());
+        catalog.ingest("x", &sample(1024, 4)).unwrap();
+        let refreshed = catalog.refreshed("x").unwrap().unwrap();
+        assert_eq!(refreshed.density().sample_size(), 1024);
+        assert!((refreshed.cumulative().total_mass() - 1.0).abs() < 0.1);
+    }
+}

@@ -1,0 +1,210 @@
+//! Sharded sketch ingestion: N per-shard [`CoefficientSketch`]es filled
+//! concurrently and merged at estimate time.
+//!
+//! Because sketches merge by plain addition of their running sums, any
+//! partition of the rows across shards reproduces — after one merge pass —
+//! exactly the accumulation state a single stream over all rows would
+//! have produced (up to floating-point summation order). Ingestion
+//! therefore parallelises embarrassingly: each shard owns its sketch
+//! behind a [`Mutex`], writers touch exactly one shard per batch, and the
+//! merge at estimate time costs one element-wise vector addition per
+//! shard, independent of the number of rows ingested.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use wavedens_core::{CoefficientSketch, EstimatorError};
+
+/// N per-shard sketches with round-robin batch placement and scoped-thread
+/// parallel bulk loads.
+#[derive(Debug)]
+pub struct ShardedIngest {
+    shards: Vec<Mutex<CoefficientSketch>>,
+    next: AtomicUsize,
+}
+
+impl ShardedIngest {
+    /// Creates `shards ≥ 1` shards, each an empty clone of `template`.
+    ///
+    /// The template carries the basis, interval and resolution levels; it
+    /// must be empty so that every shard starts from the same zero state.
+    pub fn new(template: &CoefficientSketch, shards: usize) -> Result<Self, EstimatorError> {
+        if !template.is_empty() {
+            return Err(EstimatorError::InvalidParameter {
+                message: format!(
+                    "shard template must be an empty sketch, it has {} observations",
+                    template.count()
+                ),
+            });
+        }
+        let shards = shards.max(1);
+        Ok(Self {
+            shards: (0..shards).map(|_| Mutex::new(template.clone())).collect(),
+            next: AtomicUsize::new(0),
+        })
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Total number of observations across all shards.
+    pub fn total_count(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|shard| shard.lock().expect("shard poisoned").count())
+            .sum()
+    }
+
+    /// Whether no shard has seen any observation.
+    pub fn is_empty(&self) -> bool {
+        self.total_count() == 0
+    }
+
+    /// Ingests one batch into a single shard, chosen round-robin so that
+    /// concurrent writers spread across shards and rarely contend on the
+    /// same mutex.
+    pub fn ingest(&self, values: &[f64]) {
+        if values.is_empty() {
+            return;
+        }
+        let shard = self.next.fetch_add(1, Ordering::Relaxed) % self.shards.len();
+        self.shards[shard]
+            .lock()
+            .expect("shard poisoned")
+            .push_batch(values);
+    }
+
+    /// Bulk-loads `values` by splitting them into one contiguous chunk per
+    /// shard and filling all shards concurrently with scoped threads.
+    ///
+    /// Wall-clock ingest time scales with the number of cores (each shard
+    /// performs the per-level scatter for its chunk only); the estimate
+    /// remains equivalent to a single-stream fit because the shards merge
+    /// at estimate time.
+    pub fn ingest_parallel(&self, values: &[f64]) {
+        if values.is_empty() {
+            return;
+        }
+        let chunk = values.len().div_ceil(self.shards.len());
+        std::thread::scope(|scope| {
+            for (shard, slice) in self.shards.iter().zip(values.chunks(chunk)) {
+                scope.spawn(move || {
+                    shard.lock().expect("shard poisoned").push_batch(slice);
+                });
+            }
+        });
+    }
+
+    /// Merges all shards into one sketch — the accumulation state a single
+    /// stream over every ingested row would have produced. Shards are
+    /// locked one at a time, so concurrent writers are stalled for at most
+    /// one shard-clone each.
+    pub fn merged(&self) -> Result<CoefficientSketch, EstimatorError> {
+        let mut merged = self.shards[0].lock().expect("shard poisoned").clone();
+        for shard in &self.shards[1..] {
+            let snapshot = shard.lock().expect("shard poisoned").clone();
+            merged.merge(&snapshot)?;
+        }
+        Ok(merged)
+    }
+}
+
+impl Clone for ShardedIngest {
+    fn clone(&self) -> Self {
+        Self {
+            shards: self
+                .shards
+                .iter()
+                .map(|shard| Mutex::new(shard.lock().expect("shard poisoned").clone()))
+                .collect(),
+            next: AtomicUsize::new(self.next.load(Ordering::Relaxed)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+    use wavedens_processes::seeded_rng;
+
+    fn sample(n: usize, seed: u64) -> Vec<f64> {
+        let mut rng = seeded_rng(seed);
+        (0..n).map(|_| rng.gen::<f64>()).collect()
+    }
+
+    fn template(n: usize) -> CoefficientSketch {
+        CoefficientSketch::sized_for(n).unwrap()
+    }
+
+    #[test]
+    fn parallel_ingest_matches_single_stream() {
+        let data = sample(2000, 1);
+        let sharded = ShardedIngest::new(&template(2000), 4).unwrap();
+        sharded.ingest_parallel(&data);
+        assert_eq!(sharded.total_count(), 2000);
+        assert_eq!(sharded.shard_count(), 4);
+        let mut single = template(2000);
+        single.push_batch(&data);
+        let merged = sharded.merged().unwrap();
+        let a = merged.snapshot().unwrap();
+        let b = single.snapshot().unwrap();
+        for (la, lb) in a.details().iter().zip(b.details()) {
+            for (va, vb) in la.values.iter().zip(&lb.values) {
+                assert!((va - vb).abs() < 1e-12 * (1.0 + vb.abs()));
+            }
+        }
+    }
+
+    #[test]
+    fn round_robin_ingest_spreads_batches() {
+        let sharded = ShardedIngest::new(&template(100), 3).unwrap();
+        for chunk in sample(90, 2).chunks(10) {
+            sharded.ingest(chunk);
+        }
+        // 9 batches of 10 over 3 shards: every shard saw 3 batches.
+        for shard in &sharded.shards {
+            assert_eq!(shard.lock().unwrap().count(), 30);
+        }
+    }
+
+    #[test]
+    fn empty_batches_do_not_advance_the_cursor() {
+        let sharded = ShardedIngest::new(&template(10), 2).unwrap();
+        sharded.ingest(&[]);
+        sharded.ingest_parallel(&[]);
+        assert!(sharded.is_empty());
+        assert_eq!(sharded.next.load(Ordering::Relaxed), 0);
+    }
+
+    #[test]
+    fn nonempty_template_is_rejected() {
+        let mut t = template(10);
+        t.push(0.5);
+        assert!(matches!(
+            ShardedIngest::new(&t, 2).unwrap_err(),
+            EstimatorError::InvalidParameter { .. }
+        ));
+    }
+
+    #[test]
+    fn zero_shards_clamps_to_one() {
+        let sharded = ShardedIngest::new(&template(10), 0).unwrap();
+        assert_eq!(sharded.shard_count(), 1);
+        sharded.ingest(&[0.25, 0.75]);
+        assert_eq!(sharded.merged().unwrap().count(), 2);
+    }
+
+    #[test]
+    fn clone_copies_the_shard_state() {
+        let sharded = ShardedIngest::new(&template(100), 2).unwrap();
+        sharded.ingest(&sample(50, 3));
+        let cloned = sharded.clone();
+        assert_eq!(cloned.total_count(), 50);
+        // The clone is independent.
+        sharded.ingest(&sample(50, 4));
+        assert_eq!(cloned.total_count(), 50);
+        assert_eq!(sharded.total_count(), 100);
+    }
+}

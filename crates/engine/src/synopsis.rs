@@ -1,0 +1,412 @@
+//! One attribute's synopsis: a sharded sketch plus an atomically swapped
+//! cache of the refreshed (thresholded + CDF-tabulated) estimate.
+
+use crate::sharded::ShardedIngest;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
+use wavedens_core::{
+    CoefficientSketch, CumulativeEstimate, EstimatorError, ThresholdRule, WaveletDensityEstimate,
+    DEFAULT_CDF_POINTS,
+};
+
+/// Configuration of an [`AttributeSynopsis`].
+#[derive(Debug, Clone)]
+pub struct SynopsisConfig {
+    /// Thresholding nonlinearity applied at refresh time (default soft,
+    /// the paper's STCV).
+    pub rule: ThresholdRule,
+    /// Rough number of rows the sketch levels are sized for (the paper's
+    /// level rules need an anticipated sample size; default 4096).
+    pub expected_rows: usize,
+    /// Number of ingest shards (default: the machine's available
+    /// parallelism).
+    pub shards: usize,
+    /// Resolution of the precomputed CDF table (default
+    /// [`DEFAULT_CDF_POINTS`]).
+    pub cdf_points: usize,
+}
+
+impl Default for SynopsisConfig {
+    fn default() -> Self {
+        Self {
+            rule: ThresholdRule::Soft,
+            expected_rows: 4096,
+            shards: std::thread::available_parallelism()
+                .map(|p| p.get())
+                .unwrap_or(1),
+            cdf_points: DEFAULT_CDF_POINTS,
+        }
+    }
+}
+
+impl SynopsisConfig {
+    /// Sets the expected row count.
+    pub fn with_expected_rows(mut self, rows: usize) -> Self {
+        self.expected_rows = rows;
+        self
+    }
+
+    /// Sets the shard count (clamped to at least 1).
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        self.shards = shards.max(1);
+        self
+    }
+
+    /// Sets the thresholding rule.
+    pub fn with_rule(mut self, rule: ThresholdRule) -> Self {
+        self.rule = rule;
+        self
+    }
+}
+
+/// The refreshed state of a synopsis: the thresholded density estimate
+/// plus its precomputed cumulative (CDF) table. Immutable once built;
+/// shared with readers via [`Arc`].
+#[derive(Debug, Clone)]
+pub struct RefreshedSynopsis {
+    density: WaveletDensityEstimate,
+    cumulative: CumulativeEstimate,
+}
+
+impl RefreshedSynopsis {
+    /// Runs the model-selection pipeline (cross-validated thresholds +
+    /// dense CDF construction) on an accumulation state.
+    pub fn build(
+        sketch: &CoefficientSketch,
+        rule: ThresholdRule,
+        cdf_points: usize,
+    ) -> Result<Self, EstimatorError> {
+        let density = sketch.estimate(rule)?;
+        let cumulative = density.cumulative(cdf_points);
+        Ok(Self {
+            density,
+            cumulative,
+        })
+    }
+
+    /// The thresholded density estimate.
+    pub fn density(&self) -> &WaveletDensityEstimate {
+        &self.density
+    }
+
+    /// The precomputed cumulative (CDF) table.
+    pub fn cumulative(&self) -> &CumulativeEstimate {
+        &self.cumulative
+    }
+
+    /// Estimated selectivity `P(lo ≤ X ≤ hi)`, clamped to `[0, 1]`;
+    /// O(1) from the CDF table.
+    pub fn selectivity(&self, lo: f64, hi: f64) -> f64 {
+        self.cumulative.range_mass(lo, hi).clamp(0.0, 1.0)
+    }
+}
+
+/// A cache entry: the refreshed synopsis and the ingest epoch it covers.
+#[derive(Debug, Clone)]
+struct CachedSynopsis {
+    epoch: u64,
+    synopsis: Arc<RefreshedSynopsis>,
+}
+
+/// One attribute's synopsis: a sharded sketch filled by writers plus an
+/// atomically swapped `Arc` of the latest refreshed estimate.
+///
+/// # Concurrency model
+///
+/// * **Writers** ([`ingest`](Self::ingest) /
+///   [`ingest_parallel`](Self::ingest_parallel)) touch only their shard's
+///   mutex and bump the ingest epoch; they never build estimates.
+/// * **Readers** ([`selectivity`](Self::selectivity) /
+///   [`refreshed`](Self::refreshed)) clone the cached
+///   `Arc<RefreshedSynopsis>` under a briefly held read lock and answer
+///   from the CDF table in O(1).
+/// * When the cache is stale (the epoch moved), the **first** reader to
+///   notice becomes the rebuilder: it merges the shards, runs one
+///   cross-validation + CDF construction *outside* any reader-visible
+///   lock, and swaps the cache `Arc`. Readers arriving during the rebuild
+///   keep answering from the previous snapshot — they are never blocked
+///   by a rebuild (the only blocking case is the very first build, when
+///   no snapshot exists yet). A burst of stale-cache queries therefore
+///   triggers exactly one rebuild, never one per query
+///   ([`rebuild_count`](Self::rebuild_count) exposes the counter).
+#[derive(Debug)]
+pub struct AttributeSynopsis {
+    shards: ShardedIngest,
+    rule: ThresholdRule,
+    cdf_points: usize,
+    /// Bumped after every completed ingest batch; the cache is fresh when
+    /// its recorded epoch matches.
+    epoch: AtomicU64,
+    cache: RwLock<Option<CachedSynopsis>>,
+    /// Serialises rebuilds; readers `try_lock` it so at most one becomes
+    /// the rebuilder while the rest serve the previous snapshot.
+    rebuild_guard: Mutex<()>,
+    rebuilds: AtomicUsize,
+}
+
+impl AttributeSynopsis {
+    /// Creates an empty synopsis from a configuration.
+    pub fn new(config: &SynopsisConfig) -> Result<Self, EstimatorError> {
+        let template = CoefficientSketch::sized_for(config.expected_rows.max(16))?;
+        Ok(Self {
+            shards: ShardedIngest::new(&template, config.shards)?,
+            rule: config.rule,
+            cdf_points: config.cdf_points.max(2),
+            epoch: AtomicU64::new(0),
+            cache: RwLock::new(None),
+            rebuild_guard: Mutex::new(()),
+            rebuilds: AtomicUsize::new(0),
+        })
+    }
+
+    /// The thresholding rule applied at refresh time.
+    pub fn rule(&self) -> ThresholdRule {
+        self.rule
+    }
+
+    /// Number of ingest shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.shard_count()
+    }
+
+    /// Total rows ingested so far.
+    pub fn rows(&self) -> usize {
+        self.shards.total_count()
+    }
+
+    /// Number of cross-validation rebuilds performed so far: increments
+    /// once per stale-cache refresh, regardless of how many queries hit
+    /// the stale cache.
+    pub fn rebuild_count(&self) -> usize {
+        self.rebuilds.load(Ordering::Relaxed)
+    }
+
+    /// Ingests one batch of attribute values into a single shard
+    /// (round-robin), marking the cache stale.
+    pub fn ingest(&self, values: &[f64]) {
+        if values.is_empty() {
+            return;
+        }
+        self.shards.ingest(values);
+        // Bump *after* the push so a concurrent rebuild can never tag a
+        // cache that misses this batch with the post-batch epoch.
+        self.epoch.fetch_add(1, Ordering::Release);
+    }
+
+    /// Ingests a bulk load by fanning the rows out to every shard with
+    /// scoped threads ([`ShardedIngest::ingest_parallel`]).
+    pub fn ingest_parallel(&self, values: &[f64]) {
+        if values.is_empty() {
+            return;
+        }
+        self.shards.ingest_parallel(values);
+        self.epoch.fetch_add(1, Ordering::Release);
+    }
+
+    /// Ingests from an iterator in fixed-size batches (bounded memory for
+    /// lazy or unbounded sources), using the same chunk policy as
+    /// [`CoefficientSketch::extend`].
+    pub fn ingest_stream<I: IntoIterator<Item = f64>>(&self, values: I) {
+        wavedens_core::sketch::for_each_batch(values, |chunk| self.ingest(chunk));
+    }
+
+    /// The merged accumulation state across all shards (for example to
+    /// serialize and ship to another node).
+    pub fn merged_sketch(&self) -> Result<CoefficientSketch, EstimatorError> {
+        self.shards.merged()
+    }
+
+    /// The current refreshed synopsis, rebuilding at most once if the
+    /// cache is stale; `None` when no rows have been ingested yet.
+    ///
+    /// Readers arriving while another thread rebuilds are served the
+    /// previous snapshot (stale by exactly the in-flight batch), so the
+    /// read path never waits on a cross-validation run once a first
+    /// snapshot exists.
+    pub fn refreshed(&self) -> Result<Option<Arc<RefreshedSynopsis>>, EstimatorError> {
+        let epoch = self.epoch.load(Ordering::Acquire);
+        {
+            let cache = self.cache.read().expect("synopsis cache poisoned");
+            if let Some(cached) = cache.as_ref() {
+                if cached.epoch == epoch {
+                    return Ok(Some(Arc::clone(&cached.synopsis)));
+                }
+            }
+        }
+        match self.rebuild_guard.try_lock() {
+            Ok(_guard) => self.rebuild(),
+            Err(std::sync::TryLockError::WouldBlock) => {
+                // Another thread is rebuilding: serve the previous
+                // snapshot if one exists…
+                if let Some(cached) = self.cache.read().expect("synopsis cache poisoned").as_ref() {
+                    return Ok(Some(Arc::clone(&cached.synopsis)));
+                }
+                // …otherwise this is the very first build: wait for it.
+                let _guard = self.rebuild_guard.lock().expect("rebuild guard poisoned");
+                self.rebuild()
+            }
+            Err(std::sync::TryLockError::Poisoned(err)) => {
+                panic!("rebuild guard poisoned: {err}")
+            }
+        }
+    }
+
+    /// Rebuilds the cache if still stale. Caller must hold
+    /// `rebuild_guard`.
+    fn rebuild(&self) -> Result<Option<Arc<RefreshedSynopsis>>, EstimatorError> {
+        let epoch = self.epoch.load(Ordering::Acquire);
+        {
+            let cache = self.cache.read().expect("synopsis cache poisoned");
+            if let Some(cached) = cache.as_ref() {
+                if cached.epoch == epoch {
+                    return Ok(Some(Arc::clone(&cached.synopsis)));
+                }
+            }
+        }
+        let sketch = self.shards.merged()?;
+        if sketch.is_empty() {
+            return Ok(None);
+        }
+        let built = Arc::new(RefreshedSynopsis::build(
+            &sketch,
+            self.rule,
+            self.cdf_points,
+        )?);
+        self.rebuilds.fetch_add(1, Ordering::Relaxed);
+        *self.cache.write().expect("synopsis cache poisoned") = Some(CachedSynopsis {
+            epoch,
+            synopsis: Arc::clone(&built),
+        });
+        Ok(Some(built))
+    }
+
+    /// Estimated selectivity `P(lo ≤ X ≤ hi)` from the (lazily refreshed)
+    /// CDF table; 0 while no rows have been ingested.
+    ///
+    /// Estimation failures other than the empty-sample case indicate an
+    /// internal inconsistency: they trip a debug assertion and answer 0 in
+    /// release builds, mirroring the core estimator's fallback policy.
+    pub fn selectivity(&self, lo: f64, hi: f64) -> f64 {
+        match self.refreshed() {
+            Ok(Some(synopsis)) => synopsis.selectivity(lo, hi),
+            Ok(None) => 0.0,
+            Err(err) => {
+                debug_assert!(false, "synopsis refresh failed unexpectedly: {err}");
+                0.0
+            }
+        }
+    }
+}
+
+impl Clone for AttributeSynopsis {
+    fn clone(&self) -> Self {
+        Self {
+            shards: self.shards.clone(),
+            rule: self.rule,
+            cdf_points: self.cdf_points,
+            epoch: AtomicU64::new(self.epoch.load(Ordering::Acquire)),
+            cache: RwLock::new(self.cache.read().expect("synopsis cache poisoned").clone()),
+            rebuild_guard: Mutex::new(()),
+            rebuilds: AtomicUsize::new(self.rebuild_count()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+    use wavedens_processes::seeded_rng;
+
+    fn sample(n: usize, seed: u64) -> Vec<f64> {
+        let mut rng = seeded_rng(seed);
+        (0..n).map(|_| rng.gen::<f64>()).collect()
+    }
+
+    fn config(shards: usize) -> SynopsisConfig {
+        SynopsisConfig::default()
+            .with_expected_rows(2048)
+            .with_shards(shards)
+    }
+
+    #[test]
+    fn empty_synopsis_answers_zero_without_rebuilding() {
+        let synopsis = AttributeSynopsis::new(&config(2)).unwrap();
+        assert_eq!(synopsis.selectivity(0.2, 0.8), 0.0);
+        assert_eq!(synopsis.rows(), 0);
+        assert_eq!(synopsis.rebuild_count(), 0);
+        assert!(synopsis.refreshed().unwrap().is_none());
+    }
+
+    #[test]
+    fn stale_cache_burst_rebuilds_exactly_once() {
+        let synopsis = AttributeSynopsis::new(&config(2)).unwrap();
+        synopsis.ingest_parallel(&sample(2048, 1));
+        assert_eq!(synopsis.rebuild_count(), 0, "ingest must stay lazy");
+        for i in 0..50 {
+            let lo = i as f64 / 100.0;
+            let s = synopsis.selectivity(lo, lo + 0.3);
+            assert!((0.0..=1.0).contains(&s));
+        }
+        assert_eq!(synopsis.rebuild_count(), 1);
+        synopsis.ingest(&[0.5]);
+        for _ in 0..50 {
+            synopsis.selectivity(0.1, 0.9);
+        }
+        assert_eq!(synopsis.rebuild_count(), 2);
+    }
+
+    #[test]
+    fn sharded_estimate_matches_uniform_mass() {
+        let synopsis = AttributeSynopsis::new(&config(4)).unwrap();
+        synopsis.ingest_parallel(&sample(4096, 2));
+        // Uniform data: selectivity of a range is its width.
+        for (lo, hi) in [(0.1, 0.4), (0.25, 0.75), (0.0, 1.0)] {
+            let s = synopsis.selectivity(lo, hi);
+            assert!((s - (hi - lo)).abs() < 0.05, "[{lo}, {hi}] -> {s}");
+        }
+    }
+
+    #[test]
+    fn readers_see_the_old_snapshot_until_refresh() {
+        let synopsis = AttributeSynopsis::new(&config(2)).unwrap();
+        synopsis.ingest(&sample(1024, 3));
+        let first = synopsis.refreshed().unwrap().unwrap();
+        // Ingest marks the cache stale but the cached Arc stays valid.
+        synopsis.ingest(&[0.5; 64]);
+        let again = synopsis.refreshed().unwrap().unwrap();
+        assert!(!Arc::ptr_eq(&first, &again), "stale cache must rebuild");
+        assert_eq!(synopsis.rebuild_count(), 2);
+        // Without ingests, the Arc is reused as-is.
+        let third = synopsis.refreshed().unwrap().unwrap();
+        assert!(Arc::ptr_eq(&again, &third));
+        assert_eq!(synopsis.rebuild_count(), 2);
+    }
+
+    #[test]
+    fn clone_preserves_cache_and_counters() {
+        let synopsis = AttributeSynopsis::new(&config(2)).unwrap();
+        synopsis.ingest(&sample(512, 4));
+        let s = synopsis.selectivity(0.2, 0.7);
+        let clone = synopsis.clone();
+        assert_eq!(clone.rebuild_count(), 1);
+        assert_eq!(clone.rows(), 512);
+        assert_eq!(clone.selectivity(0.2, 0.7), s);
+        assert_eq!(clone.rebuild_count(), 1, "clone reuses the cached CDF");
+    }
+
+    #[test]
+    fn merged_sketch_round_trips_through_serialization() {
+        let synopsis = AttributeSynopsis::new(&config(3)).unwrap();
+        synopsis.ingest_parallel(&sample(900, 5));
+        let sketch = synopsis.merged_sketch().unwrap();
+        let restored = CoefficientSketch::from_bytes(&sketch.to_bytes()).unwrap();
+        assert_eq!(restored.count(), 900);
+        let a = sketch.estimate(ThresholdRule::Soft).unwrap();
+        let b = restored.estimate(ThresholdRule::Soft).unwrap();
+        for i in 0..=50 {
+            let x = i as f64 / 50.0;
+            assert_eq!(a.evaluate(x), b.evaluate(x));
+        }
+    }
+}

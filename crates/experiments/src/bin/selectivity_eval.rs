@@ -25,7 +25,7 @@ fn main() {
     for case in DependenceCase::ALL {
         let mut rng = child_rng(config.seed, case.id().len() as u64);
         let data = case.simulate(&target, config.sample_size, &mut rng);
-        let truth = EmpiricalSelectivity::new(&data);
+        let truth = EmpiricalSelectivity::new(&data).unwrap();
         let workload = generator.draw_many(queries, &mut rng);
 
         let wavelet = WaveletSelectivity::fit(&data).expect("wavelet synopsis");

@@ -1,13 +1,12 @@
 //! Selectivity estimators: the wavelet synopsis and its baselines.
 
 use crate::workload::RangeQuery;
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::RwLock;
+use std::sync::Arc;
 use wavedens_core::{
     CumulativeEstimate, EstimatorError, Grid, KernelDensityEstimate, KernelDensityEstimator,
-    StreamingWaveletEstimator, ThresholdRule, WaveletDensityEstimate, WaveletDensityEstimator,
-    DEFAULT_CDF_POINTS,
+    ThresholdRule, WaveletDensityEstimate, WaveletDensityEstimator, DEFAULT_CDF_POINTS,
 };
+use wavedens_engine::{AttributeSynopsis, RefreshedSynopsis, SynopsisConfig};
 
 /// Number of integration points per unit length used when turning a density
 /// estimate into a range probability by quadrature.
@@ -26,10 +25,10 @@ pub trait SelectivityEstimator {
 /// quadrature, `INTEGRATION_RESOLUTION` points per unit length.
 ///
 /// This is the slow reference path: every call re-evaluates the density
-/// pointwise across the range. The wavelet synopses answer queries from a
-/// precomputed [`CumulativeEstimate`] instead and only use quadrature in
-/// tests and benchmarks (see the `query_throughput` bench target); the
-/// kernel baseline still integrates directly.
+/// pointwise across the range. The wavelet synopses **and** the kernel
+/// baseline answer queries from a precomputed [`CumulativeEstimate`]
+/// instead and only use quadrature in tests and benchmarks (see the
+/// `query_throughput` bench target).
 pub fn integrate_density(query: &RangeQuery, density: impl Fn(f64) -> f64) -> f64 {
     let width = query.width();
     if width == 0.0 {
@@ -47,11 +46,18 @@ pub struct EmpiricalSelectivity {
 }
 
 impl EmpiricalSelectivity {
-    /// Stores (a sorted copy of) the sample.
-    pub fn new(data: &[f64]) -> Self {
+    /// Stores (a sorted copy of) the sample. Non-finite values (NaN, ±∞)
+    /// are rejected with [`EstimatorError::NonFiniteSample`]: they have no
+    /// meaningful rank, so silently sorting them in (or panicking, as the
+    /// previous `partial_cmp(..).expect(..)` did) would corrupt every
+    /// subsequent count.
+    pub fn new(data: &[f64]) -> Result<Self, EstimatorError> {
+        if let Some((index, &value)) = data.iter().enumerate().find(|(_, v)| !v.is_finite()) {
+            return Err(EstimatorError::NonFiniteSample { index, value });
+        }
         let mut sorted = data.to_vec();
-        sorted.sort_by(|a, b| a.partial_cmp(b).expect("data must not contain NaN"));
-        Self { sorted }
+        sorted.sort_by(f64::total_cmp);
+        Ok(Self { sorted })
     }
 }
 
@@ -70,31 +76,15 @@ impl SelectivityEstimator for EmpiricalSelectivity {
     }
 }
 
-/// The refreshed state of a [`WaveletSelectivity`]: the thresholded
-/// density estimate plus its precomputed cumulative (CDF) table.
-#[derive(Debug, Clone)]
-struct RefreshedSynopsis {
-    density: WaveletDensityEstimate,
-    cumulative: CumulativeEstimate,
-}
-
-impl RefreshedSynopsis {
-    fn build(stream: &StreamingWaveletEstimator) -> Result<Self, EstimatorError> {
-        let density = stream.estimate()?;
-        let cumulative = density.cumulative(DEFAULT_CDF_POINTS);
-        Ok(Self {
-            density,
-            cumulative,
-        })
-    }
-}
-
 /// The adaptive-wavelet selectivity synopsis.
 ///
-/// Internally this is a [`StreamingWaveletEstimator`], so rows can keep
-/// arriving after construction ([`WaveletSelectivity::observe`]); the
-/// selectivity of a query is the mass of the current thresholded density
-/// estimate over the query range.
+/// A **one-attribute view** over the `wavedens-engine` machinery: the
+/// synopsis owns an [`AttributeSynopsis`] (a sharded
+/// [`wavedens_core::CoefficientSketch`] plus an atomically swapped cache
+/// of the refreshed estimate), configured with a single shard so that
+/// streaming inserts reproduce the single-stream fit bit for bit. The
+/// multi-attribute face of the same machinery is
+/// [`wavedens_engine::SynopsisCatalog`].
 ///
 /// # Refresh / cache semantics
 ///
@@ -106,37 +96,29 @@ impl RefreshedSynopsis {
 /// and every further query reuses the result until the next insert. A
 /// burst of queries against a stale cache therefore triggers **one**
 /// rebuild, never one per query ([`rebuild_count`](Self::rebuild_count)
-/// exposes the counter). The lazy rebuild happens behind an [`RwLock`]:
-/// warm-cache queries only take the shared read lock, so concurrent
-/// readers do not serialize; the exclusive write lock is held for the
-/// one rebuild.
-#[derive(Debug)]
+/// exposes the counter). Concurrent readers share the cached
+/// `Arc<RefreshedSynopsis>` and are never blocked by an in-flight
+/// rebuild: they keep answering from the previous snapshot until the
+/// rebuilt one is swapped in (see [`AttributeSynopsis`]).
+#[derive(Debug, Clone)]
 pub struct WaveletSelectivity {
-    stream: StreamingWaveletEstimator,
-    cache: RwLock<Option<RefreshedSynopsis>>,
-    rebuilds: AtomicUsize,
-}
-
-impl Clone for WaveletSelectivity {
-    fn clone(&self) -> Self {
-        Self {
-            stream: self.stream.clone(),
-            cache: RwLock::new(self.cache.read().expect("synopsis cache poisoned").clone()),
-            rebuilds: AtomicUsize::new(self.rebuild_count()),
-        }
-    }
+    synopsis: AttributeSynopsis,
+    /// The snapshot pinned by the last explicit `refresh()` /
+    /// `cumulative()` call, so those methods can hand out plain
+    /// references.
+    pinned: Option<Arc<RefreshedSynopsis>>,
 }
 
 impl WaveletSelectivity {
     /// Builds an empty synopsis sized for roughly `expected_rows` rows.
     pub fn with_expected_rows(expected_rows: usize) -> Result<Self, EstimatorError> {
+        let config = SynopsisConfig::default()
+            .with_rule(ThresholdRule::Soft)
+            .with_expected_rows(expected_rows.max(16))
+            .with_shards(1);
         Ok(Self {
-            stream: StreamingWaveletEstimator::with_expected_size(
-                ThresholdRule::Soft,
-                expected_rows,
-            )?,
-            cache: RwLock::new(None),
-            rebuilds: AtomicUsize::new(0),
+            synopsis: AttributeSynopsis::new(&config)?,
+            pinned: None,
         })
     }
 
@@ -149,28 +131,32 @@ impl WaveletSelectivity {
 
     /// Ingests one attribute value, marking the cached estimate stale.
     pub fn observe(&mut self, value: f64) {
-        self.invalidate();
-        self.stream.push(value);
+        self.synopsis.ingest(std::slice::from_ref(&value));
     }
 
-    /// Ingests many attribute values in one batched pass
-    /// ([`StreamingWaveletEstimator::push_batch`]), marking the cached
-    /// estimate stale once.
+    /// Ingests many attribute values in batched passes
+    /// ([`AttributeSynopsis::ingest_stream`]), marking the cached
+    /// estimate stale.
     pub fn observe_many<I: IntoIterator<Item = f64>>(&mut self, values: I) {
-        self.invalidate();
-        self.stream.extend(values);
+        self.synopsis.ingest_stream(values);
     }
 
     /// Number of rows ingested.
     pub fn rows(&self) -> usize {
-        self.stream.count()
+        self.synopsis.rows()
     }
 
     /// Number of cross-validation rebuilds performed so far: increments
     /// once per stale-cache refresh, regardless of how many queries hit
     /// the stale cache.
     pub fn rebuild_count(&self) -> usize {
-        self.rebuilds.load(Ordering::Relaxed)
+        self.synopsis.rebuild_count()
+    }
+
+    /// The underlying engine synopsis (for example to share it with a
+    /// catalog-driven component or inspect the merged sketch).
+    pub fn attribute_synopsis(&self) -> &AttributeSynopsis {
+        &self.synopsis
     }
 
     /// Refreshes (and returns) the thresholded density estimate backing the
@@ -178,57 +164,20 @@ impl WaveletSelectivity {
     /// the first [`estimate`](SelectivityEstimator::estimate) after an
     /// insert otherwise.
     pub fn refresh(&mut self) -> Result<&WaveletDensityEstimate, EstimatorError> {
-        let cache = self.cache.get_mut().expect("synopsis cache poisoned");
-        if cache.is_none() {
-            *cache = Some(RefreshedSynopsis::build(&self.stream)?);
-            *self.rebuilds.get_mut() += 1;
+        match self.synopsis.refreshed()? {
+            Some(refreshed) => {
+                self.pinned = Some(refreshed);
+                Ok(self.pinned.as_ref().expect("just pinned").density())
+            }
+            None => Err(EstimatorError::EmptySample),
         }
-        Ok(&cache.as_ref().expect("just populated").density)
     }
 
     /// The cumulative (CDF) table answering the queries, refreshing it
     /// first if stale.
     pub fn cumulative(&mut self) -> Result<&CumulativeEstimate, EstimatorError> {
         self.refresh()?;
-        let cache = self.cache.get_mut().expect("synopsis cache poisoned");
-        Ok(&cache.as_ref().expect("refreshed above").cumulative)
-    }
-
-    fn invalidate(&mut self) {
-        *self.cache.get_mut().expect("synopsis cache poisoned") = None;
-    }
-
-    /// Answers a query from the cached CDF, rebuilding the cache at most
-    /// once if it is stale. The warm path only takes the shared read
-    /// lock; double-checked locking keeps concurrent stale bursts at one
-    /// rebuild total.
-    fn query_cached(&self, query: &RangeQuery) -> f64 {
-        let answer = |synopsis: &RefreshedSynopsis| {
-            synopsis
-                .cumulative
-                .range_mass(query.lo(), query.hi())
-                .clamp(0.0, 1.0)
-        };
-        let cache = self.cache.read().expect("synopsis cache poisoned");
-        if let Some(synopsis) = cache.as_ref() {
-            return answer(synopsis);
-        }
-        drop(cache);
-        let mut cache = self.cache.write().expect("synopsis cache poisoned");
-        if cache.is_none() {
-            match RefreshedSynopsis::build(&self.stream) {
-                Ok(built) => {
-                    *cache = Some(built);
-                    self.rebuilds.fetch_add(1, Ordering::Relaxed);
-                }
-                Err(EstimatorError::EmptySample) => return 0.0,
-                Err(err) => {
-                    debug_assert!(false, "synopsis refresh failed unexpectedly: {err}");
-                    return 0.0;
-                }
-            }
-        }
-        answer(cache.as_ref().expect("populated above"))
+        Ok(self.pinned.as_ref().expect("refreshed above").cumulative())
     }
 }
 
@@ -238,7 +187,7 @@ impl SelectivityEstimator for WaveletSelectivity {
     }
 
     fn estimate(&self, query: &RangeQuery) -> f64 {
-        self.query_cached(query)
+        self.synopsis.selectivity(query.lo(), query.hi())
     }
 }
 
@@ -296,27 +245,65 @@ impl SelectivityEstimator for HistogramSelectivity {
 }
 
 /// A kernel-density baseline.
+///
+/// Like the wavelet synopses, queries are answered from a
+/// [`CumulativeEstimate`] precomputed at construction over the kernel
+/// estimate's support (union `[0, 1]`), so each query costs O(1) instead
+/// of a fresh trapezoid quadrature sweep over the range.
 #[derive(Debug, Clone)]
 pub struct KernelSelectivity {
     estimate: KernelDensityEstimate,
+    cumulative: CumulativeEstimate,
     label: &'static str,
 }
+
+/// Grid resolution (points per unit length) of the kernel baseline's
+/// precomputed CDF table: twice the quadrature resolution, so the O(step²)
+/// interpolation error sits well below the reference path it replaces.
+const KERNEL_CDF_RESOLUTION: usize = 2 * INTEGRATION_RESOLUTION;
 
 impl KernelSelectivity {
     /// Epanechnikov kernel with the rule-of-thumb bandwidth.
     pub fn rule_of_thumb(data: &[f64]) -> Result<Self, EstimatorError> {
-        Ok(Self {
-            estimate: KernelDensityEstimator::rule_of_thumb().fit(data)?,
-            label: "kernel-rot",
-        })
+        Ok(Self::from_fit(
+            KernelDensityEstimator::rule_of_thumb().fit(data)?,
+            "kernel-rot",
+        ))
     }
 
     /// Epanechnikov kernel with the least-squares CV bandwidth.
     pub fn cross_validated(data: &[f64]) -> Result<Self, EstimatorError> {
-        Ok(Self {
-            estimate: KernelDensityEstimator::cross_validated().fit(data)?,
-            label: "kernel-cv",
-        })
+        Ok(Self::from_fit(
+            KernelDensityEstimator::cross_validated().fit(data)?,
+            "kernel-cv",
+        ))
+    }
+
+    fn from_fit(estimate: KernelDensityEstimate, label: &'static str) -> Self {
+        // Span the kernel's entire (truncated) support so the table's
+        // total mass is the full integral even when data spill outside
+        // [0, 1]; union with [0, 1] so every valid query lies on the grid.
+        let (support_lo, support_hi) = estimate.support_interval();
+        let lo = support_lo.min(0.0);
+        let hi = support_hi.max(1.0);
+        let points = ((hi - lo) * KERNEL_CDF_RESOLUTION as f64).ceil() as usize + 1;
+        let grid = Grid::new(lo, hi, points.max(2));
+        let cumulative = CumulativeEstimate::from_density(grid, &estimate.evaluate_on(&grid));
+        Self {
+            estimate,
+            cumulative,
+            label,
+        }
+    }
+
+    /// The fitted kernel density estimate backing the synopsis.
+    pub fn density(&self) -> &KernelDensityEstimate {
+        &self.estimate
+    }
+
+    /// The precomputed cumulative (CDF) table answering the queries.
+    pub fn cumulative(&self) -> &CumulativeEstimate {
+        &self.cumulative
     }
 }
 
@@ -326,7 +313,9 @@ impl SelectivityEstimator for KernelSelectivity {
     }
 
     fn estimate(&self, query: &RangeQuery) -> f64 {
-        integrate_density(query, |x| self.estimate.evaluate(x))
+        self.cumulative
+            .range_mass(query.lo(), query.hi())
+            .clamp(0.0, 1.0)
     }
 }
 
@@ -387,7 +376,7 @@ mod tests {
     #[test]
     fn empirical_selectivity_counts_exactly() {
         let data = vec![0.1, 0.2, 0.3, 0.4, 0.5];
-        let truth = EmpiricalSelectivity::new(&data);
+        let truth = EmpiricalSelectivity::new(&data).unwrap();
         let q = RangeQuery::new(0.15, 0.45).unwrap();
         assert!((truth.estimate(&q) - 0.6).abs() < 1e-12);
         let all = RangeQuery::new(0.0, 1.0).unwrap();
@@ -414,7 +403,7 @@ mod tests {
     #[test]
     fn wavelet_synopsis_answers_range_queries_accurately() {
         let data = dependent_sample(2048, 1);
-        let truth = EmpiricalSelectivity::new(&data);
+        let truth = EmpiricalSelectivity::new(&data).unwrap();
         let synopsis = WaveletSelectivity::fit(&data).unwrap();
         assert_eq!(synopsis.rows(), 2048);
         let mut rng = seeded_rng(9);
@@ -431,7 +420,7 @@ mod tests {
     #[test]
     fn wavelet_synopsis_beats_coarse_histogram_on_dependent_stream() {
         let data = dependent_sample(4096, 2);
-        let truth = EmpiricalSelectivity::new(&data);
+        let truth = EmpiricalSelectivity::new(&data).unwrap();
         let wavelet = WaveletSelectivity::fit(&data).unwrap();
         let coarse_hist = HistogramSelectivity::fit(&data, 8);
         let mut rng = seeded_rng(11);
@@ -529,9 +518,46 @@ mod tests {
     }
 
     #[test]
+    fn non_finite_samples_are_rejected_with_a_pinpointed_error() {
+        // The old partial_cmp(..).expect(..) sort panicked on NaN; now the
+        // constructor reports which observation is broken.
+        for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            let err = EmpiricalSelectivity::new(&[0.1, 0.4, bad, 0.9]).unwrap_err();
+            assert!(
+                matches!(err, EstimatorError::NonFiniteSample { index: 2, .. }),
+                "{bad}: {err:?}"
+            );
+        }
+        assert!(EmpiricalSelectivity::new(&[]).unwrap().sorted.is_empty());
+    }
+
+    #[test]
+    fn kernel_cdf_fast_path_matches_quadrature() {
+        let data = dependent_sample(1024, 21);
+        let synopsis = KernelSelectivity::rule_of_thumb(&data).unwrap();
+        let mut rng = seeded_rng(31);
+        let workload = WorkloadGenerator::new(0.01, 0.4)
+            .unwrap()
+            .draw_many(100, &mut rng);
+        for q in &workload {
+            let fast = synopsis.estimate(q);
+            let slow = integrate_density(q, |x| synopsis.density().evaluate(x));
+            assert!(
+                (fast - slow).abs() < 2e-3,
+                "[{}, {}]: cdf {fast} vs quadrature {slow}",
+                q.lo(),
+                q.hi()
+            );
+        }
+        // The table spans the kernel support: full-domain mass ≈ 1 even
+        // though some smoothed mass spills just outside [0, 1].
+        assert!((synopsis.cumulative().total_mass() - 1.0).abs() < 0.01);
+    }
+
+    #[test]
     fn kernel_baselines_work() {
         let data = dependent_sample(1024, 4);
-        let truth = EmpiricalSelectivity::new(&data);
+        let truth = EmpiricalSelectivity::new(&data).unwrap();
         let rot = KernelSelectivity::rule_of_thumb(&data).unwrap();
         let cv = KernelSelectivity::cross_validated(&data).unwrap();
         assert_eq!(rot.name(), "kernel-rot");

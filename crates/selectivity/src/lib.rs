@@ -18,12 +18,15 @@
 //! * [`WaveletSelectivity`] — answers queries from a precomputed
 //!   cumulative (CDF) table of the thresholded wavelet density estimate
 //!   in O(1) per query (streaming or batch construction; a stale cache is
-//!   rebuilt exactly once, not per query);
+//!   rebuilt exactly once, not per query). A **one-attribute view** over
+//!   the `wavedens-engine` machinery — the multi-attribute, concurrently
+//!   ingested face of the same synopsis is
+//!   [`wavedens_engine::SynopsisCatalog`];
 //! * [`FittedWaveletSelectivity`] — the same fast path wrapped around an
 //!   existing batch-fitted density estimate;
 //! * [`HistogramSelectivity`] — the classic equi-width histogram baseline;
 //! * [`KernelSelectivity`] — a kernel-density baseline (rule-of-thumb or
-//!   CV bandwidth);
+//!   CV bandwidth), answering from its own precomputed CDF table;
 //! * [`EmpiricalSelectivity`] — exact answers from the stored sample
 //!   (ground truth for evaluation).
 //!

@@ -184,7 +184,7 @@ mod tests {
     #[test]
     fn evaluation_against_self_is_exact() {
         let data: Vec<f64> = (0..1000).map(|i| i as f64 / 1000.0).collect();
-        let truth = EmpiricalSelectivity::new(&data);
+        let truth = EmpiricalSelectivity::new(&data).unwrap();
         let mut rng = seeded_rng(5);
         let workload = WorkloadGenerator::analytical().draw_many(100, &mut rng);
         let summary = evaluate_workload(&truth, &truth, &workload);

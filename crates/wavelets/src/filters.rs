@@ -439,8 +439,8 @@ mod tests {
             (1.0 - s3) / (4.0 * SQRT2),
         ];
         let mut got = f.lowpass().to_vec();
-        expected.sort_by(|a, b| a.partial_cmp(b).unwrap());
-        got.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        expected.sort_by(f64::total_cmp);
+        got.sort_by(f64::total_cmp);
         for (g, e) in got.iter().zip(expected.iter()) {
             assert!((g - e).abs() < 1e-10, "{g} vs {e}");
         }

@@ -254,12 +254,7 @@ pub fn solve_linear_system(a: &[Vec<f64>], b: &[f64]) -> Option<Vec<f64>> {
 
     for col in 0..n {
         // Partial pivoting.
-        let pivot_row = (col..n).max_by(|&i, &j| {
-            m[i][col]
-                .abs()
-                .partial_cmp(&m[j][col].abs())
-                .unwrap_or(std::cmp::Ordering::Equal)
-        })?;
+        let pivot_row = (col..n).max_by(|&i, &j| m[i][col].abs().total_cmp(&m[j][col].abs()))?;
         if m[pivot_row][col].abs() < 1e-13 {
             return None;
         }
@@ -341,7 +336,7 @@ mod tests {
         // z^2 - 3z + 2 = (z-1)(z-2)
         let roots = polynomial_roots(&[2.0, -3.0, 1.0]);
         let mut reals: Vec<f64> = roots.iter().map(|r| r.re).collect();
-        reals.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        reals.sort_by(f64::total_cmp);
         assert!(approx(reals[0], 1.0, 1e-10));
         assert!(approx(reals[1], 2.0, 1e-10));
         assert!(roots.iter().all(|r| r.im.abs() < 1e-10));
@@ -353,7 +348,7 @@ mod tests {
         let roots = polynomial_roots(&[1.0, 0.0, 1.0]);
         assert!(roots.iter().all(|r| approx(r.re, 0.0, 1e-10)));
         let mut ims: Vec<f64> = roots.iter().map(|r| r.im).collect();
-        ims.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        ims.sort_by(f64::total_cmp);
         assert!(approx(ims[0], -1.0, 1e-10) && approx(ims[1], 1.0, 1e-10));
     }
 
@@ -373,9 +368,9 @@ mod tests {
         }
         let roots = polynomial_roots(&coeffs);
         let mut found: Vec<f64> = roots.iter().map(|r| r.re).collect();
-        found.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        found.sort_by(f64::total_cmp);
         let mut expected = known.to_vec();
-        expected.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        expected.sort_by(f64::total_cmp);
         for (f, e) in found.iter().zip(expected.iter()) {
             assert!(approx(*f, *e, 1e-7), "root {f} vs {e}");
         }

@@ -28,7 +28,7 @@ fn main() {
     );
 
     // Answer a few ad-hoc range queries.
-    let truth = EmpiricalSelectivity::new(&stream);
+    let truth = EmpiricalSelectivity::new(&stream).expect("finite stream");
     println!("\nquery             wavelet   exact");
     for (lo, hi) in [(0.0, 0.25), (0.25, 0.5), (0.6, 0.75), (0.9, 1.0)] {
         let q = RangeQuery::new(lo, hi).expect("valid query");

@@ -15,6 +15,9 @@
 //!   simulators and the paper's target densities;
 //! * [`wavelets`] (`wavedens-wavelets`) — filters, pointwise evaluation,
 //!   DWT, Besov norms;
+//! * [`engine`] (`wavedens-engine`) — the concurrent multi-attribute
+//!   synopsis engine: sharded sketch ingest, atomically swapped synopsis
+//!   caches and a named attribute catalog;
 //! * [`selectivity`] (`wavedens-selectivity`) — range-query selectivity
 //!   synopses built on the estimator.
 //!
@@ -30,6 +33,7 @@
 #![warn(missing_docs)]
 
 pub use wavedens_core as estimation;
+pub use wavedens_engine as engine;
 pub use wavedens_processes as processes;
 pub use wavedens_selectivity as selectivity;
 pub use wavedens_wavelets as wavelets;
@@ -37,9 +41,11 @@ pub use wavedens_wavelets as wavelets;
 /// Convenience re-exports of the most commonly used items.
 pub mod prelude {
     pub use wavedens_core::{
-        CumulativeEstimate, Grid, KernelDensityEstimator, StreamingWaveletEstimator, ThresholdRule,
-        ThresholdSelection, WaveletDensityEstimate, WaveletDensityEstimator,
+        CoefficientSketch, CumulativeEstimate, Grid, KernelDensityEstimator,
+        StreamingWaveletEstimator, ThresholdRule, ThresholdSelection, WaveletDensityEstimate,
+        WaveletDensityEstimator,
     };
+    pub use wavedens_engine::{SynopsisCatalog, SynopsisConfig};
     pub use wavedens_processes::{
         seeded_rng, DependenceCase, GaussianMixture, LsvMapProcess, SineUniformMixture,
         StationaryProcess, TargetDensity,

@@ -154,7 +154,7 @@ fn selectivity_pipeline_end_to_end() {
     let rows = 4096;
     let stream = DependenceCase::NonCausalMa.simulate(&target, rows, &mut rng);
     let synopsis = WaveletSelectivity::fit(&stream).expect("synopsis");
-    let truth = EmpiricalSelectivity::new(&stream);
+    let truth = EmpiricalSelectivity::new(&stream).expect("finite stream");
     let workload = WorkloadGenerator::analytical().draw_many(150, &mut rng);
     let summary = evaluate_workload(&synopsis, &truth, &workload);
     assert!(

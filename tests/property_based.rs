@@ -142,7 +142,7 @@ proptest! {
     ) {
         let hi = (lo + width).min(1.0);
         let hist = HistogramSelectivity::fit(&data, 32);
-        let truth = EmpiricalSelectivity::new(&data);
+        let truth = EmpiricalSelectivity::new(&data).unwrap();
         let q = RangeQuery::new(lo, hi).unwrap();
         let wider = RangeQuery::new((lo - 0.05).max(0.0), (hi + 0.05).min(1.0)).unwrap();
         for estimator in [&hist as &dyn SelectivityEstimator, &truth] {

@@ -56,7 +56,7 @@ proptest! {
     fn cdf_monotonicity_and_additivity(a in 0.0_f64..1.0, b in 0.0_f64..1.0, c in 0.0_f64..1.0) {
         let (_, cumulative) = fitted();
         let mut points = [a, b, c];
-        points.sort_by(|x, y| x.partial_cmp(y).expect("finite"));
+        points.sort_by(f64::total_cmp);
         let [x0, x1, x2] = points;
         let cdf0 = cumulative.cdf(x0);
         let cdf1 = cumulative.cdf(x1);
@@ -135,7 +135,7 @@ fn stale_synopsis_burst_rebuilds_once() {
 fn fast_path_stays_accurate_against_ground_truth() {
     use wavedens::selectivity::{evaluate_workload, EmpiricalSelectivity, WorkloadGenerator};
     let data = dependent_stream();
-    let truth = EmpiricalSelectivity::new(data);
+    let truth = EmpiricalSelectivity::new(data).unwrap();
     let synopsis = WaveletSelectivity::fit(data).expect("synopsis");
     let mut rng = seeded_rng(13);
     let workload = WorkloadGenerator::analytical().draw_many(300, &mut rng);
