@@ -11,8 +11,11 @@ use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::time::Instant;
 use wavedens_bench::paper_sample;
-use wavedens_core::CoefficientSketch;
-use wavedens_engine::{ShardedIngest, SynopsisCatalog, SynopsisConfig};
+use wavedens_core::{CoefficientSketch, DEFAULT_CDF_POINTS};
+use wavedens_engine::{
+    AttributeSynopsis, CompactionPolicy, RefreshedSynopsis, ShardedIngest, SynopsisCatalog,
+    SynopsisConfig,
+};
 
 /// Rows ingested per attribute (and per ingest-scaling run).
 const ROWS: usize = 50_000;
@@ -146,6 +149,69 @@ fn engine_throughput(c: &mut Criterion) {
         max_query_latency * 1e3,
     );
 
+    // Phase 3 — synopsis size: the paper's n = 8192 workload, dense wire
+    // frames (legacy v1 and current v2) vs the level-truncated compacted
+    // frame the engine ships.
+    const SIZE_ROWS: usize = 8192;
+    let paper_rows = paper_sample(SIZE_ROWS, 77);
+    let size_config = SynopsisConfig::default()
+        .with_expected_rows(SIZE_ROWS)
+        .with_shards(1);
+    let size_synopsis = AttributeSynopsis::new(&size_config).expect("synopsis");
+    size_synopsis.ingest(&paper_rows);
+    let dense = size_synopsis.merged_sketch().expect("merged");
+    let dense_v1_bytes = dense.to_bytes_v1().len();
+    let dense_v2_bytes = dense.to_bytes().len();
+    let compacted_bytes = size_synopsis
+        .ship(CompactionPolicy::InactiveTail)
+        .expect("ship")
+        .len();
+    let compaction_ratio = dense_v1_bytes as f64 / compacted_bytes as f64;
+    println!(
+        "synopsis size at n = {SIZE_ROWS}: dense v1 {dense_v1_bytes} B, dense v2 \
+         {dense_v2_bytes} B, compacted {compacted_bytes} B \
+         ({compaction_ratio:.1}× smaller than dense v1)"
+    );
+
+    // Phase 4 — refresh latency under repeated small-batch ingest: the
+    // incremental path (guard-owned scratch merge + CV cache) against a
+    // full cross-validation rebuild from a freshly merged sketch per
+    // batch. Both paths pay the same base load, ingest and CDF
+    // construction; the delta is what the incremental machinery saves.
+    const REFRESH_BATCHES: usize = 32;
+    const BATCH_ROWS: usize = 64;
+    let refresh_batches: Vec<Vec<f64>> = (0..REFRESH_BATCHES)
+        .map(|i| paper_sample(BATCH_ROWS, 200 + i as u64))
+        .collect();
+    let full_refresh_seconds = min_seconds(|| {
+        let synopsis = AttributeSynopsis::new(&size_config).expect("synopsis");
+        synopsis.ingest(&paper_rows);
+        for batch in &refresh_batches {
+            synopsis.ingest(batch);
+            let sketch = synopsis.merged_sketch().expect("merged");
+            black_box(
+                RefreshedSynopsis::build(&sketch, synopsis.rule(), DEFAULT_CDF_POINTS)
+                    .expect("full rebuild"),
+            );
+        }
+    });
+    let incremental_refresh_seconds = min_seconds(|| {
+        let synopsis = AttributeSynopsis::new(&size_config).expect("synopsis");
+        synopsis.ingest(&paper_rows);
+        for batch in &refresh_batches {
+            synopsis.ingest(batch);
+            black_box(synopsis.refreshed().expect("incremental rebuild"));
+        }
+    });
+    let refresh_speedup = full_refresh_seconds / incremental_refresh_seconds;
+    println!(
+        "refresh after {REFRESH_BATCHES} batches of {BATCH_ROWS} rows on {SIZE_ROWS} base \
+         rows: full CV {:.2} ms/refresh, incremental {:.2} ms/refresh \
+         ({refresh_speedup:.2}× faster)",
+        full_refresh_seconds * 1e3 / REFRESH_BATCHES as f64,
+        incremental_refresh_seconds * 1e3 / REFRESH_BATCHES as f64,
+    );
+
     let ingest_json: Vec<String> = ingest_seconds
         .iter()
         .map(|(shards, seconds)| {
@@ -168,7 +234,16 @@ fn engine_throughput(c: &mut Criterion) {
          \"best_shards\": {},\n  \"ingest_speedup_over_1_shard\": {speedup:.2},\n  \
          \"concurrent\": {{\n    \"queries\": {queries},\n    \"seconds\": {concurrent_seconds:.6},\n    \
          \"queries_per_second\": {:.0},\n    \"rebuilds\": {rebuilds},\n    \
-         \"max_query_latency_ms\": {:.3}\n  }}\n}}\n",
+         \"max_query_latency_ms\": {:.3}\n  }},\n  \
+         \"synopsis_size\": {{\n    \"rows\": {SIZE_ROWS},\n    \
+         \"dense_v1_bytes\": {dense_v1_bytes},\n    \"dense_v2_bytes\": {dense_v2_bytes},\n    \
+         \"compacted_bytes\": {compacted_bytes},\n    \
+         \"compaction_ratio_over_dense_v1\": {compaction_ratio:.2}\n  }},\n  \
+         \"incremental_refresh\": {{\n    \"base_rows\": {SIZE_ROWS},\n    \
+         \"batches\": {REFRESH_BATCHES},\n    \"rows_per_batch\": {BATCH_ROWS},\n    \
+         \"full_cv_seconds\": {full_refresh_seconds:.6},\n    \
+         \"incremental_seconds\": {incremental_refresh_seconds:.6},\n    \
+         \"refresh_speedup\": {refresh_speedup:.2}\n  }}\n}}\n",
         ingest_json.join(",\n"),
         best.0,
         queries as f64 / concurrent_seconds,

@@ -140,9 +140,16 @@ pub fn cross_validate_with(
         .iter()
         .map(|level| cross_validate_level(level, n, criterion))
         .collect();
+    assemble_result(coefficients.coarse_level(), rule, levels)
+}
 
-    // ĵ1: smallest level from which every criterion is ≈ 0 up to j*.
-    let j0 = coefficients.coarse_level();
+/// ĵ1 (the smallest level from which every criterion is ≈ 0 up to `j*`)
+/// plus the packaged per-level selections.
+fn assemble_result(
+    j0: i32,
+    rule: ThresholdRule,
+    levels: Vec<LevelCrossValidation>,
+) -> CrossValidationResult {
     let mut j1 = j0;
     for lvl in &levels {
         if lvl.criterion < -CRITERION_TOLERANCE {
@@ -152,29 +159,254 @@ pub fn cross_validate_with(
     CrossValidationResult { rule, levels, j1 }
 }
 
+/// Reusable per-level state for the delta-aware cross-validation entry
+/// point [`cross_validate_cached`].
+///
+/// The cache keeps, per detail level, the mutation stamp it reflects, the
+/// magnitude-sorted candidate order and the selected
+/// [`LevelCrossValidation`]. On the next refresh:
+///
+/// * a level whose stamp **and** sample size are unchanged returns its
+///   cached selection without rescanning;
+/// * a dirty level re-sorts *starting from the previous order* — a small
+///   ingest batch perturbs at most `batch × (2N−1)` magnitudes per level,
+///   so the stable adaptive sort runs in near-linear time instead of the
+///   full `O(K log K)`, and the order/result buffers are recycled instead
+///   of reallocated.
+///
+/// The cached path is bitwise identical to [`cross_validate`]: both rank
+/// candidates by descending magnitude with ascending index as the tie
+/// break and accumulate the criterion prefix in that exact order.
+#[derive(Debug, Clone, Default)]
+pub struct CvCache {
+    rule: Option<(ThresholdRule, CvCriterion)>,
+    /// The sketch lineage the per-level results belong to; results cached
+    /// under a different lineage are discarded, so one cache can never
+    /// alias two sketches that happen to share version numbers.
+    lineage: u64,
+    sample_size: usize,
+    levels: Vec<LevelCvCache>,
+    /// Scratch for [`repair_order`]'s still-sorted chain (recycled across
+    /// levels and refreshes).
+    chain: Vec<u32>,
+    /// Scratch for [`repair_order`]'s displaced minority.
+    displaced: Vec<u32>,
+}
+
+/// One detail level's cached cross-validation state.
+#[derive(Debug, Clone)]
+struct LevelCvCache {
+    version: u64,
+    order: Vec<u32>,
+    result: LevelCrossValidation,
+}
+
+impl CvCache {
+    /// Creates an empty cache (every level recomputed on first use).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Drops all cached per-level state (the next refresh recomputes
+    /// everything from scratch).
+    pub fn clear(&mut self) {
+        self.rule = None;
+        self.lineage = 0;
+        self.sample_size = 0;
+        self.levels.clear();
+    }
+
+    /// Number of levels currently cached.
+    pub fn cached_levels(&self) -> usize {
+        self.levels.len()
+    }
+}
+
+/// The delta-aware variant of [`cross_validate`]: reuses the per-level
+/// statistics in `cache` for levels whose mutation stamp is unchanged and
+/// re-sorts dirty levels starting from their previous candidate order.
+///
+/// `lineage` identifies the sketch *instance* the stamps belong to (see
+/// [`crate::sketch::CoefficientSketch`]; `0` means "unknown" and disables
+/// result reuse while still recycling the order buffers). `versions[i]`
+/// is the caller's dirty stamp for `coefficients.details()[i]` (see
+/// [`crate::sketch::CoefficientSketch::detail_versions`]); a stamp of `0`
+/// means "unversioned" and always recomputes. The result is bitwise
+/// identical to `cross_validate(coefficients, rule)` for any cache state
+/// — cached per-level selections are only replayed when lineage, stamp
+/// and sample size all match, and a lineage never repeats a stamp with
+/// different contents.
+pub fn cross_validate_cached(
+    coefficients: &EmpiricalCoefficients,
+    rule: ThresholdRule,
+    lineage: u64,
+    versions: &[u64],
+    cache: &mut CvCache,
+) -> CrossValidationResult {
+    let criterion = CvCriterion::recommended_for(rule);
+    let n = coefficients.sample_size();
+    let details = coefficients.details();
+    if cache.rule != Some((rule, criterion))
+        || cache.lineage != lineage
+        || cache.levels.len() != details.len()
+    {
+        cache.levels.clear();
+        cache.rule = Some((rule, criterion));
+        cache.lineage = lineage;
+    }
+    let same_n = cache.sample_size == n;
+
+    let mut levels = Vec::with_capacity(details.len());
+    for (i, level) in details.iter().enumerate() {
+        let version = versions.get(i).copied().unwrap_or(0);
+        match cache.levels.get_mut(i) {
+            Some(entry)
+                if lineage != 0
+                    && version != 0
+                    && entry.version == version
+                    && same_n
+                    && entry.result.level == level.level
+                    && entry.result.total == level.len() =>
+            {
+                levels.push(entry.result.clone());
+            }
+            Some(entry) => {
+                repair_order(
+                    level,
+                    &mut entry.order,
+                    &mut cache.chain,
+                    &mut cache.displaced,
+                );
+                entry.version = version;
+                entry.result = scan_level(level, n, criterion, &entry.order);
+                levels.push(entry.result.clone());
+            }
+            None => {
+                let order = sorted_order(level, Vec::new());
+                let result = scan_level(level, n, criterion, &order);
+                cache.levels.push(LevelCvCache {
+                    version,
+                    order,
+                    result: result.clone(),
+                });
+                levels.push(result);
+            }
+        }
+    }
+    cache.sample_size = n;
+    assemble_result(coefficients.coarse_level(), rule, levels)
+}
+
 /// Cross-validates one level.
 pub fn cross_validate_level(
     level: &LevelCoefficients,
     n: usize,
     criterion: CvCriterion,
 ) -> LevelCrossValidation {
-    let total = level.len();
-    let n_f = n as f64;
-    // Per-coefficient contribution
-    //   c_k = β̂² − 2/(n(n−1)) [ (n β̂)² − Σ_i ψ(X_i)² ].
-    let contributions: Vec<f64> = level
-        .values
-        .iter()
-        .zip(level.sum_squares.iter())
-        .map(|(&beta, &sum_sq)| {
-            let total_sum = n_f * beta;
-            beta * beta - 2.0 / (n_f * (n_f - 1.0)) * (total_sum * total_sum - sum_sq)
-        })
-        .collect();
+    let order = sorted_order(level, Vec::new());
+    scan_level(level, n, criterion, &order)
+}
 
-    // Sort coefficient indices by decreasing magnitude.
-    let mut order: Vec<usize> = (0..total).collect();
-    order.sort_by(|&a, &b| level.values[b].abs().total_cmp(&level.values[a].abs()));
+/// Sorts (or re-sorts) `order` by decreasing coefficient magnitude with
+/// ascending index as the tie break, recycling the vector's allocation.
+fn sorted_order(level: &LevelCoefficients, mut order: Vec<u32>) -> Vec<u32> {
+    if order.len() != level.len() {
+        order.clear();
+        order.extend(0..level.len() as u32);
+    }
+    order.sort_by(|&a, &b| compare_rank(level, a, b));
+    order
+}
+
+/// The total order the candidate scan requires: decreasing magnitude,
+/// ties broken by ascending index (indices are unique, so the order is
+/// strict — both the full sort and the incremental repair produce the
+/// exact same permutation).
+fn compare_rank(level: &LevelCoefficients, a: u32, b: u32) -> std::cmp::Ordering {
+    level.values[b as usize]
+        .abs()
+        .total_cmp(&level.values[a as usize].abs())
+        .then_with(|| a.cmp(&b))
+}
+
+/// Repairs a previously sorted `order` after a sparse magnitude update in
+/// `O(K + d log d)` (`d` displaced entries) instead of a full
+/// `O(K log K)` sort: one greedy pass splits the stale order into a
+/// still-sorted chain and the displaced rest, the displaced minority is
+/// sorted, and the two sequences merge. A small ingest batch moves at most
+/// `batch × (2N−1)` magnitudes per level, so `d ≪ K` on the refresh path.
+/// Falls back to a plain sort when the perturbation is too large for the
+/// repair to win (or the length changed).
+fn repair_order(
+    level: &LevelCoefficients,
+    order: &mut Vec<u32>,
+    chain: &mut Vec<u32>,
+    displaced: &mut Vec<u32>,
+) {
+    if order.len() != level.len() {
+        *order = sorted_order(level, std::mem::take(order));
+        return;
+    }
+    chain.clear();
+    displaced.clear();
+    for &index in order.iter() {
+        match chain.last() {
+            Some(&last) if compare_rank(level, last, index) == std::cmp::Ordering::Greater => {
+                displaced.push(index)
+            }
+            _ => chain.push(index),
+        }
+    }
+    if displaced.is_empty() {
+        return;
+    }
+    // A pathological perturbation (e.g. the chain's head shrinking below
+    // everything) degrades the greedy split; the plain sort is cheaper
+    // then.
+    if displaced.len() * 4 > order.len() {
+        *order = sorted_order(level, std::mem::take(order));
+        return;
+    }
+    displaced.sort_by(|&a, &b| compare_rank(level, a, b));
+    // Merge the two rank-sorted sequences back into `order`.
+    order.clear();
+    let (mut i, mut j) = (0, 0);
+    while i < chain.len() && j < displaced.len() {
+        if compare_rank(level, chain[i], displaced[j]) != std::cmp::Ordering::Greater {
+            order.push(chain[i]);
+            i += 1;
+        } else {
+            order.push(displaced[j]);
+            j += 1;
+        }
+    }
+    order.extend_from_slice(&chain[i..]);
+    order.extend_from_slice(&displaced[j..]);
+}
+
+/// Scans the candidate thresholds of one level in the (descending
+/// magnitude) `order` and returns the minimising selection.
+///
+/// The per-coefficient contribution is
+/// `c_k = β̂² − 2/(n(n−1)) [ (n β̂)² − Σ_i ψ(X_i)² ]`, accumulated in scan
+/// order, so the full and cached cross-validation paths produce bitwise
+/// identical results as long as they agree on `order`.
+fn scan_level(
+    level: &LevelCoefficients,
+    n: usize,
+    criterion: CvCriterion,
+    order: &[u32],
+) -> LevelCrossValidation {
+    let total = level.len();
+    debug_assert_eq!(order.len(), total);
+    let n_f = n as f64;
+    let cross_scale = 2.0 / (n_f * (n_f - 1.0));
+    let contribution = |idx: usize| {
+        let beta = level.values[idx];
+        let sum_sq = level.sum_squares[idx];
+        let total_sum = n_f * beta;
+        beta * beta - cross_scale * (total_sum * total_sum - sum_sq)
+    };
 
     // The empty active set (λ above every |β̂|) always attains criterion 0.
     let max_abs = level.max_abs();
@@ -190,11 +422,11 @@ pub fn cross_validate_level(
     let mut prefix = 0.0_f64;
     let mut m = 0usize;
     while m < total {
-        let lambda = level.values[order[m]].abs();
+        let lambda = level.values[order[m] as usize].abs();
         // Absorb the whole tie group so the active set is well defined.
         let mut end = m;
-        while end < total && level.values[order[end]].abs() == lambda {
-            prefix += contributions[order[end]];
+        while end < total && level.values[order[end] as usize].abs() == lambda {
+            prefix += contribution(order[end] as usize);
             end += 1;
         }
         let kept = end;
@@ -404,6 +636,64 @@ mod tests {
                 finest.total
             );
         }
+    }
+
+    #[test]
+    fn cached_cross_validation_is_bitwise_identical_to_full() {
+        let basis = Arc::new(WaveletBasis::new(WaveletFamily::Symmlet(8)).unwrap());
+        let mut rng = seeded_rng(29);
+        let mut data: Vec<f64> = (0..400).map(|_| rng.gen::<f64>()).collect();
+        let mut cache = CvCache::new();
+        // A sequence of growing samples emulating small-batch refreshes:
+        // every round re-runs the cached path against the full path.
+        for round in 0..4_u64 {
+            let coeffs =
+                EmpiricalCoefficients::compute(Arc::clone(&basis), &data, (0.0, 1.0), 1, 7)
+                    .unwrap();
+            let versions = vec![round + 1; coeffs.details().len()];
+            for rule in [ThresholdRule::Hard, ThresholdRule::Soft] {
+                let full = cross_validate(&coeffs, rule);
+                let cached = cross_validate_cached(&coeffs, rule, 1, &versions, &mut cache);
+                assert_eq!(cached, full, "round {round}, {rule:?}");
+                // Same stamps + same sample size: the cache answers from
+                // its stored per-level results, still identically.
+                let hit = cross_validate_cached(&coeffs, rule, 1, &versions, &mut cache);
+                assert_eq!(hit, full, "cache hit diverged in round {round}");
+            }
+            assert_eq!(cache.cached_levels(), coeffs.details().len());
+            data.extend((0..16).map(|_| rng.gen::<f64>()));
+        }
+        // Version 0 means "unversioned": always recomputed, never reused.
+        let coeffs =
+            EmpiricalCoefficients::compute(Arc::clone(&basis), &data, (0.0, 1.0), 1, 7).unwrap();
+        let unversioned = vec![0_u64; coeffs.details().len()];
+        let full = cross_validate(&coeffs, ThresholdRule::Soft);
+        let cached =
+            cross_validate_cached(&coeffs, ThresholdRule::Soft, 1, &unversioned, &mut cache);
+        assert_eq!(cached, full);
+        cache.clear();
+        assert_eq!(cache.cached_levels(), 0);
+    }
+
+    #[test]
+    fn cached_cross_validation_survives_rule_and_shape_changes() {
+        let basis = Arc::new(WaveletBasis::new(WaveletFamily::Symmlet(8)).unwrap());
+        let mut rng = seeded_rng(31);
+        let data: Vec<f64> = (0..300).map(|_| rng.gen::<f64>()).collect();
+        let mut cache = CvCache::new();
+        // Fill the cache with one shape/rule…
+        let wide =
+            EmpiricalCoefficients::compute(Arc::clone(&basis), &data, (0.0, 1.0), 1, 8).unwrap();
+        let versions = vec![1_u64; wide.details().len()];
+        cross_validate_cached(&wide, ThresholdRule::Soft, 1, &versions, &mut cache);
+        // …then hit it with another rule and a truncated level range: the
+        // cache must invalidate itself and still match the full path.
+        let narrow =
+            EmpiricalCoefficients::compute(Arc::clone(&basis), &data, (0.0, 1.0), 1, 5).unwrap();
+        let versions = vec![1_u64; narrow.details().len()];
+        let full = cross_validate(&narrow, ThresholdRule::Hard);
+        let cached = cross_validate_cached(&narrow, ThresholdRule::Hard, 1, &versions, &mut cache);
+        assert_eq!(cached, full);
     }
 
     #[test]

@@ -125,7 +125,30 @@ impl CumulativeEstimate {
         }
         self.cdf(hi) - self.cdf(lo)
     }
+
+    /// The *probability* of the range: [`range_mass`](Self::range_mass)
+    /// normalized by [`total_mass`](Self::total_mass) and clamped to
+    /// `[0, 1]`.
+    ///
+    /// A density estimate's tabulated mass drifts away from 1 whenever the
+    /// grid truncates the support or the (oscillating) wavelet estimate
+    /// integrates to slightly more or less than one; the raw range mass is
+    /// then a biased selectivity and can even exceed 1. Dividing by the
+    /// total mass conditions on the tabulated support, which is the
+    /// quantity `P(lo ≤ X ≤ hi)` callers actually want. Returns 0 when the
+    /// table carries (numerically) no mass at all.
+    pub fn selectivity(&self, lo: f64, hi: f64) -> f64 {
+        let total = self.total_mass();
+        if total <= TOTAL_MASS_FLOOR {
+            return 0.0;
+        }
+        (self.range_mass(lo, hi) / total).clamp(0.0, 1.0)
+    }
 }
+
+/// Below this total mass a cumulative table is treated as carrying no
+/// mass: normalizing by it would amplify pure numerical noise.
+const TOTAL_MASS_FLOOR: f64 = 1e-12;
 
 /// In-place isotonic regression (pool-adjacent-violators): replaces
 /// `values` with the nondecreasing sequence closest to it in L2. Runs in
@@ -267,6 +290,28 @@ mod tests {
             assert!((cumulative.cdf(x) - x).abs() < 1e-12, "cdf({x})");
         }
         assert_eq!(cumulative.grid().len(), 101);
+    }
+
+    #[test]
+    fn selectivity_normalizes_the_range_mass() {
+        // A table whose mass drifted to 0.5: the raw range mass is biased
+        // by exactly the drift, the normalized selectivity is not.
+        let grid = Grid::new(0.0, 1.0, 101);
+        let cumulative = CumulativeEstimate::from_density(grid, &[0.5; 101]);
+        assert!((cumulative.total_mass() - 0.5).abs() < 1e-12);
+        assert!((cumulative.range_mass(0.0, 1.0) - 0.5).abs() < 1e-12);
+        assert!((cumulative.selectivity(0.0, 1.0) - 1.0).abs() < 1e-12);
+        assert!((cumulative.selectivity(0.0, 0.5) - 0.5).abs() < 1e-12);
+        // Mass above 1 (the oscillating-estimate case) is normalized down
+        // instead of clamped to a biased value.
+        let grid = Grid::new(0.0, 1.0, 101);
+        let inflated = CumulativeEstimate::from_density(grid, &[1.25; 101]);
+        assert!((inflated.selectivity(0.0, 0.8) - 0.8).abs() < 1e-12);
+        // A (numerically) massless table answers 0 rather than amplifying
+        // noise by a huge normalization factor.
+        let grid = Grid::new(0.0, 1.0, 11);
+        let empty = CumulativeEstimate::from_density(grid, &[0.0; 11]);
+        assert_eq!(empty.selectivity(0.2, 0.9), 0.0);
     }
 
     #[test]

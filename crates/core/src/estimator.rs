@@ -414,6 +414,60 @@ impl WaveletDensityEstimate {
         crate::dense::CumulativeEstimate::from_estimate(self, points)
     }
 
+    /// [`cumulative`](Self::cumulative) through a [`DenseEvalCache`]:
+    /// bitwise-identical output, with the basis-function values on the
+    /// (fixed) grid looked up from the cache instead of re-interpolated
+    /// from the `φ`/`ψ` tables per refresh. This is the engine's
+    /// incremental-refresh CDF path.
+    pub fn cumulative_cached(
+        &self,
+        points: usize,
+        cache: &mut DenseEvalCache,
+    ) -> crate::dense::CumulativeEstimate {
+        let (lo, hi) = self.interval;
+        let grid = Grid::new(lo, hi, points.max(2));
+        let density = self.evaluate_dense_cached(&grid, cache);
+        crate::dense::CumulativeEstimate::from_density(grid, &density)
+    }
+
+    /// [`evaluate_dense`](Self::evaluate_dense) through a
+    /// [`DenseEvalCache`]: the first evaluation of a coefficient on a
+    /// given grid interpolates its basis function once and caches the
+    /// per-point values; every later refresh reduces to one
+    /// multiply-accumulate pass per surviving coefficient. Bitwise
+    /// identical to the uncached sweep (the cached values are exactly the
+    /// interpolated factors the uncached path multiplies by).
+    pub fn evaluate_dense_cached(&self, grid: &Grid, cache: &mut DenseEvalCache) -> Vec<f64> {
+        cache.validate(self.basis.family(), grid);
+        let mut values = vec![0.0_f64; grid.len()];
+        accumulate_dense_cached(
+            &self.basis,
+            grid,
+            self.scaling.level,
+            self.scaling.k_start,
+            &self.scaling.values,
+            true,
+            &mut values,
+            cache,
+        );
+        for level in &self.details {
+            if level.surviving == 0 {
+                continue;
+            }
+            accumulate_dense_cached(
+                &self.basis,
+                grid,
+                level.level,
+                level.k_start,
+                &level.coefficients,
+                false,
+                &mut values,
+                cache,
+            );
+        }
+        values
+    }
+
     /// Numerical integral of the estimate over the estimation interval
     /// (should be close to 1 when the data live inside the interval).
     /// Computed with the dense per-coefficient sweep of
@@ -516,6 +570,36 @@ fn level_sum(
     acc
 }
 
+/// The grid window `[first, last]` a coefficient's compact support covers
+/// and the table argument `u0` at `first` — the geometry shared by the
+/// uncached and cached dense sweeps, factored out so they cannot drift.
+///
+/// Support of `δ_{j,k}` in `x`: `[k / 2^j, (k + 2N−1) / 2^j]`; the table
+/// argument `2^j x − k` then advances by `2^j · grid_step` per point.
+fn coefficient_window(
+    grid: &Grid,
+    scale: f64,
+    support: f64,
+    k: i64,
+    points: usize,
+) -> Option<(usize, usize, f64)> {
+    let step = grid.step();
+    let lo = grid.lo();
+    let x_lo = k as f64 / scale;
+    let x_hi = (k as f64 + support) / scale;
+    let first = (((x_lo - lo) / step).ceil().max(0.0)) as usize;
+    let last_f = ((x_hi - lo) / step).floor();
+    if last_f < 0.0 || first >= points {
+        return None;
+    }
+    let last = (last_f as usize).min(points - 1);
+    if first > last {
+        return None;
+    }
+    let u0 = scale * (lo + step * first as f64) - k as f64;
+    Some((first, last, u0))
+}
+
 /// Adds `Σ_k c_k δ_{j,k}(grid_i)` of one level to `out`, sweeping each
 /// nonzero coefficient's support with a strided table pass.
 fn accumulate_dense(
@@ -533,35 +617,117 @@ fn accumulate_dense(
     let scale = (level as f64).exp2();
     let sqrt_scale = scale.sqrt();
     let support = basis.support_length();
-    let step = grid.step();
-    let lo = grid.lo();
-    let stride = scale * step;
+    let stride = scale * grid.step();
     let table = basis.table();
     for (m, &coeff) in coefficients.iter().enumerate() {
         if coeff == 0.0 {
             continue;
         }
         let k = k_start + m as i64;
-        // Support of δ_{j,k} in x: [k / 2^j, (k + 2N−1) / 2^j].
-        let x_lo = k as f64 / scale;
-        let x_hi = (k as f64 + support) / scale;
-        let first = (((x_lo - lo) / step).ceil().max(0.0)) as usize;
-        let last_f = ((x_hi - lo) / step).floor();
-        if last_f < 0.0 || first >= out.len() {
+        let Some((first, last, u0)) = coefficient_window(grid, scale, support, k, out.len()) else {
             continue;
-        }
-        let last = (last_f as usize).min(out.len() - 1);
-        if first > last {
-            continue;
-        }
-        // δ_{j,k}(x) = 2^{j/2} δ(2^j x − k): the table argument at grid
-        // point `first` is `u0`, advancing by `stride` per point.
-        let u0 = scale * (lo + step * first as f64) - k as f64;
+        };
+        // δ_{j,k}(x) = 2^{j/2} δ(2^j x − k).
         let window = &mut out[first..=last];
         if scaling {
             table.accumulate_phi(u0, stride, coeff * sqrt_scale, window);
         } else {
             table.accumulate_psi(u0, stride, coeff * sqrt_scale, window);
+        }
+    }
+}
+
+/// Cache of basis-function values on one fixed dense grid, keyed by
+/// `(level, translation, generator)`.
+///
+/// The factors `δ_{j,k}(grid_i)` depend only on the wavelet family and the
+/// grid — not on the data — so across the engine's refreshes of one
+/// synopsis they are computed once and replayed as a multiply-accumulate.
+/// The cache is invalidated automatically when it is used with a
+/// different family or grid. Memory is bounded by the union of surviving
+/// coefficients ever evaluated: each row stores one `f64` per grid point
+/// under the coefficient's compact support (fine levels have
+/// correspondingly short rows).
+#[derive(Debug, Clone, Default)]
+pub struct DenseEvalCache {
+    key: Option<(WaveletFamily, u64, u64, usize)>,
+    rows: std::collections::HashMap<(i32, i64, bool), CachedRow>,
+}
+
+/// One coefficient's interpolated basis-function values over its grid
+/// window.
+#[derive(Debug, Clone)]
+struct CachedRow {
+    first: usize,
+    values: Vec<f64>,
+}
+
+impl DenseEvalCache {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of coefficient rows currently cached.
+    pub fn cached_rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Clears the cache when the family or grid changed.
+    fn validate(&mut self, family: WaveletFamily, grid: &Grid) {
+        let key = (family, grid.lo().to_bits(), grid.hi().to_bits(), grid.len());
+        if self.key != Some(key) {
+            self.rows.clear();
+            self.key = Some(key);
+        }
+    }
+}
+
+/// The cached counterpart of [`accumulate_dense`]: identical arithmetic,
+/// with the interpolated basis values fetched from (or inserted into) the
+/// cache.
+#[allow(clippy::too_many_arguments)]
+fn accumulate_dense_cached(
+    basis: &WaveletBasis,
+    grid: &Grid,
+    level: i32,
+    k_start: i64,
+    coefficients: &[f64],
+    scaling: bool,
+    out: &mut [f64],
+    cache: &mut DenseEvalCache,
+) {
+    if coefficients.is_empty() {
+        return;
+    }
+    let scale = (level as f64).exp2();
+    let sqrt_scale = scale.sqrt();
+    let support = basis.support_length();
+    let stride = scale * grid.step();
+    let table = basis.table();
+    for (m, &coeff) in coefficients.iter().enumerate() {
+        if coeff == 0.0 {
+            continue;
+        }
+        let k = k_start + m as i64;
+        let Some((first, last, u0)) = coefficient_window(grid, scale, support, k, out.len()) else {
+            continue;
+        };
+        let row = cache.rows.entry((level, k, scaling)).or_insert_with(|| {
+            // Weight 1.0 captures exactly the interpolated factors the
+            // uncached path multiplies by (`0 + 1.0·v` is `v` bitwise).
+            let mut values = vec![0.0_f64; last - first + 1];
+            if scaling {
+                table.accumulate_phi(u0, stride, 1.0, &mut values);
+            } else {
+                table.accumulate_psi(u0, stride, 1.0, &mut values);
+            }
+            CachedRow { first, values }
+        });
+        debug_assert_eq!(row.first, first, "cached row geometry drifted");
+        let scaled = coeff * sqrt_scale;
+        for (slot, &value) in out[first..=last].iter_mut().zip(&row.values) {
+            *slot += scaled * value;
         }
     }
 }
@@ -768,6 +934,39 @@ mod tests {
             .with_dependence_exponent(0.5)
             .fit(&data)
             .is_ok());
+    }
+
+    #[test]
+    fn cached_dense_evaluation_is_bitwise_identical() {
+        let grid = Grid::new(0.0, 1.0, 513);
+        let mut cache = DenseEvalCache::new();
+        for seed in [11_u64, 12, 13] {
+            let fit = WaveletDensityEstimator::stcv()
+                .fit(&sine_sample(768, seed))
+                .unwrap();
+            // Cold rows on the first fit, warm replays afterwards: both
+            // must reproduce the uncached sweep exactly.
+            for _ in 0..2 {
+                let cached = fit.evaluate_dense_cached(&grid, &mut cache);
+                let plain = fit.evaluate_dense(&grid);
+                assert_eq!(cached, plain, "seed {seed}");
+            }
+            let a = fit.cumulative_cached(257, &mut cache);
+            let b = fit.cumulative(257);
+            for i in 0..=64 {
+                let x = i as f64 / 64.0;
+                assert_eq!(a.cdf(x), b.cdf(x), "seed {seed}, x = {x}");
+            }
+        }
+        assert!(cache.cached_rows() > 0);
+        // A different grid (or family) invalidates the cache rather than
+        // replaying mismatched rows.
+        let fit = WaveletDensityEstimator::stcv()
+            .fit(&sine_sample(256, 14))
+            .unwrap();
+        let other = Grid::new(0.0, 1.0, 129);
+        let cached = fit.evaluate_dense_cached(&other, &mut cache);
+        assert_eq!(cached, fit.evaluate_dense(&other));
     }
 
     #[test]

@@ -67,18 +67,19 @@ pub mod threshold;
 
 pub use coefficients::{EmpiricalCoefficients, Generator, LevelCoefficients};
 pub use cv::{
-    cross_validate, cross_validate_with, CrossValidationResult, CvCriterion, LevelCrossValidation,
+    cross_validate, cross_validate_cached, cross_validate_with, CrossValidationResult, CvCache,
+    CvCriterion, LevelCrossValidation,
 };
 pub use dense::{CumulativeEstimate, DEFAULT_CDF_POINTS};
 pub use error::EstimatorError;
 pub use estimator::{
-    cv_max_level, default_coarse_level, theoretical_max_level, ThresholdedLevel,
+    cv_max_level, default_coarse_level, theoretical_max_level, DenseEvalCache, ThresholdedLevel,
     WaveletDensityEstimate, WaveletDensityEstimator,
 };
 pub use grid::Grid;
 pub use kernel::{BandwidthRule, Kernel, KernelDensityEstimate, KernelDensityEstimator};
 pub use risk::{integrated_squared_error, lp_distance, RiskAccumulator};
-pub use sketch::CoefficientSketch;
+pub use sketch::{CoefficientSketch, CompactionPolicy};
 pub use streaming::StreamingWaveletEstimator;
 pub use threshold::{ThresholdProfile, ThresholdRule, ThresholdSelection};
 

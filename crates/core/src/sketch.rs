@@ -25,7 +25,7 @@
 //! shipped between nodes and merged where they land.
 
 use crate::coefficients::{EmpiricalCoefficients, Generator, LevelAccumulator, LevelCoefficients};
-use crate::cv::cross_validate;
+use crate::cv::{cross_validate, cross_validate_cached, CrossValidationResult, CvCache};
 use crate::error::EstimatorError;
 use crate::estimator::{ThresholdedLevel, WaveletDensityEstimate};
 use crate::threshold::{ThresholdProfile, ThresholdRule};
@@ -38,11 +38,18 @@ use wavedens_wavelets::{WaveletBasis, WaveletFamily};
 /// cross-validation a read-only view without copying the vector; ingestion
 /// and merging use copy-on-write ([`Arc::make_mut`]), which only actually
 /// clones when a snapshot from a previous estimate is still alive.
+///
+/// `version` is a cheap per-level dirty stamp: it moves (strictly
+/// monotonically for any fixed sketch lineage) whenever the level's sums
+/// may have changed, so downstream consumers — the delta-aware
+/// cross-validation cache ([`crate::cv::CvCache`]) in particular — can
+/// recognise unchanged levels without comparing payloads.
 #[derive(Debug, Clone)]
 struct SketchLevel {
     level: i32,
     generator: Generator,
     k_start: i64,
+    version: u64,
     sums: Vec<f64>,
     sum_squares: Arc<Vec<f64>>,
 }
@@ -56,6 +63,7 @@ impl SketchLevel {
             level,
             generator,
             k_start,
+            version: 0,
             sums: vec![0.0; count],
             sum_squares: Arc::new(vec![0.0; count]),
         }
@@ -65,6 +73,7 @@ impl SketchLevel {
         if values.is_empty() {
             return;
         }
+        self.version += 1;
         let accumulator = LevelAccumulator::new(basis, self.generator, self.level, self.k_start);
         let squares = Arc::make_mut(&mut self.sum_squares);
         for &x in values {
@@ -74,6 +83,12 @@ impl SketchLevel {
 
     fn merge(&mut self, other: &Self) {
         debug_assert_eq!(self.sums.len(), other.sums.len());
+        if other.version == 0 {
+            // A never-touched level carries identically zero sums; adding
+            // them would not change the state, so the stamp must not move.
+            return;
+        }
+        self.version += other.version;
         for (acc, v) in self.sums.iter_mut().zip(&other.sums) {
             *acc += v;
         }
@@ -81,6 +96,24 @@ impl SketchLevel {
         for (acc, v) in squares.iter_mut().zip(other.sum_squares.iter()) {
             *acc += v;
         }
+    }
+
+    fn copy_from(&mut self, source: &Self) {
+        debug_assert_eq!(self.sums.len(), source.sums.len());
+        // The target keeps its own lineage, so its version must *strictly*
+        // advance: the copied contents are arbitrary relative to whatever
+        // this instance held at any earlier stamp. (On the engine's
+        // refresh path `source.version` — the sum of monotone shard
+        // stamps — is the larger term.)
+        self.version = source.version.max(self.version + 1);
+        self.sums.copy_from_slice(&source.sums);
+        Arc::make_mut(&mut self.sum_squares).copy_from_slice(&source.sum_squares);
+    }
+
+    /// Whether every stored sum (and sum of squares) is exactly zero — the
+    /// criterion for omitting the level payload from a v2 frame.
+    fn is_zero(&self) -> bool {
+        self.sums.iter().all(|v| *v == 0.0) && self.sum_squares.iter().all(|v| *v == 0.0)
     }
 
     fn snapshot(&self, n: usize) -> LevelCoefficients {
@@ -108,13 +141,38 @@ impl SketchLevel {
 ///   [`estimate`](Self::estimate) runs that pipeline;
 /// * [`to_bytes`](Self::to_bytes) / [`from_bytes`](Self::from_bytes)
 ///   round-trip a compact binary form for shipping between nodes.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct CoefficientSketch {
     basis: Arc<WaveletBasis>,
     interval: (f64, f64),
     count: usize,
+    /// Unique identifier of this sketch *instance*, never shared between
+    /// two live sketches: every constructor (including [`Clone`]) draws a
+    /// fresh one, and every content mutation strictly advances the
+    /// per-level version stamps. Together the pair
+    /// `(lineage, level version)` therefore identifies level contents
+    /// unambiguously, which is what lets [`crate::cv::CvCache`] reuse
+    /// cached per-level results without ever aliasing two different
+    /// sketches that happen to share version numbers.
+    lineage: u64,
     scaling: SketchLevel,
     details: Vec<SketchLevel>,
+}
+
+impl Clone for CoefficientSketch {
+    fn clone(&self) -> Self {
+        Self {
+            basis: Arc::clone(&self.basis),
+            interval: self.interval,
+            count: self.count,
+            // A clone is a *new* instance: it may diverge from the
+            // original afterwards while reusing the same version numbers,
+            // so it must not share the lineage tag caches key on.
+            lineage: next_lineage(),
+            scaling: self.scaling.clone(),
+            details: self.details.clone(),
+        }
+    }
 }
 
 impl CoefficientSketch {
@@ -161,6 +219,7 @@ impl CoefficientSketch {
             basis,
             interval,
             count: 0,
+            lineage: next_lineage(),
             scaling,
             details,
         })
@@ -207,6 +266,32 @@ impl CoefficientSketch {
             .last()
             .map(|l| l.level)
             .unwrap_or(self.scaling.level)
+    }
+
+    /// The per-level dirty stamps of the detail levels, ordered from `j0`
+    /// upwards — the `versions` input of
+    /// [`cross_validate_cached`](crate::cv::cross_validate_cached()). A
+    /// stamp moves (strictly monotonically for a fixed sketch lineage)
+    /// whenever the level's sums may have changed; `0` means the level was
+    /// never touched.
+    pub fn detail_versions(&self) -> Vec<u64> {
+        self.details.iter().map(|l| l.version).collect()
+    }
+
+    /// Overwrites this sketch with `source`'s accumulation state, reusing
+    /// the existing allocations (the engine's refresh scratch relies on
+    /// this to avoid re-allocating a full sketch per rebuild). The two
+    /// sketches must be [compatible](Self::is_compatible). The target
+    /// keeps its own lineage; its level stamps advance strictly, so
+    /// caches keyed to it stay sound.
+    pub fn copy_from(&mut self, source: &Self) -> Result<(), EstimatorError> {
+        self.is_compatible(source)?;
+        self.count = source.count;
+        self.scaling.copy_from(&source.scaling);
+        for (mine, theirs) in self.details.iter_mut().zip(&source.details) {
+            mine.copy_from(theirs);
+        }
+        Ok(())
     }
 
     /// Ingests one observation.
@@ -307,6 +392,36 @@ impl CoefficientSketch {
     pub fn estimate(&self, rule: ThresholdRule) -> Result<WaveletDensityEstimate, EstimatorError> {
         let coefficients = self.snapshot()?;
         let cv = cross_validate(&coefficients, rule);
+        self.assemble_estimate(coefficients, cv, rule)
+    }
+
+    /// The delta-aware variant of [`estimate`](Self::estimate): feeds the
+    /// per-level dirty stamps into
+    /// [`cross_validate_cached`](crate::cv::cross_validate_cached()) so that
+    /// levels unchanged since the cache was last filled skip the candidate
+    /// scan, and dirty levels re-sort from the previous candidate order in
+    /// near-linear time. Bitwise identical to `estimate(rule)` for any
+    /// cache state.
+    pub fn estimate_with_cache(
+        &self,
+        rule: ThresholdRule,
+        cache: &mut CvCache,
+    ) -> Result<WaveletDensityEstimate, EstimatorError> {
+        let coefficients = self.snapshot()?;
+        let versions = self.detail_versions();
+        let cv = cross_validate_cached(&coefficients, rule, self.lineage, &versions, cache);
+        self.assemble_estimate(coefficients, cv, rule)
+    }
+
+    /// Thresholds the snapshot with the cross-validated profile and packs
+    /// the final estimate (shared tail of the two `estimate*` entry
+    /// points).
+    fn assemble_estimate(
+        &self,
+        coefficients: EmpiricalCoefficients,
+        cv: CrossValidationResult,
+        rule: ThresholdRule,
+    ) -> Result<WaveletDensityEstimate, EstimatorError> {
         let profile: ThresholdProfile = cv.thresholds();
         let thresholded: Vec<ThresholdedLevel> = coefficients
             .details()
@@ -328,13 +443,109 @@ impl CoefficientSketch {
         ))
     }
 
-    /// Serializes the sketch to a compact little-endian binary form
-    /// (magic + version header, wavelet family, interval, count, levels,
-    /// then the raw sums and sums of squares of every level).
+    /// Returns a compacted copy of the sketch under `policy` (see
+    /// [`CompactionPolicy`]); `rule` is the thresholding nonlinearity whose
+    /// cross-validation decides which fine levels are provably inactive.
+    ///
+    /// With [`CompactionPolicy::InactiveTail`] the compacted sketch
+    /// produces **pointwise-identical** estimates: every truncated level
+    /// had an empty cross-validated active set, so it contributed exactly
+    /// zero to the density (and the per-level CV of the remaining levels
+    /// is unchanged — the criteria are level-separable). The byte-budget
+    /// mode may additionally drop *active* fine levels and is therefore
+    /// lossy; it never drops the scaling level or the coarsest detail
+    /// level.
+    ///
+    /// A compacted sketch carries fewer levels, so it can only
+    /// [`merge`](Self::merge) with sketches truncated to the same shape.
+    pub fn compact(
+        &self,
+        policy: CompactionPolicy,
+        rule: ThresholdRule,
+    ) -> Result<Self, EstimatorError> {
+        let mut compacted = self.clone();
+        match policy {
+            CompactionPolicy::Dense => {}
+            CompactionPolicy::InactiveTail => compacted.truncate_inactive_tail(rule)?,
+            CompactionPolicy::ByteBudget { max_bytes } => {
+                compacted.truncate_inactive_tail(rule)?;
+                // Best effort: drop the finest remaining (possibly active)
+                // levels until the frame fits, keeping at least the
+                // scaling level and one detail level.
+                while compacted.serialized_len() > max_bytes && compacted.details.len() > 1 {
+                    compacted.details.pop();
+                }
+            }
+        }
+        Ok(compacted)
+    }
+
+    /// Drops every detail level above the finest one whose cross-validated
+    /// active set is nonempty. No-op on an empty sketch.
+    fn truncate_inactive_tail(&mut self, rule: ThresholdRule) -> Result<(), EstimatorError> {
+        if self.count == 0 {
+            return Ok(());
+        }
+        let coefficients = self.snapshot()?;
+        let cv = cross_validate(&coefficients, rule);
+        let last_active = cv
+            .levels
+            .iter()
+            .filter(|l| l.kept > 0)
+            .map(|l| l.level)
+            .max()
+            .unwrap_or(self.coarse_level());
+        let keep =
+            ((last_active - self.coarse_level()).max(0) as usize + 1).min(self.details.len());
+        self.details.truncate(keep.max(1));
+        Ok(())
+    }
+
+    /// Serializes the sketch to the current (v2) compact little-endian
+    /// binary frame: magic + version header, wavelet family, interval,
+    /// count, level range, a per-level **presence bitmap**, then the raw
+    /// sums and sums of squares of every *present* level. Levels whose
+    /// sums and sums of squares are identically zero — empty sketches,
+    /// boundary levels no observation ever touched, and the zero tail a
+    /// [`compact`](Self::compact)ed sketch would otherwise ship dense —
+    /// are recorded as a single cleared bit and restored as zeros.
     pub fn to_bytes(&self) -> Vec<u8> {
         let mut out = Vec::with_capacity(self.serialized_len());
+        self.write_header(&mut out, FORMAT_V2);
+        let mut bitmap = vec![0u8; presence_bitmap_len(1 + self.details.len())];
+        for (i, level) in std::iter::once(&self.scaling)
+            .chain(&self.details)
+            .enumerate()
+        {
+            if !level.is_zero() {
+                bitmap[i / 8] |= 1 << (i % 8);
+            }
+        }
+        out.extend_from_slice(&bitmap);
+        for level in std::iter::once(&self.scaling).chain(&self.details) {
+            if !level.is_zero() {
+                write_level(&mut out, level);
+            }
+        }
+        out
+    }
+
+    /// Serializes the sketch to the legacy v1 frame (every level shipped
+    /// dense, no presence bitmap), for interoperability with nodes still
+    /// on the previous wire format. [`from_bytes`](Self::from_bytes) reads
+    /// both frames.
+    pub fn to_bytes_v1(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        self.write_header(&mut out, FORMAT_V1);
+        for level in std::iter::once(&self.scaling).chain(&self.details) {
+            write_level(&mut out, level);
+        }
+        out
+    }
+
+    fn write_header(&self, out: &mut Vec<u8>, version: u16) {
         out.extend_from_slice(MAGIC);
-        out.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+        out.extend_from_slice(&version.to_le_bytes());
         let (family_tag, order) = encode_family(self.basis.family());
         out.push(family_tag);
         out.extend_from_slice(&(order as u16).to_le_bytes());
@@ -343,30 +554,25 @@ impl CoefficientSketch {
         out.extend_from_slice(&(self.count as u64).to_le_bytes());
         out.extend_from_slice(&self.coarse_level().to_le_bytes());
         out.extend_from_slice(&self.max_level().to_le_bytes());
-        for level in std::iter::once(&self.scaling).chain(&self.details) {
-            out.extend_from_slice(&(level.sums.len() as u64).to_le_bytes());
-            for v in &level.sums {
-                out.extend_from_slice(&v.to_le_bytes());
-            }
-            for v in level.sum_squares.iter() {
-                out.extend_from_slice(&v.to_le_bytes());
-            }
-        }
-        out
     }
 
+    /// Exact length of the v2 frame [`to_bytes`](Self::to_bytes) emits —
+    /// what the byte-budget compaction mode measures against.
     fn serialized_len(&self) -> usize {
         let header = MAGIC.len() + 2 + 3 + 16 + 8 + 8;
+        let bitmap = presence_bitmap_len(1 + self.details.len());
         let levels: usize = std::iter::once(&self.scaling)
             .chain(&self.details)
+            .filter(|l| !l.is_zero())
             .map(|l| 8 + 16 * l.sums.len())
             .sum();
-        header + levels
+        header + bitmap + levels
     }
 
     /// Deserializes a sketch previously produced by
-    /// [`to_bytes`](Self::to_bytes), rebuilding the wavelet basis from the
-    /// encoded family. Fails with
+    /// [`to_bytes`](Self::to_bytes) (v2, presence bitmap) **or** by the
+    /// legacy dense v1 writer ([`to_bytes_v1`](Self::to_bytes_v1)),
+    /// rebuilding the wavelet basis from the encoded family. Fails with
     /// [`EstimatorError::InvalidSerialization`] on any malformed input.
     pub fn from_bytes(bytes: &[u8]) -> Result<Self, EstimatorError> {
         let mut reader = Reader::new(bytes);
@@ -375,9 +581,9 @@ impl CoefficientSketch {
             return Err(invalid("bad magic bytes"));
         }
         let version = reader.u16()?;
-        if version != FORMAT_VERSION {
+        if version != FORMAT_V1 && version != FORMAT_V2 {
             return Err(invalid(&format!(
-                "unsupported format version {version} (expected {FORMAT_VERSION})"
+                "unsupported format version {version} (expected {FORMAT_V1} or {FORMAT_V2})"
             )));
         }
         let family_tag = reader.u8()?;
@@ -390,9 +596,35 @@ impl CoefficientSketch {
         let j_max = reader.i32()?;
         let mut sketch = Self::new(family, (lo, hi), j0, j_max)?;
         sketch.count = count;
-        read_level(&mut reader, &mut sketch.scaling)?;
-        for level in &mut sketch.details {
-            read_level(&mut reader, level)?;
+        let level_count = 1 + sketch.details.len();
+        let present: Vec<bool> = if version == FORMAT_V1 {
+            vec![true; level_count]
+        } else {
+            let bitmap = reader.take(presence_bitmap_len(level_count))?;
+            let present: Vec<bool> = (0..level_count)
+                .map(|i| bitmap[i / 8] & (1 << (i % 8)) != 0)
+                .collect();
+            // Bits beyond the level count must be clear: set ones would
+            // silently change meaning if a later format ever widens the
+            // bitmap.
+            if (level_count..bitmap.len() * 8).any(|i| bitmap[i / 8] & (1 << (i % 8)) != 0) {
+                return Err(invalid("presence bitmap has bits beyond the level count"));
+            }
+            present
+        };
+        for (level, &is_present) in std::iter::once(&mut sketch.scaling)
+            .chain(&mut sketch.details)
+            .zip(&present)
+        {
+            if is_present {
+                read_level(&mut reader, level)?;
+            }
+            // A freshly deserialized sketch is a new lineage: stamp the
+            // levels that carry mass once; all-zero levels (absent v2
+            // levels, or v1 levels shipped dense as zeros) keep stamp 0
+            // so merging them into another sketch remains the no-op the
+            // version guard promises.
+            level.version = u64::from(is_present && !level.is_zero());
         }
         if !reader.is_done() {
             return Err(invalid("trailing bytes after the last level"));
@@ -404,10 +636,7 @@ impl CoefficientSketch {
         if count == 0 {
             let has_mass = std::iter::once(&sketch.scaling)
                 .chain(&sketch.details)
-                .any(|level| {
-                    level.sums.iter().any(|v| *v != 0.0)
-                        || level.sum_squares.iter().any(|v| *v != 0.0)
-                });
+                .any(|level| !level.is_zero());
             if has_mass {
                 return Err(invalid("count is zero but level sums are nonzero"));
             }
@@ -435,8 +664,62 @@ pub fn for_each_batch<I: IntoIterator<Item = f64>>(values: I, mut flush: impl Fn
     flush(&buffer);
 }
 
+/// How [`CoefficientSketch::compact`] shrinks a sketch before shipping.
+///
+/// The cross-validation criterion of Section 5.1 is level-separable, so a
+/// detail level whose optimal active set is empty (criterion identically
+/// zero) contributes *nothing* to the estimate — shipping its dense sums
+/// is pure overhead. At the paper's n = 8192 workload the dense frame is
+/// ~265 KB while the CV keeps detail levels only up to `ĵ1 ≈ 5`, so
+/// truncating the provably-inactive tail shrinks shipped synopses by
+/// roughly an order of magnitude with pointwise-identical estimates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CompactionPolicy {
+    /// No truncation: every accumulated level is kept (all-zero levels
+    /// are still elided by the v2 frame's presence bitmap).
+    Dense,
+    /// Drop every detail level above the finest one whose cross-validated
+    /// active set is nonempty. Lossless: the truncated levels were
+    /// thresholded to zero wholesale, so estimates from the compacted
+    /// sketch are pointwise identical.
+    InactiveTail,
+    /// [`InactiveTail`](Self::InactiveTail), then keep dropping the finest
+    /// remaining levels until the serialized frame fits `max_bytes`.
+    /// Best-effort and potentially lossy: it may drop levels with active
+    /// coefficients, and it never drops the scaling level or the coarsest
+    /// detail level (the frame may therefore still exceed a very small
+    /// budget).
+    ByteBudget {
+        /// Target frame size in bytes.
+        max_bytes: usize,
+    },
+}
+
 const MAGIC: &[u8] = b"WDSK";
-const FORMAT_VERSION: u16 = 1;
+const FORMAT_V1: u16 = 1;
+const FORMAT_V2: u16 = 2;
+
+/// Issues process-unique sketch lineage tags (see
+/// `CoefficientSketch::lineage`).
+fn next_lineage() -> u64 {
+    static LINEAGE: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(1);
+    LINEAGE.fetch_add(1, std::sync::atomic::Ordering::Relaxed)
+}
+
+/// Bytes needed for one presence bit per level.
+fn presence_bitmap_len(levels: usize) -> usize {
+    levels.div_ceil(8)
+}
+
+fn write_level(out: &mut Vec<u8>, level: &SketchLevel) {
+    out.extend_from_slice(&(level.sums.len() as u64).to_le_bytes());
+    for v in &level.sums {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+    for v in level.sum_squares.iter() {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+}
 
 fn invalid(message: &str) -> EstimatorError {
     EstimatorError::InvalidSerialization {
@@ -701,16 +984,266 @@ mod tests {
         bad[25..33].copy_from_slice(&0_u64.to_le_bytes());
         assert!(CoefficientSketch::from_bytes(&bad).is_err());
         // Non-finite sums are rejected; the first scaling sum starts
-        // right after the header (41 bytes) and the level length (8).
+        // right after the header (41 bytes), the presence bitmap (1 byte
+        // for the three levels of this sketch) and the level length (8).
         let mut bad = bytes.clone();
-        bad[49..57].copy_from_slice(&f64::NAN.to_le_bytes());
+        bad[50..58].copy_from_slice(&f64::NAN.to_le_bytes());
         assert!(CoefficientSketch::from_bytes(&bad).is_err());
         // Negative sums of squares are rejected (they are sums of squares
         // of reals). The squares block follows the sums block.
-        let squares_offset = 49 + 8 * sketch.snapshot().unwrap().scaling().len();
+        let squares_offset = 50 + 8 * sketch.snapshot().unwrap().scaling().len();
         let mut bad = bytes.clone();
         bad[squares_offset..squares_offset + 8].copy_from_slice(&(-1.0_f64).to_le_bytes());
         assert!(CoefficientSketch::from_bytes(&bad).is_err());
+        // Presence-bitmap bits beyond the level count must be clear (the
+        // sketch has 3 levels, so bits 3..8 of byte 41 are reserved).
+        let mut bad = bytes.clone();
+        bad[41] |= 1 << 5;
+        assert!(CoefficientSketch::from_bytes(&bad).is_err());
+    }
+
+    #[test]
+    fn level_versions_track_mutations() {
+        let mut sketch =
+            CoefficientSketch::new(WaveletFamily::Symmlet(8), (0.0, 1.0), 1, 4).unwrap();
+        assert!(sketch.detail_versions().iter().all(|&v| v == 0));
+        sketch.push_batch(&sample(32, 11));
+        let after_one = sketch.detail_versions();
+        assert!(after_one.iter().all(|&v| v == 1));
+        sketch.push_batch(&sample(32, 12));
+        assert!(sketch.detail_versions().iter().all(|&v| v == 2));
+        // Merging an untouched sketch is a no-op and must not move stamps.
+        let empty = CoefficientSketch::new(WaveletFamily::Symmlet(8), (0.0, 1.0), 1, 4).unwrap();
+        sketch.merge(&empty).unwrap();
+        assert!(sketch.detail_versions().iter().all(|&v| v == 2));
+        // Merging real data adds the other sketch's stamps.
+        let mut other =
+            CoefficientSketch::new(WaveletFamily::Symmlet(8), (0.0, 1.0), 1, 4).unwrap();
+        other.push_batch(&sample(16, 13));
+        sketch.merge(&other).unwrap();
+        assert!(sketch.detail_versions().iter().all(|&v| v == 3));
+    }
+
+    #[test]
+    fn copy_from_reproduces_the_source_state() {
+        let mut source = CoefficientSketch::sized_for(400).unwrap();
+        source.push_batch(&sample(400, 14));
+        let mut target = CoefficientSketch::sized_for(400).unwrap();
+        target.push_batch(&sample(100, 15)); // stale contents to overwrite
+        let stale_versions = target.detail_versions();
+        target.copy_from(&source).unwrap();
+        assert_eq!(target.count(), source.count());
+        // The target keeps its own lineage, so its stamps must advance
+        // strictly past both its stale state and the copied source.
+        for ((new, old), src) in target
+            .detail_versions()
+            .iter()
+            .zip(&stale_versions)
+            .zip(source.detail_versions())
+        {
+            assert!(
+                *new > *old && *new >= src,
+                "{new} vs stale {old} / source {src}"
+            );
+        }
+        let a = target.estimate(ThresholdRule::Soft).unwrap();
+        let b = source.estimate(ThresholdRule::Soft).unwrap();
+        for i in 0..=50 {
+            let x = i as f64 / 50.0;
+            assert_eq!(a.evaluate(x), b.evaluate(x));
+        }
+        // Incompatible targets are rejected untouched.
+        let mut incompatible =
+            CoefficientSketch::new(WaveletFamily::Haar, (0.0, 1.0), 0, 1).unwrap();
+        assert!(matches!(
+            incompatible.copy_from(&source).unwrap_err(),
+            EstimatorError::IncompatibleSketches { .. }
+        ));
+    }
+
+    #[test]
+    fn estimate_with_cache_matches_plain_estimate() {
+        let mut sketch = CoefficientSketch::sized_for(600).unwrap();
+        let mut cache = crate::cv::CvCache::new();
+        let data = sample(720, 16);
+        sketch.push_batch(&data[..600]);
+        for (i, chunk) in data[600..].chunks(24).enumerate() {
+            let cached = sketch
+                .estimate_with_cache(ThresholdRule::Soft, &mut cache)
+                .unwrap();
+            let full = sketch.estimate(ThresholdRule::Soft).unwrap();
+            assert_eq!(cached.highest_level(), full.highest_level(), "batch {i}");
+            assert_eq!(cached.thresholds(), full.thresholds(), "batch {i}");
+            for j in 0..=60 {
+                let x = j as f64 / 60.0;
+                assert_eq!(cached.evaluate(x), full.evaluate(x), "batch {i}, x = {x}");
+            }
+            sketch.push_batch(chunk);
+        }
+    }
+
+    /// Regression: two same-shaped sketches with coincidentally equal
+    /// version stamps and sample sizes must never alias in a shared
+    /// `CvCache` — each sketch instance carries a unique lineage tag, so
+    /// the cache discards results cached for a different sketch.
+    #[test]
+    fn shared_cv_cache_never_aliases_distinct_sketches() {
+        let mut cache = crate::cv::CvCache::new();
+        let mut a = CoefficientSketch::sized_for(300).unwrap();
+        a.push_batch(&sample(300, 21));
+        let mut b = CoefficientSketch::sized_for(300).unwrap();
+        b.push_batch(&sample(300, 22));
+        // Same shape, same count, identical (all-1) version stamps.
+        assert_eq!(a.detail_versions(), b.detail_versions());
+        assert_eq!(a.count(), b.count());
+        for _ in 0..2 {
+            for sketch in [&a, &b] {
+                let cached = sketch
+                    .estimate_with_cache(ThresholdRule::Soft, &mut cache)
+                    .unwrap();
+                let full = sketch.estimate(ThresholdRule::Soft).unwrap();
+                assert_eq!(cached.thresholds(), full.thresholds());
+                for i in 0..=40 {
+                    let x = i as f64 / 40.0;
+                    assert_eq!(cached.evaluate(x), full.evaluate(x), "x = {x}");
+                }
+            }
+        }
+        // A clone is a distinct instance too: diverging it and reusing the
+        // original's cache must not replay the original's selections.
+        let mut c = a.clone();
+        c.push_batch(&sample(1, 23));
+        let mut c2 = a.clone();
+        c2.push_batch(&sample(1, 24));
+        assert_eq!(c.detail_versions(), c2.detail_versions());
+        for sketch in [&c, &c2] {
+            let cached = sketch
+                .estimate_with_cache(ThresholdRule::Soft, &mut cache)
+                .unwrap();
+            let full = sketch.estimate(ThresholdRule::Soft).unwrap();
+            assert_eq!(cached.thresholds(), full.thresholds());
+        }
+    }
+
+    #[test]
+    fn inactive_tail_compaction_is_lossless_and_much_smaller() {
+        // Smooth data at a generous level range: the CV zeroes out every
+        // fine level, so the inactive tail dominates the dense frame.
+        let mut sketch = CoefficientSketch::sized_for(4096).unwrap();
+        sketch.push_batch(&sample(4096, 17));
+        for rule in [ThresholdRule::Soft, ThresholdRule::Hard] {
+            let compacted = sketch
+                .compact(CompactionPolicy::InactiveTail, rule)
+                .unwrap();
+            assert!(compacted.max_level() < sketch.max_level());
+            assert_eq!(compacted.count(), sketch.count());
+            let dense_bytes = sketch.to_bytes().len();
+            let compact_bytes = compacted.to_bytes().len();
+            assert!(
+                compact_bytes * 5 <= dense_bytes,
+                "{rule:?}: {compact_bytes} vs dense {dense_bytes}"
+            );
+            // Ship and restore: the estimate is pointwise identical, with
+            // identical thresholds over the retained levels and the same ĵ1.
+            let restored = CoefficientSketch::from_bytes(&compacted.to_bytes()).unwrap();
+            let original = sketch.estimate(rule).unwrap();
+            let roundtrip = restored.estimate(rule).unwrap();
+            assert_eq!(original.highest_level(), roundtrip.highest_level());
+            for (a, b) in roundtrip
+                .thresholds()
+                .levels
+                .iter()
+                .zip(&original.thresholds().levels)
+            {
+                assert_eq!(a, b);
+            }
+            for i in 0..=200 {
+                let x = i as f64 / 200.0;
+                assert_eq!(original.evaluate(x), roundtrip.evaluate(x), "x = {x}");
+            }
+        }
+        // Dense policy is the identity.
+        let dense = sketch
+            .compact(CompactionPolicy::Dense, ThresholdRule::Soft)
+            .unwrap();
+        assert_eq!(dense.max_level(), sketch.max_level());
+    }
+
+    #[test]
+    fn byte_budget_compaction_fits_the_budget_best_effort() {
+        let mut sketch = CoefficientSketch::sized_for(2048).unwrap();
+        sketch.push_batch(&sample(2048, 18));
+        let inactive = sketch
+            .compact(CompactionPolicy::InactiveTail, ThresholdRule::Soft)
+            .unwrap();
+        let budget = inactive.to_bytes().len() / 2;
+        let squeezed = sketch
+            .compact(
+                CompactionPolicy::ByteBudget { max_bytes: budget },
+                ThresholdRule::Soft,
+            )
+            .unwrap();
+        assert!(squeezed.to_bytes().len() <= budget, "budget {budget}");
+        assert!(squeezed.max_level() < inactive.max_level());
+        // An unsatisfiable budget still keeps the scaling level and one
+        // detail level (best effort, documented).
+        let minimal = sketch
+            .compact(
+                CompactionPolicy::ByteBudget { max_bytes: 1 },
+                ThresholdRule::Soft,
+            )
+            .unwrap();
+        assert_eq!(minimal.max_level(), minimal.coarse_level());
+        assert!(minimal.estimate(ThresholdRule::Soft).is_ok());
+        // Compaction of an empty sketch is a structural no-op.
+        let empty = CoefficientSketch::sized_for(128).unwrap();
+        let compacted = empty
+            .compact(CompactionPolicy::InactiveTail, ThresholdRule::Soft)
+            .unwrap();
+        assert_eq!(compacted.max_level(), empty.max_level());
+    }
+
+    #[test]
+    fn v1_frames_are_still_readable() {
+        let mut sketch =
+            CoefficientSketch::new(WaveletFamily::Symmlet(8), (0.0, 1.0), 1, 6).unwrap();
+        sketch.push_batch(&sample(300, 19));
+        let v1 = sketch.to_bytes_v1();
+        let v2 = sketch.to_bytes();
+        assert_eq!(u16::from_le_bytes([v1[4], v1[5]]), 1);
+        assert_eq!(u16::from_le_bytes([v2[4], v2[5]]), 2);
+        let from_v1 = CoefficientSketch::from_bytes(&v1).unwrap();
+        let from_v2 = CoefficientSketch::from_bytes(&v2).unwrap();
+        assert_eq!(from_v1.count(), sketch.count());
+        let a = from_v1.estimate(ThresholdRule::Soft).unwrap();
+        let b = from_v2.estimate(ThresholdRule::Soft).unwrap();
+        let c = sketch.estimate(ThresholdRule::Soft).unwrap();
+        for i in 0..=100 {
+            let x = i as f64 / 100.0;
+            assert_eq!(a.evaluate(x), c.evaluate(x), "v1 mismatch at {x}");
+            assert_eq!(b.evaluate(x), c.evaluate(x), "v2 mismatch at {x}");
+        }
+        // v1 truncations are rejected like v2 ones.
+        for len in [0, 10, 40, v1.len() - 1] {
+            assert!(CoefficientSketch::from_bytes(&v1[..len]).is_err());
+        }
+    }
+
+    #[test]
+    fn empty_and_zero_levels_serialize_as_absent() {
+        // An empty sketch is all presence bits cleared: header + bitmap.
+        let empty = CoefficientSketch::new(WaveletFamily::Symmlet(8), (0.0, 1.0), 1, 9).unwrap();
+        let bytes = empty.to_bytes();
+        assert!(
+            bytes.len() < 64,
+            "empty sketch frame should be tiny, got {} bytes",
+            bytes.len()
+        );
+        let restored = CoefficientSketch::from_bytes(&bytes).unwrap();
+        assert!(restored.is_empty());
+        assert_eq!(restored.max_level(), 9);
+        // The dense v1 frame of the same empty sketch ships every zero.
+        assert!(empty.to_bytes_v1().len() > 10_000);
     }
 
     #[test]

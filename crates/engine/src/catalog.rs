@@ -13,7 +13,7 @@
 use crate::synopsis::{AttributeSynopsis, RefreshedSynopsis, SynopsisConfig};
 use std::collections::BTreeMap;
 use std::sync::{Arc, RwLock};
-use wavedens_core::EstimatorError;
+use wavedens_core::{CompactionPolicy, EstimatorError};
 
 /// Errors raised by the catalog.
 #[derive(Debug, Clone, PartialEq)]
@@ -128,9 +128,19 @@ impl SynopsisCatalog {
     }
 
     /// Estimated selectivity `P(lo ≤ X ≤ hi)` for a registered attribute
-    /// (0 while the attribute has no rows).
+    /// (0 while the attribute has no rows). Uses the fallible
+    /// [`AttributeSynopsis::try_selectivity`], so a failed synopsis
+    /// rebuild surfaces as [`EngineError::Estimator`] instead of silently
+    /// answering 0.
     pub fn selectivity(&self, name: &str, lo: f64, hi: f64) -> Result<f64, EngineError> {
-        Ok(self.resolve(name)?.selectivity(lo, hi))
+        Ok(self.resolve(name)?.try_selectivity(lo, hi)?)
+    }
+
+    /// Serializes a registered attribute's merged, `policy`-compacted
+    /// sketch to the binary wire frame ([`AttributeSynopsis::ship`]) for
+    /// shipping to another node.
+    pub fn ship(&self, name: &str, policy: CompactionPolicy) -> Result<Vec<u8>, EngineError> {
+        Ok(self.resolve(name)?.ship(policy)?)
     }
 
     /// The refreshed synopsis of a registered attribute (`None` while it
@@ -230,6 +240,22 @@ mod tests {
         assert!(p > 0.9, "peaked selectivity {p}");
         assert_eq!(catalog.total_rows(), 4096);
         assert_eq!(catalog.names(), vec!["peaked", "uniform"]);
+    }
+
+    #[test]
+    fn shipping_an_attribute_round_trips_compactly() {
+        let catalog = SynopsisCatalog::new();
+        catalog.register("x", small_config()).unwrap();
+        catalog.ingest("x", &sample(2048, 5)).unwrap();
+        let frame = catalog.ship("x", CompactionPolicy::InactiveTail).unwrap();
+        let restored = wavedens_core::CoefficientSketch::from_bytes(&frame).unwrap();
+        assert_eq!(restored.count(), 2048);
+        assert!(matches!(
+            catalog
+                .ship("missing", CompactionPolicy::Dense)
+                .unwrap_err(),
+            EngineError::UnknownAttribute { .. }
+        ));
     }
 
     #[test]

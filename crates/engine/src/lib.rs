@@ -50,3 +50,7 @@ pub mod synopsis;
 pub use catalog::{EngineError, SynopsisCatalog};
 pub use sharded::ShardedIngest;
 pub use synopsis::{AttributeSynopsis, RefreshedSynopsis, SynopsisConfig};
+
+// Re-exported so engine users can pick a shipping policy without a direct
+// `wavedens_core` dependency.
+pub use wavedens_core::CompactionPolicy;

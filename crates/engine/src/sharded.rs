@@ -108,6 +108,23 @@ impl ShardedIngest {
         }
         Ok(merged)
     }
+
+    /// [`merged`](Self::merged) into a caller-provided scratch sketch,
+    /// reusing its allocations instead of cloning every shard — the
+    /// allocation-free merge path of the engine's incremental refresh.
+    /// `target` must be compatible with the shard template (any previous
+    /// merge result is); its prior contents are overwritten.
+    pub fn merge_into(&self, target: &mut CoefficientSketch) -> Result<(), EstimatorError> {
+        {
+            let first = self.shards[0].lock().expect("shard poisoned");
+            target.copy_from(&first)?;
+        }
+        for shard in &self.shards[1..] {
+            let snapshot = shard.lock().expect("shard poisoned");
+            target.merge(&snapshot)?;
+        }
+        Ok(())
+    }
 }
 
 impl Clone for ShardedIngest {

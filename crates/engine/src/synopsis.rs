@@ -5,8 +5,8 @@ use crate::sharded::ShardedIngest;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
 use wavedens_core::{
-    CoefficientSketch, CumulativeEstimate, EstimatorError, ThresholdRule, WaveletDensityEstimate,
-    DEFAULT_CDF_POINTS,
+    CoefficientSketch, CompactionPolicy, CumulativeEstimate, CvCache, DenseEvalCache,
+    EstimatorError, ThresholdRule, WaveletDensityEstimate, DEFAULT_CDF_POINTS,
 };
 
 /// Configuration of an [`AttributeSynopsis`].
@@ -84,6 +84,29 @@ impl RefreshedSynopsis {
         })
     }
 
+    /// The delta-aware variant of [`build`](Self::build): runs the
+    /// cross-validation through a [`CvCache`] (unchanged levels skip the
+    /// candidate scan, dirty levels repair the previous order instead of
+    /// re-sorting) and the CDF construction through a [`DenseEvalCache`]
+    /// (basis-function values on the fixed grid are interpolated once and
+    /// replayed). Bitwise identical to `build` for any cache state; this
+    /// is what the engine's incremental refresh calls with the caches it
+    /// keeps across rebuilds.
+    pub fn build_cached(
+        sketch: &CoefficientSketch,
+        rule: ThresholdRule,
+        cdf_points: usize,
+        cv: &mut CvCache,
+        dense: &mut DenseEvalCache,
+    ) -> Result<Self, EstimatorError> {
+        let density = sketch.estimate_with_cache(rule, cv)?;
+        let cumulative = density.cumulative_cached(cdf_points, dense);
+        Ok(Self {
+            density,
+            cumulative,
+        })
+    }
+
     /// The thresholded density estimate.
     pub fn density(&self) -> &WaveletDensityEstimate {
         &self.density
@@ -94,10 +117,15 @@ impl RefreshedSynopsis {
         &self.cumulative
     }
 
-    /// Estimated selectivity `P(lo ≤ X ≤ hi)`, clamped to `[0, 1]`;
-    /// O(1) from the CDF table.
+    /// Estimated selectivity `P(lo ≤ X ≤ hi)`; O(1) from the CDF table.
+    ///
+    /// The range mass is normalized by the table's total mass
+    /// ([`CumulativeEstimate::selectivity`]): an oscillating wavelet
+    /// estimate (or a truncated support) makes the tabulated mass drift
+    /// from 1, and the raw range mass would then be biased by exactly that
+    /// drift — and could even exceed 1.
     pub fn selectivity(&self, lo: f64, hi: f64) -> f64 {
-        self.cumulative.range_mass(lo, hi).clamp(0.0, 1.0)
+        self.cumulative.selectivity(lo, hi)
     }
 }
 
@@ -106,6 +134,17 @@ impl RefreshedSynopsis {
 struct CachedSynopsis {
     epoch: u64,
     synopsis: Arc<RefreshedSynopsis>,
+}
+
+/// State owned by whichever thread holds the rebuild guard: the scratch
+/// sketch the shards are merged into (allocated once, reused every
+/// refresh) and the cross-validation cache that lets unchanged levels skip
+/// the candidate scan and dirty levels re-sort incrementally.
+#[derive(Debug, Default)]
+struct RefreshState {
+    scratch: Option<CoefficientSketch>,
+    cv: CvCache,
+    dense: DenseEvalCache,
 }
 
 /// One attribute's synopsis: a sharded sketch filled by writers plus an
@@ -139,8 +178,10 @@ pub struct AttributeSynopsis {
     epoch: AtomicU64,
     cache: RwLock<Option<CachedSynopsis>>,
     /// Serialises rebuilds; readers `try_lock` it so at most one becomes
-    /// the rebuilder while the rest serve the previous snapshot.
-    rebuild_guard: Mutex<()>,
+    /// the rebuilder while the rest serve the previous snapshot. The
+    /// rebuilder also gets the incremental [`RefreshState`] (scratch
+    /// sketch + CV cache) that makes repeated refreshes cheap.
+    rebuild_guard: Mutex<RefreshState>,
     rebuilds: AtomicUsize,
 }
 
@@ -154,7 +195,7 @@ impl AttributeSynopsis {
             cdf_points: config.cdf_points.max(2),
             epoch: AtomicU64::new(0),
             cache: RwLock::new(None),
-            rebuild_guard: Mutex::new(()),
+            rebuild_guard: Mutex::new(RefreshState::default()),
             rebuilds: AtomicUsize::new(0),
         })
     }
@@ -216,6 +257,34 @@ impl AttributeSynopsis {
         self.shards.merged()
     }
 
+    /// The merged accumulation state compacted under `policy` with this
+    /// synopsis' thresholding rule — the sketch to serialize when shipping
+    /// the attribute to another node (see
+    /// [`CoefficientSketch::compact`]: the default
+    /// [`CompactionPolicy::InactiveTail`] is lossless).
+    pub fn compacted_sketch(
+        &self,
+        policy: CompactionPolicy,
+    ) -> Result<CoefficientSketch, EstimatorError> {
+        self.merged_sketch()?.compact(policy, self.rule)
+    }
+
+    /// Serializes the merged, `policy`-compacted accumulation state to the
+    /// binary wire frame — what one node sends another so the sketch can
+    /// be [`CoefficientSketch::from_bytes`]-restored and merged (or
+    /// estimated) where it lands.
+    pub fn ship(&self, policy: CompactionPolicy) -> Result<Vec<u8>, EstimatorError> {
+        Ok(self.compacted_sketch(policy)?.to_bytes())
+    }
+
+    /// The number of completed ingest batches (the staleness clock the
+    /// refresh cache is keyed to). Exposed for observability and for
+    /// race-regression tests: a consistent synopsis never reports an epoch
+    /// ahead of the batches its shards actually contain.
+    pub fn ingest_epoch(&self) -> u64 {
+        self.epoch.load(Ordering::Acquire)
+    }
+
     /// The current refreshed synopsis, rebuilding at most once if the
     /// cache is stale; `None` when no rows have been ingested yet.
     ///
@@ -234,7 +303,7 @@ impl AttributeSynopsis {
             }
         }
         match self.rebuild_guard.try_lock() {
-            Ok(_guard) => self.rebuild(),
+            Ok(mut state) => self.rebuild_locked(&mut state),
             Err(std::sync::TryLockError::WouldBlock) => {
                 // Another thread is rebuilding: serve the previous
                 // snapshot if one exists…
@@ -242,8 +311,8 @@ impl AttributeSynopsis {
                     return Ok(Some(Arc::clone(&cached.synopsis)));
                 }
                 // …otherwise this is the very first build: wait for it.
-                let _guard = self.rebuild_guard.lock().expect("rebuild guard poisoned");
-                self.rebuild()
+                let mut state = self.rebuild_guard.lock().expect("rebuild guard poisoned");
+                self.rebuild_locked(&mut state)
             }
             Err(std::sync::TryLockError::Poisoned(err)) => {
                 panic!("rebuild guard poisoned: {err}")
@@ -251,9 +320,15 @@ impl AttributeSynopsis {
         }
     }
 
-    /// Rebuilds the cache if still stale. Caller must hold
-    /// `rebuild_guard`.
-    fn rebuild(&self) -> Result<Option<Arc<RefreshedSynopsis>>, EstimatorError> {
+    /// Rebuilds the cache if still stale, incrementally: the shards merge
+    /// into the guard-owned scratch sketch (no allocation after the first
+    /// refresh) and cross-validation runs through the guard-owned
+    /// [`CvCache`], so only the levels dirtied since the previous refresh
+    /// pay a full candidate re-sort. Caller must hold `rebuild_guard`.
+    fn rebuild_locked(
+        &self,
+        state: &mut RefreshState,
+    ) -> Result<Option<Arc<RefreshedSynopsis>>, EstimatorError> {
         let epoch = self.epoch.load(Ordering::Acquire);
         {
             let cache = self.cache.read().expect("synopsis cache poisoned");
@@ -263,14 +338,22 @@ impl AttributeSynopsis {
                 }
             }
         }
-        let sketch = self.shards.merged()?;
+        let sketch = match state.scratch.as_mut() {
+            Some(scratch) => {
+                self.shards.merge_into(scratch)?;
+                &*scratch
+            }
+            None => state.scratch.insert(self.shards.merged()?),
+        };
         if sketch.is_empty() {
             return Ok(None);
         }
-        let built = Arc::new(RefreshedSynopsis::build(
-            &sketch,
+        let built = Arc::new(RefreshedSynopsis::build_cached(
+            sketch,
             self.rule,
             self.cdf_points,
+            &mut state.cv,
+            &mut state.dense,
         )?);
         self.rebuilds.fetch_add(1, Ordering::Relaxed);
         *self.cache.write().expect("synopsis cache poisoned") = Some(CachedSynopsis {
@@ -281,15 +364,25 @@ impl AttributeSynopsis {
     }
 
     /// Estimated selectivity `P(lo ≤ X ≤ hi)` from the (lazily refreshed)
-    /// CDF table; 0 while no rows have been ingested.
+    /// CDF table; 0 while no rows have been ingested. Rebuild failures
+    /// surface as the error (this is what [`crate::SynopsisCatalog`]
+    /// calls, so estimator errors propagate to the query instead of being
+    /// silently mapped to 0).
+    pub fn try_selectivity(&self, lo: f64, hi: f64) -> Result<f64, EstimatorError> {
+        Ok(match self.refreshed()? {
+            Some(synopsis) => synopsis.selectivity(lo, hi),
+            None => 0.0,
+        })
+    }
+
+    /// Infallible wrapper over [`try_selectivity`](Self::try_selectivity).
     ///
     /// Estimation failures other than the empty-sample case indicate an
     /// internal inconsistency: they trip a debug assertion and answer 0 in
     /// release builds, mirroring the core estimator's fallback policy.
     pub fn selectivity(&self, lo: f64, hi: f64) -> f64 {
-        match self.refreshed() {
-            Ok(Some(synopsis)) => synopsis.selectivity(lo, hi),
-            Ok(None) => 0.0,
+        match self.try_selectivity(lo, hi) {
+            Ok(selectivity) => selectivity,
             Err(err) => {
                 debug_assert!(false, "synopsis refresh failed unexpectedly: {err}");
                 0.0
@@ -300,13 +393,20 @@ impl AttributeSynopsis {
 
 impl Clone for AttributeSynopsis {
     fn clone(&self) -> Self {
+        // Load the epoch *before* cloning the shards: an ingest landing in
+        // between then leaves the clone's epoch behind its shard data,
+        // which merely costs one conservative rebuild. The opposite order
+        // produced a clone whose epoch claimed coverage of a batch its
+        // shards never saw — its cache, once rebuilt at that epoch, served
+        // a stale estimate forever.
+        let epoch = self.epoch.load(Ordering::Acquire);
         Self {
             shards: self.shards.clone(),
             rule: self.rule,
             cdf_points: self.cdf_points,
-            epoch: AtomicU64::new(self.epoch.load(Ordering::Acquire)),
+            epoch: AtomicU64::new(epoch),
             cache: RwLock::new(self.cache.read().expect("synopsis cache poisoned").clone()),
-            rebuild_guard: Mutex::new(()),
+            rebuild_guard: Mutex::new(RefreshState::default()),
             rebuilds: AtomicUsize::new(self.rebuild_count()),
         }
     }
@@ -393,6 +493,117 @@ mod tests {
         assert_eq!(clone.rows(), 512);
         assert_eq!(clone.selectivity(0.2, 0.7), s);
         assert_eq!(clone.rebuild_count(), 1, "clone reuses the cached CDF");
+    }
+
+    /// Regression for the clone/ingest epoch race: the old `Clone` cloned
+    /// the shards *before* loading the epoch, so an ingest landing in
+    /// between produced a clone whose epoch claimed coverage of a batch
+    /// its shards never saw — and whose cache, once rebuilt at that epoch,
+    /// served a stale estimate forever. With the epoch loaded first the
+    /// invariant below holds across every interleaving: each single-row
+    /// ingest bumps the epoch *after* the row lands, so a consistent
+    /// clone's epoch never exceeds the rows its shards contain.
+    #[test]
+    fn clone_epoch_never_claims_unseen_batches() {
+        let synopsis = Arc::new(AttributeSynopsis::new(&config(2)).unwrap());
+        synopsis.ingest(&sample(256, 6));
+        let stop = std::sync::atomic::AtomicBool::new(false);
+        std::thread::scope(|scope| {
+            let writer = {
+                let synopsis = Arc::clone(&synopsis);
+                let stop = &stop;
+                scope.spawn(move || {
+                    let rows = sample(4096, 7);
+                    for row in rows {
+                        if stop.load(Ordering::Acquire) {
+                            break;
+                        }
+                        synopsis.ingest(std::slice::from_ref(&row));
+                    }
+                })
+            };
+            for _ in 0..200 {
+                let clone = synopsis.clone();
+                // Batches are single rows and the epoch is bumped after
+                // the push, so epoch ≤ rows at every consistent snapshot.
+                let epoch = clone.ingest_epoch();
+                let rows = clone.rows() as u64;
+                assert!(
+                    epoch <= rows,
+                    "clone epoch {epoch} claims more single-row batches than \
+                     its shards contain ({rows})"
+                );
+            }
+            stop.store(true, Ordering::Release);
+            writer.join().expect("writer");
+        });
+    }
+
+    #[test]
+    fn try_selectivity_exposes_the_fallible_path() {
+        let synopsis = AttributeSynopsis::new(&config(2)).unwrap();
+        assert_eq!(synopsis.try_selectivity(0.1, 0.9).unwrap(), 0.0);
+        synopsis.ingest(&sample(1024, 8));
+        let fallible = synopsis.try_selectivity(0.2, 0.8).unwrap();
+        let infallible = synopsis.selectivity(0.2, 0.8);
+        assert_eq!(fallible, infallible);
+        assert!((0.0..=1.0).contains(&fallible));
+    }
+
+    #[test]
+    fn incremental_refresh_matches_a_cold_rebuild() {
+        // The same ingest history replayed into two synopses; one is
+        // refreshed after every batch (exercising the scratch + CV cache
+        // reuse), the other built cold at the end. Identical machinery ⇒
+        // identical answers, bit for bit.
+        let incremental = AttributeSynopsis::new(&config(1)).unwrap();
+        let cold = AttributeSynopsis::new(&config(1)).unwrap();
+        let data = sample(2048, 9);
+        for chunk in data.chunks(128) {
+            incremental.ingest(chunk);
+            incremental.refreshed().unwrap().unwrap();
+            cold.ingest(chunk);
+        }
+        assert!(incremental.rebuild_count() >= 10);
+        for (lo, hi) in [(0.0, 0.3), (0.25, 0.5), (0.1, 0.95), (0.0, 1.0)] {
+            assert_eq!(
+                incremental.selectivity(lo, hi),
+                cold.selectivity(lo, hi),
+                "[{lo}, {hi}]"
+            );
+        }
+        assert_eq!(cold.rebuild_count(), 1);
+    }
+
+    #[test]
+    fn shipped_frames_are_compacted_and_lossless() {
+        let synopsis = AttributeSynopsis::new(
+            &SynopsisConfig::default()
+                .with_expected_rows(4096)
+                .with_shards(2),
+        )
+        .unwrap();
+        synopsis.ingest_parallel(&sample(4096, 10));
+        let dense = synopsis.merged_sketch().unwrap();
+        let shipped = synopsis.ship(CompactionPolicy::InactiveTail).unwrap();
+        assert!(
+            shipped.len() * 5 <= dense.to_bytes_v1().len(),
+            "shipped {} bytes vs dense {}",
+            shipped.len(),
+            dense.to_bytes_v1().len()
+        );
+        let restored = CoefficientSketch::from_bytes(&shipped).unwrap();
+        let a = restored.estimate(synopsis.rule()).unwrap();
+        let b = dense.estimate(synopsis.rule()).unwrap();
+        for i in 0..=100 {
+            let x = i as f64 / 100.0;
+            assert_eq!(a.evaluate(x), b.evaluate(x), "x = {x}");
+        }
+        // The compacted sketch is also directly inspectable.
+        let compacted = synopsis
+            .compacted_sketch(CompactionPolicy::InactiveTail)
+            .unwrap();
+        assert!(compacted.max_level() < dense.max_level());
     }
 
     #[test]

@@ -41,7 +41,7 @@ pub use wavedens_wavelets as wavelets;
 /// Convenience re-exports of the most commonly used items.
 pub mod prelude {
     pub use wavedens_core::{
-        CoefficientSketch, CumulativeEstimate, Grid, KernelDensityEstimator,
+        CoefficientSketch, CompactionPolicy, CumulativeEstimate, Grid, KernelDensityEstimator,
         StreamingWaveletEstimator, ThresholdRule, ThresholdSelection, WaveletDensityEstimate,
         WaveletDensityEstimator,
     };
