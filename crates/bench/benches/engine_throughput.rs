@@ -1,7 +1,8 @@
-//! Throughput benchmark of the multi-attribute synopsis engine: sharded
-//! ingest scaling over the 1-shard baseline, plus a mixed workload where
-//! range queries are served concurrently with ingest bursts and synopsis
-//! rebuilds.
+//! Throughput benchmark of the multi-attribute synopsis engine: the
+//! single-thread strided-gather ingest fast path against the scalar
+//! reference scatter, sharded ingest scaling over the 1-shard baseline,
+//! plus a mixed workload where range queries are served concurrently with
+//! ingest bursts and synopsis rebuilds.
 //!
 //! Besides the usual Criterion timings, the run writes the headline
 //! numbers to `BENCH_engine_throughput.json` at the repository root so
@@ -40,6 +41,30 @@ fn min_seconds(mut routine: impl FnMut()) -> f64 {
 fn engine_throughput(c: &mut Criterion) {
     let data = paper_sample(ROWS, 41);
     let template = CoefficientSketch::sized_for(ROWS).expect("template");
+
+    // Phase 0 — single-thread ingest fast path: the strided-gather
+    // `push_batch` against the scalar per-translation reference
+    // (`push_batch_scalar`), identical sketch configuration and rows.
+    // This isolates the basis-evaluation speedup from sharding and merge
+    // effects, so it is comparable across runners of any core count.
+    let scalar_seconds = min_seconds(|| {
+        let mut sketch = template.clone();
+        sketch.push_batch_scalar(&data);
+        black_box(sketch.count());
+    });
+    let fast_seconds = min_seconds(|| {
+        let mut sketch = template.clone();
+        sketch.push_batch(&data);
+        black_box(sketch.count());
+    });
+    let fast_path_speedup = scalar_seconds / fast_seconds;
+    println!(
+        "single-thread ingest of {ROWS} rows: scalar {scalar_seconds:.4} s \
+         ({:.0} rows/s), gather fast path {fast_seconds:.4} s ({:.0} rows/s) \
+         — {fast_path_speedup:.2}×",
+        ROWS as f64 / scalar_seconds,
+        ROWS as f64 / fast_seconds,
+    );
 
     // Phase 1 — ingest scaling: the same bulk load through 1, 2 and 4
     // shards filled by scoped threads, merged at the end (the merge is
@@ -222,14 +247,26 @@ fn engine_throughput(c: &mut Criterion) {
         })
         .collect();
     // The shard threads can only spread over the cores the host grants;
-    // record that so the scaling factor is interpretable (a 1-core CI
-    // runner will honestly report ≈ 1×).
+    // record that — plus the wavelet family and table resolution the
+    // basis evaluation ran at — so runs on different machines (multi-core
+    // runners in particular) stay comparable. A 1-core CI runner will
+    // honestly report ≈ 1× shard scaling; the fast-path series is
+    // single-threaded and meaningful everywhere.
     let cores = std::thread::available_parallelism()
         .map(|p| p.get())
         .unwrap_or(1);
+    let family = template.basis().family().name();
+    let table_levels = template.basis().table().levels();
     let json = format!(
         "{{\n  \"bench\": \"engine_throughput\",\n  \"rows_per_attribute\": {ROWS},\n  \
          \"attributes\": {ATTRIBUTES},\n  \"available_parallelism\": {cores},\n  \
+         \"wavelet_family\": \"{family}\",\n  \"table_levels\": {table_levels},\n  \
+         \"ingest_fast_path\": {{\n    \"rows\": {ROWS},\n    \
+         \"scalar_seconds\": {scalar_seconds:.6},\n    \
+         \"scalar_rows_per_second\": {:.0},\n    \
+         \"fast_seconds\": {fast_seconds:.6},\n    \
+         \"fast_rows_per_second\": {:.0},\n    \
+         \"speedup\": {fast_path_speedup:.2}\n  }},\n  \
          \"ingest_scaling\": {{\n{}\n  }},\n  \
          \"best_shards\": {},\n  \"ingest_speedup_over_1_shard\": {speedup:.2},\n  \
          \"concurrent\": {{\n    \"queries\": {queries},\n    \"seconds\": {concurrent_seconds:.6},\n    \
@@ -244,6 +281,8 @@ fn engine_throughput(c: &mut Criterion) {
          \"full_cv_seconds\": {full_refresh_seconds:.6},\n    \
          \"incremental_seconds\": {incremental_refresh_seconds:.6},\n    \
          \"refresh_speedup\": {refresh_speedup:.2}\n  }}\n}}\n",
+        ROWS as f64 / scalar_seconds,
+        ROWS as f64 / fast_seconds,
         ingest_json.join(",\n"),
         best.0,
         queries as f64 / concurrent_seconds,

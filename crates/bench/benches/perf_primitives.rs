@@ -39,6 +39,34 @@ fn primitives(c: &mut Criterion) {
         })
     });
 
+    // The ingest fast path (strided gather, shared interpolation weights)
+    // against the scalar per-translation reference on the same sketch
+    // shape — the single-thread speedup `engine_throughput` records at
+    // scale.
+    let sketch_template =
+        wavedens_core::CoefficientSketch::new(WaveletFamily::Symmlet(8), (0.0, 1.0), 1, 10)
+            .unwrap();
+    group.bench_function("sketch_push_batch_gather_n1024", |b| {
+        b.iter_batched(
+            || sketch_template.clone(),
+            |mut sketch| {
+                sketch.push_batch(&data);
+                sketch
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    group.bench_function("sketch_push_batch_scalar_n1024", |b| {
+        b.iter_batched(
+            || sketch_template.clone(),
+            |mut sketch| {
+                sketch.push_batch_scalar(&data);
+                sketch
+            },
+            BatchSize::SmallInput,
+        )
+    });
+
     let coeffs =
         EmpiricalCoefficients::compute(Arc::clone(&basis), &data, (0.0, 1.0), 1, 10).unwrap();
     group.bench_function("cross_validation_n1024", |b| {

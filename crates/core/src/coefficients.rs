@@ -14,6 +14,15 @@
 //! Because `φ` and `ψ` are supported on `[0, 2N−1]`, each observation
 //! touches at most `2N−1` translations per level, so the computation runs
 //! in `O(n · (levels) · 2N)` time.
+//!
+//! The inner loop is the ingest-side twin of the query-side dense
+//! evaluation: where a query sweeps **one basis function over many grid
+//! points** (`WaveletTable::accumulate_phi/psi`), ingestion reads **one
+//! observation at many translations** (`WaveletTable::gather_phi/psi`).
+//! Both directions walk the `φ`/`ψ` table with a constant stride and
+//! amortised interpolation weights; the (crate-internal)
+//! `LevelAccumulator` packages the gather direction with the per-level
+//! dilation constants hoisted out of the per-translation loop.
 
 use crate::error::EstimatorError;
 use std::sync::Arc;
@@ -199,14 +208,29 @@ pub(crate) fn active_translations(
 /// [`crate::sketch::CoefficientSketch`] ingestion (and therefore of both
 /// the batch and the streaming coefficient paths layered on it).
 ///
-/// The per-level constants (`2^j`, the support length) are hoisted into
-/// the struct so that batched ingestion pays them once per level, not
-/// once per observation.
+/// The per-level dilation constants — `2^j`, `√(2^j)`, the support length
+/// — are hoisted into the struct so that batched ingestion pays them once
+/// per level, not once per `(observation, translation)` pair.
+///
+/// Two scatter paths are provided:
+///
+/// * [`scatter_chunk`](Self::scatter_chunk) — the production fast path:
+///   per observation one strided table **gather**
+///   ([`wavedens_wavelets::cascade::WaveletTable::gather_phi`]) reads it
+///   at every active translation with a shared interpolation weight, then
+///   value and value² scatter from the gather rows in one sweep. This is
+///   the ingest-side mirror image of the query-side
+///   `accumulate_phi`/`accumulate_psi` dense-evaluation primitive.
+/// * [`scatter`](Self::scatter) — the scalar reference implementation
+///   (one `φ_{j,k}`/`ψ_{j,k}` evaluation per translation, re-deriving the
+///   dilation constants per call exactly like pointwise evaluation does).
+///   Kept callable so equivalence tests can pin the fast path against it.
 pub(crate) struct LevelAccumulator<'a> {
     basis: &'a WaveletBasis,
     generator: Generator,
     level: i32,
     scale: f64,
+    sqrt_scale: f64,
     support: f64,
     k_start: i64,
 }
@@ -218,17 +242,21 @@ impl<'a> LevelAccumulator<'a> {
         level: i32,
         k_start: i64,
     ) -> Self {
+        let scale = (level as f64).exp2();
         Self {
             basis,
             generator,
             level,
-            scale: (level as f64).exp2(),
+            scale,
+            sqrt_scale: scale.sqrt(),
             support: basis.support_length(),
             k_start,
         }
     }
 
-    /// Adds `δ_{j,k}(x)` (and its square) to every affected translation.
+    /// Adds `δ_{j,k}(x)` (and its square) to every affected translation,
+    /// one basis-function evaluation per translation. Scalar reference
+    /// path; see [`scatter_chunk`](Self::scatter_chunk).
     pub(crate) fn scatter(&self, x: f64, sums: &mut [f64], sum_squares: &mut [f64]) {
         let position = self.scale * x;
         for k in active_translations(self.support, position, self.k_start, sums.len()) {
@@ -241,6 +269,115 @@ impl<'a> LevelAccumulator<'a> {
             sum_squares[idx] += value * value;
         }
     }
+
+    /// The gather fast path over a whole chunk of observations, in two
+    /// passes:
+    ///
+    /// 1. **Gather** — for each observation, one strided table read
+    ///    evaluates the mother function at every active translation into
+    ///    the observation's scratch row (shared fractional weight,
+    ///    constant stride). The reads of different observations are
+    ///    independent, so the pass runs at full memory-level parallelism
+    ///    instead of serialising one observation's table miss behind the
+    ///    previous one's scatter.
+    /// 2. **Scatter** — each row's `√(2^j)`-normalised values and their
+    ///    squares add into the running sums in one sweep per observation,
+    ///    again with independent read-modify-writes across rows.
+    ///
+    /// Matches [`scatter`](Self::scatter) to ≈ 1e-12 relative: the active
+    /// range comes from the same [`active_translations`] and the per-slot
+    /// accumulation order (observation order) is unchanged; only the
+    /// table argument is rounded once per observation (shared weight)
+    /// instead of once per translation. The equivalence suite in
+    /// `tests/ingest_fast_path.rs` pins the two paths against each other
+    /// across families, levels and batch slicings.
+    pub(crate) fn scatter_chunk(
+        &self,
+        xs: &[f64],
+        scratch: &mut ScatterScratch,
+        sums: &mut [f64],
+        sum_squares: &mut [f64],
+    ) {
+        let width = scratch.width;
+        debug_assert!(xs.len() <= scratch.spans.len());
+        let table = self.basis.table();
+        // Pass 1 — gather every observation's active window.
+        for ((&x, span), row) in xs
+            .iter()
+            .zip(scratch.spans.iter_mut())
+            .zip(scratch.values.chunks_mut(width))
+        {
+            let position = self.scale * x;
+            let range = active_translations(self.support, position, self.k_start, sums.len());
+            let (k_lo, k_hi) = (*range.start(), *range.end());
+            if k_lo > k_hi {
+                *span = (0, 0);
+                continue;
+            }
+            let count = (k_hi - k_lo + 1) as usize;
+            *span = ((k_lo - self.k_start) as u32, count as u32);
+            match self.generator {
+                Generator::Scaling => table.gather_phi(position, k_lo, &mut row[..count]),
+                Generator::Wavelet => table.gather_psi(position, k_lo, &mut row[..count]),
+            }
+        }
+        // Pass 2 — scatter value and value² from each row in one sweep.
+        for (&(offset, count), row) in scratch.spans[..xs.len()]
+            .iter()
+            .zip(scratch.values.chunks(width))
+        {
+            if count == 0 {
+                continue;
+            }
+            let (offset, count) = (offset as usize, count as usize);
+            let sums = &mut sums[offset..offset + count];
+            let squares = &mut sum_squares[offset..offset + count];
+            for ((sum, square), &raw) in sums.iter_mut().zip(squares.iter_mut()).zip(&row[..count])
+            {
+                let value = self.sqrt_scale * raw;
+                *sum += value;
+                *square += value * value;
+            }
+        }
+    }
+}
+
+/// Reusable buffers for [`LevelAccumulator::scatter_chunk`]: one gather
+/// row of [`max_active_translations`] slots per observation of a chunk,
+/// plus each observation's `(offset, count)` span within the level's
+/// translation window (`count == 0` marks an observation whose support
+/// misses the stored window entirely).
+#[derive(Debug)]
+pub(crate) struct ScatterScratch {
+    width: usize,
+    values: Vec<f64>,
+    spans: Vec<(u32, u32)>,
+}
+
+impl ScatterScratch {
+    /// Allocates scratch for chunks of up to `rows` observations against
+    /// `basis`.
+    pub(crate) fn new(basis: &WaveletBasis, rows: usize) -> Self {
+        let width = max_active_translations(basis);
+        Self {
+            width,
+            values: vec![0.0; width * rows],
+            spans: vec![(0, 0); rows],
+        }
+    }
+
+    /// Number of observations a chunk may hold.
+    pub(crate) fn rows(&self) -> usize {
+        self.spans.len()
+    }
+}
+
+/// Upper bound on how many translations a single observation can touch at
+/// one level — the gather-row width of [`ScatterScratch`]. The active
+/// range `position − support < k < position` never holds more than
+/// `⌈support⌉ + 1` integers.
+pub(crate) fn max_active_translations(basis: &WaveletBasis) -> usize {
+    basis.support_length().ceil() as usize + 1
 }
 
 #[cfg(test)]

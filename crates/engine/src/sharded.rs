@@ -9,16 +9,57 @@
 //! behind a [`Mutex`], writers touch exactly one shard per batch, and the
 //! merge at estimate time costs one element-wise vector addition per
 //! shard, independent of the number of rows ingested.
+//!
+//! # Short critical sections
+//!
+//! For batches worth the detour (`SCATTER_OUTSIDE_LOCK_MIN` rows or
+//! more), a writer does **not** evaluate basis functions while holding the
+//! shard lock. It first scatters the whole batch into a pooled scratch
+//! sketch — the expensive per-row, per-level, per-translation gather —
+//! and then locks the shard only for the element-wise add of the scratch
+//! sums ([`CoefficientSketch::merge`]), whose cost is proportional to the
+//! level table sizes, not to the batch length. Concurrent writers that
+//! land on the same shard therefore no longer serialize the basis
+//! evaluation, only the cheap vector addition. Small batches skip the
+//! detour: their in-lock scatter is already shorter than a full
+//! element-wise merge.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use wavedens_core::{CoefficientSketch, EstimatorError};
+
+/// Batch length from which [`ShardedIngest::ingest`] scatters outside the
+/// shard lock (into a pooled scratch sketch) and locks only for the
+/// element-wise add. Below it the whole batch is pushed under the lock:
+/// the scatter of a few dozen rows is cheaper than merging the full level
+/// tables, so the detour would lengthen the critical section instead of
+/// shrinking it.
+const SCATTER_OUTSIDE_LOCK_MIN: usize = 256;
+
+/// Minimum rows per scoped-thread chunk of
+/// [`ShardedIngest::ingest_parallel`]: spawning a thread for a handful of
+/// rows costs more than scattering them, so tiny bulk loads run inline (or
+/// on fewer threads than shards).
+const MIN_PARALLEL_CHUNK: usize = 256;
+
+/// Upper bound on pooled scratch sketches kept alive for the
+/// out-of-lock scatter path; more concurrent writers than this simply
+/// allocate (and drop) a scratch for the duration of their batch.
+const MAX_POOLED_SCRATCH: usize = 8;
 
 /// N per-shard sketches with round-robin batch placement and scoped-thread
 /// parallel bulk loads.
 #[derive(Debug)]
 pub struct ShardedIngest {
     shards: Vec<Mutex<CoefficientSketch>>,
+    /// Empty sketch the shards (and pooled scratches) are cloned from.
+    template: CoefficientSketch,
+    /// Cleared scratch sketches for the out-of-lock scatter path.
+    scratch: Mutex<Vec<CoefficientSketch>>,
+    /// Running total of ingested rows, bumped after each batch lands, so
+    /// [`total_count`](Self::total_count) (and the staleness checks built
+    /// on it) never has to take the N shard locks.
+    rows: AtomicUsize,
     next: AtomicUsize,
 }
 
@@ -39,6 +80,9 @@ impl ShardedIngest {
         let shards = shards.max(1);
         Ok(Self {
             shards: (0..shards).map(|_| Mutex::new(template.clone())).collect(),
+            template: template.clone(),
+            scratch: Mutex::new(Vec::new()),
+            rows: AtomicUsize::new(0),
             next: AtomicUsize::new(0),
         })
     }
@@ -48,15 +92,15 @@ impl ShardedIngest {
         self.shards.len()
     }
 
-    /// Total number of observations across all shards.
+    /// Total number of observations across all shards, read from the
+    /// atomic running counter — O(1) and lock-free, where it used to lock
+    /// every shard in turn. The counter is bumped after a batch's rows
+    /// have landed, so it never reports rows the shards do not contain.
     pub fn total_count(&self) -> usize {
-        self.shards
-            .iter()
-            .map(|shard| shard.lock().expect("shard poisoned").count())
-            .sum()
+        self.rows.load(Ordering::Acquire)
     }
 
-    /// Whether no shard has seen any observation.
+    /// Whether no shard has seen any observation (lock-free).
     pub fn is_empty(&self) -> bool {
         self.total_count() == 0
     }
@@ -64,19 +108,47 @@ impl ShardedIngest {
     /// Ingests one batch into a single shard, chosen round-robin so that
     /// concurrent writers spread across shards and rarely contend on the
     /// same mutex.
+    ///
+    /// Batches of `SCATTER_OUTSIDE_LOCK_MIN` rows or more scatter into a
+    /// pooled scratch sketch *before* taking the shard lock, which is then
+    /// held only for the element-wise add — see the module docs.
     pub fn ingest(&self, values: &[f64]) {
         if values.is_empty() {
             return;
         }
         let shard = self.next.fetch_add(1, Ordering::Relaxed) % self.shards.len();
-        self.shards[shard]
-            .lock()
-            .expect("shard poisoned")
-            .push_batch(values);
+        self.scatter_into_shard(shard, values);
+        self.rows.fetch_add(values.len(), Ordering::Release);
+    }
+
+    /// Lands one batch in `shard`: long batches scatter into a pooled
+    /// scratch sketch first and lock only for the element-wise merge,
+    /// short ones push directly under the lock (see the module docs).
+    fn scatter_into_shard(&self, shard: usize, values: &[f64]) {
+        if values.len() >= SCATTER_OUTSIDE_LOCK_MIN {
+            let mut local = self.take_scratch();
+            local.push_batch(values);
+            self.shards[shard]
+                .lock()
+                .expect("shard poisoned")
+                .merge(&local)
+                .expect("scratch is cloned from the shard template");
+            self.return_scratch(local);
+        } else {
+            self.shards[shard]
+                .lock()
+                .expect("shard poisoned")
+                .push_batch(values);
+        }
     }
 
     /// Bulk-loads `values` by splitting them into one contiguous chunk per
     /// shard and filling all shards concurrently with scoped threads.
+    ///
+    /// Chunks hold at least `MIN_PARALLEL_CHUNK` rows so tiny bulk loads
+    /// do not pay thread startup per handful of rows; with a single shard
+    /// — or when the whole load fits one chunk — the batch is scattered
+    /// inline on the calling thread, no thread spawned at all.
     ///
     /// Wall-clock ingest time scales with the number of cores (each shard
     /// performs the per-level scatter for its chunk only); the estimate
@@ -86,14 +158,26 @@ impl ShardedIngest {
         if values.is_empty() {
             return;
         }
-        let chunk = values.len().div_ceil(self.shards.len());
-        std::thread::scope(|scope| {
-            for (shard, slice) in self.shards.iter().zip(values.chunks(chunk)) {
-                scope.spawn(move || {
-                    shard.lock().expect("shard poisoned").push_batch(slice);
-                });
-            }
-        });
+        let chunk = values
+            .len()
+            .div_ceil(self.shards.len())
+            .max(MIN_PARALLEL_CHUNK);
+        if self.shards.len() == 1 || values.len() <= chunk {
+            // Inline, but still round-robin and still short-critical-
+            // section: a large single-shard load scatters outside the
+            // lock exactly like an `ingest` batch would.
+            let shard = self.next.fetch_add(1, Ordering::Relaxed) % self.shards.len();
+            self.scatter_into_shard(shard, values);
+        } else {
+            std::thread::scope(|scope| {
+                for (shard, slice) in self.shards.iter().zip(values.chunks(chunk)) {
+                    scope.spawn(move || {
+                        shard.lock().expect("shard poisoned").push_batch(slice);
+                    });
+                }
+            });
+        }
+        self.rows.fetch_add(values.len(), Ordering::Release);
     }
 
     /// Merges all shards into one sketch — the accumulation state a single
@@ -125,16 +209,45 @@ impl ShardedIngest {
         }
         Ok(())
     }
+
+    /// Pops a cleared scratch sketch from the pool, cloning the template
+    /// when the pool is dry (first use, or more concurrent writers than
+    /// pooled scratches).
+    fn take_scratch(&self) -> CoefficientSketch {
+        self.scratch
+            .lock()
+            .expect("scratch pool poisoned")
+            .pop()
+            .unwrap_or_else(|| self.template.clone())
+    }
+
+    /// Clears a scratch sketch (keeping its allocations) and returns it to
+    /// the pool, unless the pool is already full.
+    fn return_scratch(&self, mut sketch: CoefficientSketch) {
+        sketch.clear();
+        let mut pool = self.scratch.lock().expect("scratch pool poisoned");
+        if pool.len() < MAX_POOLED_SCRATCH {
+            pool.push(sketch);
+        }
+    }
 }
 
 impl Clone for ShardedIngest {
     fn clone(&self) -> Self {
+        // Clone the shard contents first so the row counter can be
+        // recomputed from exactly the cloned state: the clone is then
+        // self-consistent even if writers raced the per-shard locks.
+        let sketches: Vec<CoefficientSketch> = self
+            .shards
+            .iter()
+            .map(|shard| shard.lock().expect("shard poisoned").clone())
+            .collect();
+        let rows = sketches.iter().map(|sketch| sketch.count()).sum();
         Self {
-            shards: self
-                .shards
-                .iter()
-                .map(|shard| Mutex::new(shard.lock().expect("shard poisoned").clone()))
-                .collect(),
+            shards: sketches.into_iter().map(Mutex::new).collect(),
+            template: self.template.clone(),
+            scratch: Mutex::new(Vec::new()),
+            rows: AtomicUsize::new(rows),
             next: AtomicUsize::new(self.next.load(Ordering::Relaxed)),
         }
     }
@@ -184,6 +297,88 @@ mod tests {
         for shard in &sharded.shards {
             assert_eq!(shard.lock().unwrap().count(), 30);
         }
+        assert_eq!(sharded.total_count(), 90);
+    }
+
+    /// Batches long enough for the out-of-lock scatter path must land in
+    /// the shard sketches (via the element-wise merge) exactly like the
+    /// in-lock path lands short ones: merged state and running counter
+    /// both match a single-stream fit.
+    #[test]
+    fn scratch_merge_ingest_matches_single_stream() {
+        let data = sample(3 * SCATTER_OUTSIDE_LOCK_MIN + 57, 7);
+        let sharded = ShardedIngest::new(&template(1000), 2).unwrap();
+        // Mix of long batches (scratch path) and short ones (direct path).
+        let (long, rest) = data.split_at(2 * SCATTER_OUTSIDE_LOCK_MIN);
+        sharded.ingest(long);
+        for chunk in rest.chunks(40) {
+            sharded.ingest(chunk);
+        }
+        assert_eq!(sharded.total_count(), data.len());
+        let mut single = template(1000);
+        single.push_batch(&data);
+        let merged = sharded.merged().unwrap();
+        assert_eq!(merged.count(), single.count());
+        let a = merged.snapshot().unwrap();
+        let b = single.snapshot().unwrap();
+        for (la, lb) in
+            std::iter::once((a.scaling(), b.scaling())).chain(a.details().iter().zip(b.details()))
+        {
+            for (va, vb) in la.values.iter().zip(&lb.values) {
+                assert!((va - vb).abs() < 1e-12 * (1.0 + vb.abs()), "{va} vs {vb}");
+            }
+        }
+        // The scratch was cleared and pooled for reuse.
+        assert_eq!(sharded.scratch.lock().unwrap().len(), 1);
+        assert!(sharded.scratch.lock().unwrap()[0].is_empty());
+    }
+
+    /// The atomic counter stays exact under concurrent writers on both
+    /// ingest paths.
+    #[test]
+    fn total_count_is_exact_under_concurrent_ingest() {
+        let sharded = ShardedIngest::new(&template(2000), 3).unwrap();
+        let rows = sample(4000, 8);
+        std::thread::scope(|scope| {
+            for worker in 0..4 {
+                let sharded = &sharded;
+                let rows = &rows;
+                scope.spawn(move || {
+                    for chunk in rows[worker * 1000..(worker + 1) * 1000].chunks(300) {
+                        sharded.ingest(chunk);
+                    }
+                });
+            }
+        });
+        assert_eq!(sharded.total_count(), 4000);
+        assert_eq!(sharded.merged().unwrap().count(), 4000);
+    }
+
+    #[test]
+    fn small_parallel_loads_run_inline() {
+        // A load below the minimum chunk size lands on shard 0 without
+        // spawning; the other shards stay untouched.
+        let sharded = ShardedIngest::new(&template(100), 4).unwrap();
+        sharded.ingest_parallel(&sample(MIN_PARALLEL_CHUNK / 2, 9));
+        assert_eq!(
+            sharded.shards[0].lock().unwrap().count(),
+            MIN_PARALLEL_CHUNK / 2
+        );
+        for shard in &sharded.shards[1..] {
+            assert_eq!(shard.lock().unwrap().count(), 0);
+        }
+        // A larger load still spreads, with every chunk at least the
+        // minimum size (the last one possibly shorter).
+        let sharded = ShardedIngest::new(&template(1000), 4).unwrap();
+        sharded.ingest_parallel(&sample(2 * MIN_PARALLEL_CHUNK + 10, 10));
+        let counts: Vec<usize> = sharded
+            .shards
+            .iter()
+            .map(|shard| shard.lock().unwrap().count())
+            .collect();
+        assert_eq!(counts.iter().sum::<usize>(), 2 * MIN_PARALLEL_CHUNK + 10);
+        assert!(counts.iter().filter(|&&c| c > 0).count() <= 3);
+        assert!(counts[0] >= MIN_PARALLEL_CHUNK);
     }
 
     #[test]

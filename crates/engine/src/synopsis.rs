@@ -210,7 +210,9 @@ impl AttributeSynopsis {
         self.shards.shard_count()
     }
 
-    /// Total rows ingested so far.
+    /// Total rows ingested so far — O(1) from the sharded ingest's atomic
+    /// running counter, so observability probes and staleness checks never
+    /// take the per-shard locks.
     pub fn rows(&self) -> usize {
         self.shards.total_count()
     }

@@ -15,6 +15,20 @@
 //! by level. This is the classical cascade construction used by Wavelab's
 //! `MakeWavelet`, which the paper relies on to approximate `ψ_{j,k}(X_i)` on
 //! an equispaced grid.
+//!
+//! Besides pointwise lookup ([`WaveletTable::phi`]/[`psi`](WaveletTable::psi))
+//! the table exposes two strided primitives that are mirror images of each
+//! other:
+//!
+//! * [`WaveletTable::accumulate_phi`]/[`accumulate_psi`](WaveletTable::accumulate_psi)
+//!   — **one basis function, many points**: sweep one `φ_{j,k}` over a
+//!   uniform evaluation grid (the query-side dense-evaluation fast path);
+//! * [`WaveletTable::gather_phi`]/[`gather_psi`](WaveletTable::gather_psi)
+//!   — **one point, many basis functions**: read one observation at all
+//!   active translations of a level (the ingest-side fast path). Because
+//!   consecutive translations step the table argument by exactly 1, both
+//!   directions reduce to a constant-stride walk over the table with
+//!   interpolation weights computed once.
 
 use crate::filters::{FilterError, OrthonormalFilter, WaveletFamily};
 use crate::numerics::solve_linear_system;
@@ -35,6 +49,19 @@ pub struct WaveletTable {
     step: f64,
     phi: Vec<f64>,
     psi: Vec<f64>,
+    /// Polyphase (phase-major) copies of `phi`/`psi` for the gather fast
+    /// path, with node order reversed within a row:
+    /// `poly[p · poly_row + (support − q)] = values[q · 2^J + p]`.
+    /// Consecutive translations share the fractional phase `p` and step
+    /// the node index `q` down by one — ascending reversed-row memory —
+    /// so a gather reads two **contiguous forward** runs (rows `p` and
+    /// `p + 1`) instead of striding `2^J` entries: ~2 cache lines per
+    /// observation/level instead of one per translation, in a loop the
+    /// compiler can vectorise.
+    phi_poly: Vec<f64>,
+    psi_poly: Vec<f64>,
+    /// Row length of the polyphase layout (`support + 1` nodes).
+    poly_row: usize,
 }
 
 /// Default dyadic refinement depth for tables (`2^-12 ≈ 2.4e-4` spacing).
@@ -50,12 +77,18 @@ impl WaveletTable {
     pub fn from_filter(filter: OrthonormalFilter, levels: u32) -> Self {
         let (phi, psi) = cascade(&filter, levels);
         let step = 0.5_f64.powi(levels as i32);
+        let support = filter.support_length();
+        let phi_poly = polyphase(&phi, levels, support);
+        let psi_poly = polyphase(&psi, levels, support);
         Self {
             filter,
             levels,
             step,
             phi,
             psi,
+            phi_poly,
+            psi_poly,
+            poly_row: support + 1,
         }
     }
 
@@ -135,6 +168,140 @@ impl WaveletTable {
     /// counterpart of [`WaveletTable::accumulate_phi`].
     pub fn accumulate_psi(&self, start: f64, stride: f64, coeff: f64, out: &mut [f64]) {
         accumulate_strided(&self.psi, self.step, start, stride, coeff, out);
+    }
+
+    /// Gathers `φ(position − (k_first + m))` into `out[m]` for every slot
+    /// of `out` — the ingestion-side mirror image of
+    /// [`accumulate_phi`](Self::accumulate_phi): where dense evaluation
+    /// sweeps *one* basis function over many grid points, the gather reads
+    /// *one* observation at many neighbouring translations. Neighbouring
+    /// translations shift the table argument by exactly 1, so the table
+    /// index moves by the constant integer stride `2^J` and the fractional
+    /// interpolation weight is shared by every translation — it is derived
+    /// once per `(observation, level)` pair instead of once per
+    /// translation. `position` is the level-scaled observation `2^j x`;
+    /// the caller applies the `2^{j/2}` normalisation. Arguments outside
+    /// the tabulated support yield 0, exactly as [`WaveletTable::phi`].
+    #[inline]
+    pub fn gather_phi(&self, position: f64, k_first: i64, out: &mut [f64]) {
+        gather_strided(
+            &self.phi,
+            &self.phi_poly,
+            self.poly_row,
+            self.levels,
+            position,
+            k_first,
+            out,
+        );
+    }
+
+    /// Gathers `ψ(position − (k_first + m))` into `out[m]`; the `ψ`
+    /// counterpart of [`WaveletTable::gather_phi`].
+    #[inline]
+    pub fn gather_psi(&self, position: f64, k_first: i64, out: &mut [f64]) {
+        gather_strided(
+            &self.psi,
+            &self.psi_poly,
+            self.poly_row,
+            self.levels,
+            position,
+            k_first,
+            out,
+        );
+    }
+}
+
+/// Reorders a dyadic table into the phase-major, node-reversed polyphase
+/// layout `poly[p · (support + 1) + (support − q)] = values[q · 2^J + p]`
+/// (absent combinations — only phase 0 reaches node `support` — are
+/// zero-padded). A gather over consecutive (ascending) translations walks
+/// a row *forward*, so it reads rows `p` and `p + 1` as two contiguous
+/// forward runs; see [`gather_strided`].
+fn polyphase(values: &[f64], levels: u32, support: usize) -> Vec<f64> {
+    let phases = 1_usize << levels;
+    let row = support + 1;
+    let mut out = vec![0.0; phases * row];
+    for (idx, &v) in values.iter().enumerate() {
+        let p = idx & (phases - 1);
+        let q = idx >> levels;
+        out[p * row + (support - q)] = v;
+    }
+    out
+}
+
+/// Strided gather: `out[m] = table(position − k_first − m)`.
+///
+/// The table position of slot `m` is `(position − k_first − m)·2^J =
+/// base − m·2^J` with `base = (position − k_first)·2^J`. The power-of-two
+/// scaling is exact and the per-slot stride is pure integer work, so every
+/// slot shares one fractional weight computed from `base`; relative to the
+/// per-translation [`interpolate`] (which rounds `position − k` anew for
+/// each slot) the table argument differs by at most one rounding of the
+/// initial difference, i.e. the gathered values agree to ≈ 1e-12 relative.
+/// The boundary conventions (0 outside the support, last node at the
+/// right edge) are identical.
+///
+/// When every slot is interior to the table — the invariant for active
+/// translation windows — the per-slot stride `2^J` collapses in the
+/// polyphase layout to two contiguous row segments sharing the weights
+/// `(1 − frac, frac)`: a branch-free multiply–add sweep over ~2 cache
+/// lines. Windows touching a table edge (or a phase-`2^J − 1` base whose
+/// interpolation neighbour wraps to the next phase-0 node) fall back to
+/// the per-slot walk of the dense table, which handles every boundary
+/// case.
+#[allow(clippy::too_many_arguments)]
+#[inline]
+fn gather_strided(
+    values: &[f64],
+    poly: &[f64],
+    poly_row: usize,
+    levels: u32,
+    position: f64,
+    k_first: i64,
+    out: &mut [f64],
+) {
+    let stride = 1_i64 << levels;
+    let scale = stride as f64;
+    let base = (position - k_first as f64) * scale;
+    if !base.is_finite() {
+        out.fill(0.0);
+        return;
+    }
+    let floor = base.floor();
+    let frac = base - floor;
+    let w0 = 1.0 - frac;
+    let w1 = frac;
+    let idx0 = floor as i64;
+    let count = out.len();
+    let last = idx0.saturating_sub((count as i64 - 1).max(0) * stride);
+    let phase = idx0 & (stride - 1);
+    if last >= 0 && idx0 + 1 < values.len() as i64 && phase + 1 < stride {
+        // All slots interior: slot `m` reads node `q0 − m` of rows
+        // `phase` and `phase + 1`, which in the node-reversed layout is
+        // the *forward* run starting at `support − q0` — two contiguous
+        // ascending slices sharing the weights, a loop the vectoriser
+        // likes.
+        let q0 = (idx0 >> levels) as usize;
+        let support = poly_row - 1;
+        let start = phase as usize * poly_row + (support - q0);
+        let lo_run = poly[start..start + count].iter();
+        let hi_run = poly[start + poly_row..start + poly_row + count].iter();
+        for ((slot, &a), &b) in out.iter_mut().zip(lo_run).zip(hi_run) {
+            *slot = a * w0 + b * w1;
+        }
+        return;
+    }
+    let mut idx = idx0;
+    for slot in out.iter_mut() {
+        let i = idx as usize;
+        *slot = if idx < 0 || idx + 1 > values.len() as i64 {
+            0.0
+        } else if i + 1 == values.len() {
+            values[i]
+        } else {
+            values[i] * w0 + values[i + 1] * w1
+        };
+        idx = idx.saturating_sub(stride);
     }
 }
 
@@ -419,6 +586,71 @@ mod tests {
         for (i, v) in out.iter().enumerate() {
             let expected = 1.0 + 2.0 * t.phi(0.5 + 0.05 * i as f64);
             assert!((v - expected).abs() < 1e-12, "slot {i}");
+        }
+    }
+
+    #[test]
+    fn strided_gather_matches_pointwise_interpolation() {
+        for fam in [
+            WaveletFamily::Haar,
+            WaveletFamily::Daubechies(4),
+            WaveletFamily::Symmlet(8),
+        ] {
+            let t = table(fam);
+            for &(position, k_first) in &[
+                (0.37_f64, -14_i64),
+                (5.9, 0),
+                (1000.25, 990),
+                (3.0, -2), // integer position: frac is exactly 0
+                (t.support_end(), 0),
+                (-4.2, -20),
+            ] {
+                let mut phi_out = vec![f64::NAN; 24];
+                let mut psi_out = vec![f64::NAN; 24];
+                t.gather_phi(position, k_first, &mut phi_out);
+                t.gather_psi(position, k_first, &mut psi_out);
+                for m in 0..24 {
+                    let x = position - (k_first + m as i64) as f64;
+                    let tol = |reference: f64| 1e-12 * (1.0 + reference.abs());
+                    assert!(
+                        (phi_out[m] - t.phi(x)).abs() <= tol(t.phi(x)),
+                        "{}: φ gather mismatch at slot {m} (x = {x})",
+                        fam.name()
+                    );
+                    assert!(
+                        (psi_out[m] - t.psi(x)).abs() <= tol(t.psi(x)),
+                        "{}: ψ gather mismatch at slot {m} (x = {x})",
+                        fam.name()
+                    );
+                }
+            }
+        }
+    }
+
+    /// Exactly-dyadic positions (the table-node hits ingestion sees when
+    /// an observation lands on a grid point) keep the shared fractional
+    /// weight exactly 0, so the gather reproduces the raw table nodes.
+    #[test]
+    fn strided_gather_hits_table_nodes_exactly() {
+        let t = table(WaveletFamily::Symmlet(8));
+        // position 3.5 over window k ∈ {-2,…,3}: arguments 5.5, 4.5, … are
+        // all exact table nodes (the grid spacing is 2^-10).
+        let mut out = vec![f64::NAN; 6];
+        t.gather_phi(3.5, -2, &mut out);
+        for (m, v) in out.iter().enumerate() {
+            let x = 3.5 - (-2 + m as i64) as f64;
+            let node = (x * 1024.0) as usize;
+            assert_eq!(*v, t.phi_values()[node], "slot {m} (x = {x})");
+        }
+    }
+
+    #[test]
+    fn gather_handles_non_finite_positions() {
+        let t = table(WaveletFamily::Symmlet(8));
+        for position in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            let mut out = vec![f64::NAN; 8];
+            t.gather_phi(position, 0, &mut out);
+            assert!(out.iter().all(|v| *v == 0.0), "position {position}");
         }
     }
 
