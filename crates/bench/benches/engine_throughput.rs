@@ -15,7 +15,7 @@ use wavedens_bench::paper_sample;
 use wavedens_core::{CoefficientSketch, DEFAULT_CDF_POINTS};
 use wavedens_engine::{
     AttributeSynopsis, CompactionPolicy, RefreshedSynopsis, ShardedIngest, SynopsisCatalog,
-    SynopsisConfig,
+    SynopsisConfig, WindowPolicy, WindowedIngest,
 };
 
 /// Rows ingested per attribute (and per ingest-scaling run).
@@ -237,6 +237,45 @@ fn engine_throughput(c: &mut Criterion) {
         incremental_refresh_seconds * 1e3 / REFRESH_BATCHES as f64,
     );
 
+    // Phase 5 — sliding-window ingest: the same bulk load through a
+    // 4-shard ring of 4 slices with an advance per epoch, folded at the
+    // end. Steady-state windowed ingest should track the landmark sharded
+    // path (the ring only redirects batches to the current slice); the
+    // separately measured advance is the whole cost of "subtracting" a
+    // retired slice — an O(1) swap per shard plus an out-of-lock clear,
+    // paid once per time slice instead of a rebuild.
+    const WINDOW_SLICES: usize = 4;
+    const WINDOW_EPOCHS: usize = 4;
+    let window_policy = WindowPolicy::SlidingSlices(WINDOW_SLICES);
+    let windowed_seconds = min_seconds(|| {
+        let ring = WindowedIngest::new(&template, 4, window_policy).expect("ring");
+        for chunk in data.chunks(ROWS.div_ceil(WINDOW_EPOCHS)) {
+            ring.ingest_parallel(chunk);
+            ring.advance_all();
+        }
+        black_box(ring.merged().expect("fold"));
+    });
+    // Advance cost alone, every advance retiring a populated slice.
+    const ADVANCES: usize = 64;
+    let advance_ring = WindowedIngest::new(&template, 4, window_policy).expect("ring");
+    let mut advance_seconds = 0.0;
+    for i in 0..ADVANCES + WINDOW_SLICES {
+        advance_ring.ingest_parallel(&data[..1024]);
+        let start = Instant::now();
+        advance_ring.advance_all();
+        // Skip the warm-up advances that only grow the ring.
+        if i >= WINDOW_SLICES {
+            advance_seconds += start.elapsed().as_secs_f64();
+        }
+    }
+    let advance_micros = advance_seconds * 1e6 / ADVANCES as f64;
+    println!(
+        "windowed ingest of {ROWS} rows ({WINDOW_SLICES}-slice ring, \
+         {WINDOW_EPOCHS} advances, 4 shards): {windowed_seconds:.4} s \
+         ({:.0} rows/s); advance retiring a 1024-row slice: {advance_micros:.1} µs",
+        ROWS as f64 / windowed_seconds,
+    );
+
     let ingest_json: Vec<String> = ingest_seconds
         .iter()
         .map(|(shards, seconds)| {
@@ -280,13 +319,19 @@ fn engine_throughput(c: &mut Criterion) {
          \"batches\": {REFRESH_BATCHES},\n    \"rows_per_batch\": {BATCH_ROWS},\n    \
          \"full_cv_seconds\": {full_refresh_seconds:.6},\n    \
          \"incremental_seconds\": {incremental_refresh_seconds:.6},\n    \
-         \"refresh_speedup\": {refresh_speedup:.2}\n  }}\n}}\n",
+         \"refresh_speedup\": {refresh_speedup:.2}\n  }},\n  \
+         \"windowed_ingest\": {{\n    \"rows\": {ROWS},\n    \
+         \"ring_slices\": {WINDOW_SLICES},\n    \"advances\": {WINDOW_EPOCHS},\n    \
+         \"seconds\": {windowed_seconds:.6},\n    \
+         \"rows_per_second\": {:.0},\n    \
+         \"advance_retire_1024_rows_micros\": {advance_micros:.1}\n  }}\n}}\n",
         ROWS as f64 / scalar_seconds,
         ROWS as f64 / fast_seconds,
         ingest_json.join(",\n"),
         best.0,
         queries as f64 / concurrent_seconds,
         max_query_latency * 1e3,
+        ROWS as f64 / windowed_seconds,
     );
     let path = concat!(
         env!("CARGO_MANIFEST_DIR"),

@@ -102,7 +102,10 @@ impl CumulativeEstimate {
     /// O(1): one index computation plus a linear interpolation.
     pub fn cdf(&self, x: f64) -> f64 {
         let lo = self.grid.lo();
-        if x <= lo {
+        // NaN fails every comparison, so without an explicit check it
+        // would fall through both boundary guards and index the table
+        // with garbage.
+        if x.is_nan() || x <= lo {
             return 0.0;
         }
         if x >= self.grid.hi() {
@@ -117,10 +120,12 @@ impl CumulativeEstimate {
     }
 
     /// The estimated mass of the range `[lo, hi]`,
-    /// `cdf(hi) − cdf(lo)`; 0 when the range is empty or reversed.
-    /// Nonnegative and exactly additive over adjacent ranges.
+    /// `cdf(hi) − cdf(lo)`; 0 when the range is empty, reversed, or
+    /// carries a NaN bound (a NaN must not slip past the reversed-range
+    /// guard and turn into a negative mass). Nonnegative and exactly
+    /// additive over adjacent ranges.
     pub fn range_mass(&self, lo: f64, hi: f64) -> f64 {
-        if hi <= lo {
+        if lo.is_nan() || hi.is_nan() || hi <= lo {
             return 0.0;
         }
         self.cdf(hi) - self.cdf(lo)
@@ -278,6 +283,32 @@ mod tests {
         assert_eq!(cumulative.range_mass(0.4, 0.4), 0.0);
         assert_eq!(cumulative.range_mass(0.8, 0.2), 0.0);
         assert!(cumulative.range_mass(0.0, 1.0) > 0.9);
+    }
+
+    /// Regression for the NaN-bounds hole: NaN compares false with
+    /// everything, so `hi <= lo` never fired and a NaN bound walked
+    /// straight into the grid-index arithmetic, yielding garbage (or a
+    /// negative mass from `cdf(hi) − cdf(NaN)`).
+    #[test]
+    fn non_finite_query_bounds_answer_zero_mass() {
+        let (_, cumulative) = fitted_cumulative(6);
+        assert_eq!(cumulative.cdf(f64::NAN), 0.0);
+        for (lo, hi) in [
+            (f64::NAN, 0.5),
+            (0.2, f64::NAN),
+            (f64::NAN, f64::NAN),
+            (f64::INFINITY, f64::NEG_INFINITY),
+        ] {
+            assert_eq!(cumulative.range_mass(lo, hi), 0.0, "[{lo}, {hi}]");
+            assert_eq!(cumulative.selectivity(lo, hi), 0.0, "[{lo}, {hi}]");
+        }
+        // Infinite but *ordered* bounds are fine: they clamp to the grid.
+        let everything = cumulative.range_mass(f64::NEG_INFINITY, f64::INFINITY);
+        assert_eq!(everything, cumulative.total_mass());
+        assert_eq!(
+            cumulative.selectivity(f64::NEG_INFINITY, f64::INFINITY),
+            1.0
+        );
     }
 
     #[test]

@@ -25,6 +25,15 @@ pub enum EstimatorError {
         /// Explanation of the problem.
         message: String,
     },
+    /// A range query carried a NaN bound. (Reversed or empty ranges are
+    /// not errors — they normalize to zero mass — but NaN compares false
+    /// with everything and would silently slip past that normalization.)
+    InvalidQueryBounds {
+        /// Requested lower bound.
+        lo: f64,
+        /// Requested upper bound.
+        hi: f64,
+    },
     /// The sample contains a non-finite value (NaN or ±∞).
     NonFiniteSample {
         /// Index of the first offending observation.
@@ -59,6 +68,9 @@ impl std::fmt::Display for EstimatorError {
             }
             EstimatorError::InvalidParameter { message } => {
                 write!(f, "invalid parameter: {message}")
+            }
+            EstimatorError::InvalidQueryBounds { lo, hi } => {
+                write!(f, "invalid query bounds [{lo}, {hi}]")
             }
             EstimatorError::NonFiniteSample { index, value } => {
                 write!(f, "non-finite observation {value} at index {index}")

@@ -31,6 +31,9 @@
 //! * [`streaming`] — an online variant maintaining the coefficients
 //!   incrementally (exactly equivalent to a batch fit), a thin layer over
 //!   [`sketch`];
+//! * [`window`] — windowed and decaying sketch rings ([`WindowedSketch`])
+//!   for streaming workloads: time-sliced sketches retire wholesale so
+//!   the synopsis tracks the *recent* distribution without subtraction;
 //! * [`grid`], [`error`] — shared utilities.
 //!
 //! ## Quick start
@@ -64,6 +67,7 @@ pub mod risk;
 pub mod sketch;
 pub mod streaming;
 pub mod threshold;
+pub mod window;
 
 pub use coefficients::{EmpiricalCoefficients, Generator, LevelCoefficients};
 pub use cv::{
@@ -82,6 +86,7 @@ pub use risk::{integrated_squared_error, lp_distance, RiskAccumulator};
 pub use sketch::{CoefficientSketch, CompactionPolicy};
 pub use streaming::StreamingWaveletEstimator;
 pub use threshold::{ThresholdProfile, ThresholdRule, ThresholdSelection};
+pub use window::{WindowPolicy, WindowSliceMeta, WindowedSketch, DEFAULT_DECAY_SLICES};
 
 // Re-export the wavelet substrate so downstream users need a single import.
 pub use wavedens_wavelets as wavelets;

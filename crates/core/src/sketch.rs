@@ -31,6 +31,7 @@ use crate::cv::{cross_validate, cross_validate_cached, CrossValidationResult, Cv
 use crate::error::EstimatorError;
 use crate::estimator::{ThresholdedLevel, WaveletDensityEstimate};
 use crate::threshold::{ThresholdProfile, ThresholdRule};
+use crate::window::WindowSliceMeta;
 use std::sync::Arc;
 use wavedens_wavelets::{WaveletBasis, WaveletFamily};
 
@@ -133,6 +134,39 @@ impl SketchLevel {
         self.version = source.version.max(self.version + 1);
         self.sums.copy_from_slice(&source.sums);
         Arc::make_mut(&mut self.sum_squares).copy_from_slice(&source.sum_squares);
+    }
+
+    /// [`merge`](Self::merge) with every contribution scaled by `weight`.
+    /// At `weight == 1.0` this is bitwise `merge`: IEEE 754 guarantees
+    /// `1.0 * v == v` exactly for every value `v` the sums can hold.
+    fn merge_scaled(&mut self, other: &Self, weight: f64) {
+        debug_assert_eq!(self.sums.len(), other.sums.len());
+        if other.version == 0 {
+            return;
+        }
+        self.version += other.version;
+        for (acc, v) in self.sums.iter_mut().zip(&other.sums) {
+            *acc += weight * v;
+        }
+        let squares = Arc::make_mut(&mut self.sum_squares);
+        for (acc, v) in squares.iter_mut().zip(other.sum_squares.iter()) {
+            *acc += weight * v;
+        }
+    }
+
+    /// [`copy_from`](Self::copy_from) with every copied sum scaled by
+    /// `weight` (same strict version advance, so caches keyed to the
+    /// target stay sound).
+    fn copy_scaled_from(&mut self, source: &Self, weight: f64) {
+        debug_assert_eq!(self.sums.len(), source.sums.len());
+        self.version = source.version.max(self.version + 1);
+        for (slot, v) in self.sums.iter_mut().zip(&source.sums) {
+            *slot = weight * v;
+        }
+        let squares = Arc::make_mut(&mut self.sum_squares);
+        for (slot, v) in squares.iter_mut().zip(source.sum_squares.iter()) {
+            *slot = weight * v;
+        }
     }
 
     /// Whether every stored sum (and sum of squares) is exactly zero — the
@@ -448,6 +482,49 @@ impl CoefficientSketch {
         Ok(())
     }
 
+    /// Folds another sketch into this one with every contribution scaled
+    /// by `weight` — the primitive behind exponential-decay windows: a
+    /// slice merged at weight `λᵃ` counts as if each of its observations
+    /// appeared `λᵃ` times. The raw sums, sums of squares and the
+    /// observation count all scale (the count rounds to the nearest
+    /// integer, saturating instead of overflowing).
+    ///
+    /// Invariant: `merge_scaled(other, 1.0)` is **bitwise** identical to
+    /// [`merge`](Self::merge) — IEEE 754 multiplication by `1.0` is exact
+    /// and the count scaling is exact for every count a sketch can hold.
+    ///
+    /// Fails with [`EstimatorError::IncompatibleSketches`] on mismatched
+    /// sketches and [`EstimatorError::InvalidParameter`] when `weight` is
+    /// negative, NaN or infinite.
+    pub fn merge_scaled(&mut self, other: &Self, weight: f64) -> Result<(), EstimatorError> {
+        validate_merge_weight(weight)?;
+        self.is_compatible(other)?;
+        self.count = self.count.saturating_add(scaled_count(other.count, weight));
+        self.scaling.merge_scaled(&other.scaling, weight);
+        for (mine, theirs) in self.details.iter_mut().zip(&other.details) {
+            mine.merge_scaled(theirs, weight);
+        }
+        Ok(())
+    }
+
+    /// [`copy_from`](Self::copy_from) with every copied sum and the count
+    /// scaled by `weight` — the windowed refresh path uses it to seed a
+    /// reusable scratch sketch with the oldest (most decayed) slice before
+    /// [`merge_scaled`](Self::merge_scaled)-folding the newer ones on top.
+    /// The target keeps its own lineage and its level stamps advance
+    /// strictly, exactly like `copy_from`. Same weight validation as
+    /// `merge_scaled`.
+    pub fn copy_scaled_from(&mut self, source: &Self, weight: f64) -> Result<(), EstimatorError> {
+        validate_merge_weight(weight)?;
+        self.is_compatible(source)?;
+        self.count = scaled_count(source.count, weight);
+        self.scaling.copy_scaled_from(&source.scaling, weight);
+        for (mine, theirs) in self.details.iter_mut().zip(&source.details) {
+            mine.copy_scaled_from(theirs, weight);
+        }
+        Ok(())
+    }
+
     /// The empirical coefficients of everything accumulated so far — the
     /// input of the cross-validation + thresholding pipeline. Cheap: the
     /// sums of squares are shared by [`Arc`], only the coefficient means
@@ -595,6 +672,29 @@ impl CoefficientSketch {
     pub fn to_bytes(&self) -> Vec<u8> {
         let mut out = Vec::with_capacity(self.serialized_len());
         self.write_header(&mut out, FORMAT_V2);
+        self.write_v2_body(&mut out);
+        out
+    }
+
+    /// Serializes the sketch as a **windowed slice frame** (v3): the v2
+    /// compact body prefixed by the window metadata in `meta` — slice age,
+    /// ring size, advance counter and decay factor — so a receiver can
+    /// place the slice in its own ring. Existing
+    /// [`from_bytes`](Self::from_bytes) consumers read the frame as a
+    /// plain sketch (the metadata is skipped);
+    /// [`from_bytes_with_window`](Self::from_bytes_with_window) also
+    /// returns the metadata.
+    pub fn to_bytes_with_window(&self, meta: &WindowSliceMeta) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.serialized_len() + WINDOW_META_LEN);
+        self.write_header(&mut out, FORMAT_V3_WINDOWED);
+        write_window_meta(&mut out, meta);
+        self.write_v2_body(&mut out);
+        out
+    }
+
+    /// The presence bitmap + present-level payloads shared by the v2 and
+    /// v3 frames.
+    fn write_v2_body(&self, out: &mut Vec<u8>) {
         let mut bitmap = vec![0u8; presence_bitmap_len(1 + self.details.len())];
         for (i, level) in std::iter::once(&self.scaling)
             .chain(&self.details)
@@ -607,10 +707,9 @@ impl CoefficientSketch {
         out.extend_from_slice(&bitmap);
         for level in std::iter::once(&self.scaling).chain(&self.details) {
             if !level.is_zero() {
-                write_level(&mut out, level);
+                write_level(out, level);
             }
         }
-        out
     }
 
     /// Serializes the sketch to the legacy v1 frame (every level shipped
@@ -653,20 +752,37 @@ impl CoefficientSketch {
     }
 
     /// Deserializes a sketch previously produced by
-    /// [`to_bytes`](Self::to_bytes) (v2, presence bitmap) **or** by the
-    /// legacy dense v1 writer ([`to_bytes_v1`](Self::to_bytes_v1)),
-    /// rebuilding the wavelet basis from the encoded family. Fails with
-    /// [`EstimatorError::InvalidSerialization`] on any malformed input.
+    /// [`to_bytes`](Self::to_bytes) (v2, presence bitmap), the legacy
+    /// dense v1 writer ([`to_bytes_v1`](Self::to_bytes_v1)), **or** the
+    /// windowed slice writer
+    /// ([`to_bytes_with_window`](Self::to_bytes_with_window), v3 — the
+    /// window metadata is validated and discarded), rebuilding the wavelet
+    /// basis from the encoded family. Fails with
+    /// [`EstimatorError::InvalidSerialization`] on any malformed input;
+    /// every structural field — level range, interval, per-level payload
+    /// sizes — is validated against the buffer *before* the level vectors
+    /// are allocated, so a corrupted or hostile frame can neither panic
+    /// the reader nor provoke an oversized allocation.
     pub fn from_bytes(bytes: &[u8]) -> Result<Self, EstimatorError> {
+        Ok(Self::from_bytes_with_window(bytes)?.0)
+    }
+
+    /// [`from_bytes`](Self::from_bytes), additionally returning the
+    /// [`WindowSliceMeta`] when the frame is a windowed slice (v3);
+    /// `None` for plain v1/v2 frames.
+    pub fn from_bytes_with_window(
+        bytes: &[u8],
+    ) -> Result<(Self, Option<WindowSliceMeta>), EstimatorError> {
         let mut reader = Reader::new(bytes);
         let magic = reader.take(MAGIC.len())?;
         if magic != MAGIC {
             return Err(invalid("bad magic bytes"));
         }
         let version = reader.u16()?;
-        if version != FORMAT_V1 && version != FORMAT_V2 {
+        if !matches!(version, FORMAT_V1 | FORMAT_V2 | FORMAT_V3_WINDOWED) {
             return Err(invalid(&format!(
-                "unsupported format version {version} (expected {FORMAT_V1} or {FORMAT_V2})"
+                "unsupported format version {version} \
+                 (expected {FORMAT_V1}, {FORMAT_V2} or {FORMAT_V3_WINDOWED})"
             )));
         }
         let family_tag = reader.u8()?;
@@ -677,9 +793,42 @@ impl CoefficientSketch {
         let count = reader.u64()? as usize;
         let j0 = reader.i32()?;
         let j_max = reader.i32()?;
-        let mut sketch = Self::new(family, (lo, hi), j0, j_max)?;
-        sketch.count = count;
-        let level_count = 1 + sketch.details.len();
+        let window = if version == FORMAT_V3_WINDOWED {
+            Some(read_window_meta(&mut reader)?)
+        } else {
+            None
+        };
+        // Structural validation before anything is sized off the header:
+        // the level range bounds every allocation below (a level at j
+        // holds O(2^j) slots), so an absurd j_max must die here, not in
+        // the allocator.
+        if j0 < 0 || j_max < j0 {
+            return Err(invalid(&format!("invalid level range {j0}..={j_max}")));
+        }
+        if j_max > MAX_SERIALIZED_LEVEL {
+            return Err(invalid(&format!(
+                "max level {j_max} exceeds the wire cap {MAX_SERIALIZED_LEVEL}"
+            )));
+        }
+        if !lo.is_finite() || !hi.is_finite() || lo >= hi {
+            return Err(invalid(&format!("invalid interval [{lo}, {hi}]")));
+        }
+        // Pre-compute the slot count of every level from cheap translation
+        // arithmetic and require the remaining payload to fit *exactly*
+        // before constructing the sketch: a length prefix claiming more
+        // coefficients than the buffer holds is rejected while the frame
+        // is still just bytes.
+        let basis = Arc::new(WaveletBasis::new(family)?);
+        let slots: Vec<usize> = (j0..=j_max)
+            .map(|level| {
+                let range = basis.translations_covering(level, lo, hi);
+                (*range.end() - *range.start() + 1).max(0) as usize
+            })
+            .collect();
+        // Level list on the wire: the scaling level at j0, then details
+        // j0..=j_max — the scaling and first detail level share a slot
+        // count (same translation range at the same level).
+        let level_count = 1 + slots.len();
         let present: Vec<bool> = if version == FORMAT_V1 {
             vec![true; level_count]
         } else {
@@ -695,6 +844,20 @@ impl CoefficientSketch {
             }
             present
         };
+        let expected: usize = std::iter::once(&slots[0])
+            .chain(&slots)
+            .zip(&present)
+            .filter(|(_, &is_present)| is_present)
+            .map(|(&slot_count, _)| 8_usize.saturating_add(slot_count.saturating_mul(16)))
+            .fold(0_usize, usize::saturating_add);
+        if reader.remaining() != expected {
+            return Err(invalid(&format!(
+                "level payloads hold {} bytes, header implies {expected}",
+                reader.remaining()
+            )));
+        }
+        let mut sketch = Self::with_basis(basis, (lo, hi), j0, j_max)?;
+        sketch.count = count;
         for (level, &is_present) in std::iter::once(&mut sketch.scaling)
             .chain(&mut sketch.details)
             .zip(&present)
@@ -724,7 +887,7 @@ impl CoefficientSketch {
                 return Err(invalid("count is zero but level sums are nonzero"));
             }
         }
-        Ok(sketch)
+        Ok((sketch, window))
     }
 }
 
@@ -788,6 +951,76 @@ const INGEST_CHUNK: usize = 512;
 const MAGIC: &[u8] = b"WDSK";
 const FORMAT_V1: u16 = 1;
 const FORMAT_V2: u16 = 2;
+/// Windowed slice frame: the standard header, then [`WindowSliceMeta`],
+/// then the v2 compact body.
+const FORMAT_V3_WINDOWED: u16 = 3;
+
+/// Hard cap on the detail level a wire frame may declare. A level at `j`
+/// holds `O(2^j)` coefficient slots, so the cap bounds what a hostile
+/// header can make [`CoefficientSketch::from_bytes`] allocate (~2 × 8 GB
+/// of slots at 30 — far above any real synopsis, which the exact
+/// byte-fit check then rejects long before allocation anyway, since such
+/// a payload cannot actually be present).
+const MAX_SERIALIZED_LEVEL: i32 = 30;
+
+/// Serialized size of [`WindowSliceMeta`] in a v3 frame.
+const WINDOW_META_LEN: usize = 4 + 4 + 8 + 8;
+
+/// Rejects scale weights that would corrupt the sums: decay weights must
+/// be finite and nonnegative (zero is allowed — it merges nothing, which
+/// is how a fully decayed slice drops out).
+fn validate_merge_weight(weight: f64) -> Result<(), EstimatorError> {
+    if !weight.is_finite() || weight < 0.0 {
+        return Err(EstimatorError::InvalidParameter {
+            message: format!("merge weight must be finite and nonnegative, got {weight}"),
+        });
+    }
+    Ok(())
+}
+
+/// The observation count of a `weight`-scaled contribution, rounded to
+/// the nearest integer and saturating at `usize::MAX`. Exact at
+/// `weight == 1.0` for every representable count (counts are far below
+/// 2^53).
+fn scaled_count(count: usize, weight: f64) -> usize {
+    if weight == 1.0 {
+        return count;
+    }
+    (weight * count as f64).round() as usize
+}
+
+fn write_window_meta(out: &mut Vec<u8>, meta: &WindowSliceMeta) {
+    out.extend_from_slice(&meta.slice_age.to_le_bytes());
+    out.extend_from_slice(&meta.ring_slices.to_le_bytes());
+    out.extend_from_slice(&meta.advances.to_le_bytes());
+    out.extend_from_slice(&meta.decay_lambda.to_le_bytes());
+}
+
+fn read_window_meta(reader: &mut Reader<'_>) -> Result<WindowSliceMeta, EstimatorError> {
+    let slice_age = reader.u32()?;
+    let ring_slices = reader.u32()?;
+    let advances = reader.u64()?;
+    let decay_lambda = reader.f64()?;
+    if ring_slices == 0 {
+        return Err(invalid("windowed frame declares a zero-slice ring"));
+    }
+    if slice_age >= ring_slices {
+        return Err(invalid(&format!(
+            "slice age {slice_age} outside the {ring_slices}-slice ring"
+        )));
+    }
+    if !decay_lambda.is_finite() || decay_lambda <= 0.0 || decay_lambda > 1.0 {
+        return Err(invalid(&format!(
+            "decay factor {decay_lambda} outside (0, 1]"
+        )));
+    }
+    Ok(WindowSliceMeta {
+        slice_age,
+        ring_slices,
+        advances,
+        decay_lambda,
+    })
+}
 
 /// Issues process-unique sketch lineage tags (see
 /// `CoefficientSketch::lineage`).
@@ -895,6 +1128,10 @@ impl<'a> Reader<'a> {
         Ok(u16::from_le_bytes(self.take(2)?.try_into().expect("len 2")))
     }
 
+    fn u32(&mut self) -> Result<u32, EstimatorError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("len 4")))
+    }
+
     fn i32(&mut self) -> Result<i32, EstimatorError> {
         Ok(i32::from_le_bytes(self.take(4)?.try_into().expect("len 4")))
     }
@@ -905,6 +1142,10 @@ impl<'a> Reader<'a> {
 
     fn f64(&mut self) -> Result<f64, EstimatorError> {
         Ok(f64::from_le_bytes(self.take(8)?.try_into().expect("len 8")))
+    }
+
+    fn remaining(&self) -> usize {
+        self.bytes.len() - self.offset
     }
 
     fn is_done(&self) -> bool {
@@ -1344,5 +1585,155 @@ mod tests {
         let estimate = sketch.estimate(ThresholdRule::Soft).unwrap();
         assert_eq!(estimate.sample_size(), 700);
         assert!((estimate.integral() - 1.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn merge_scaled_at_weight_one_is_bitwise_merge() {
+        let mut a = CoefficientSketch::sized_for(512).unwrap();
+        a.push_batch(&sample(512, 31));
+        let mut b = CoefficientSketch::sized_for(512).unwrap();
+        b.push_batch(&sample(256, 32));
+        let mut via_merge = a.clone();
+        via_merge.merge(&b).unwrap();
+        let mut via_scaled = a.clone();
+        via_scaled.merge_scaled(&b, 1.0).unwrap();
+        assert_eq!(via_scaled.count(), via_merge.count());
+        assert_eq!(via_scaled.detail_versions(), via_merge.detail_versions());
+        assert_eq!(
+            via_scaled.to_bytes(),
+            via_merge.to_bytes(),
+            "merge_scaled at weight 1 must be bitwise identical to merge"
+        );
+        // copy_scaled_from at weight 1 is likewise bitwise copy_from.
+        let mut via_copy = CoefficientSketch::sized_for(512).unwrap();
+        via_copy.copy_from(&b).unwrap();
+        let mut via_scaled_copy = CoefficientSketch::sized_for(512).unwrap();
+        via_scaled_copy.copy_scaled_from(&b, 1.0).unwrap();
+        assert_eq!(via_scaled_copy.to_bytes(), via_copy.to_bytes());
+    }
+
+    #[test]
+    fn merge_scaled_scales_mass_but_preserves_the_means() {
+        // Uniformly down-weighting one sketch scales its sums *and* its
+        // count, so the empirical coefficients (sample means) — and hence
+        // the density estimate — are untouched: only its voting weight in
+        // later merges shrinks.
+        let mut source = CoefficientSketch::sized_for(400).unwrap();
+        source.push_batch(&sample(400, 33));
+        let mut half = CoefficientSketch::sized_for(400).unwrap();
+        half.copy_scaled_from(&source, 0.5).unwrap();
+        assert_eq!(half.count(), 200);
+        let full = source.snapshot().unwrap();
+        let scaled = half.snapshot().unwrap();
+        for (s, f) in scaled.scaling().values.iter().zip(&full.scaling().values) {
+            assert!((s - f).abs() < 1e-12 * (1.0 + f.abs()), "{s} vs {f}");
+        }
+        // The shrunk weight shows up when merging against fresh data: a
+        // half-weighted copy pulls the blend only half as hard.
+        let mut recent = CoefficientSketch::sized_for(400).unwrap();
+        recent.push_batch(&sample(100, 37));
+        let mut blend = recent.clone();
+        blend.merge_scaled(&source, 0.5).unwrap();
+        assert_eq!(blend.count(), 300);
+        // Merging an empty sketch at any weight stays a no-op.
+        let empty = CoefficientSketch::sized_for(400).unwrap();
+        let stamps = half.detail_versions();
+        half.merge_scaled(&empty, 0.25).unwrap();
+        assert_eq!(half.detail_versions(), stamps);
+        assert_eq!(half.count(), 200);
+    }
+
+    #[test]
+    fn invalid_merge_weights_are_rejected_untouched() {
+        let mut source = CoefficientSketch::sized_for(100).unwrap();
+        source.push_batch(&sample(100, 34));
+        let mut target = source.clone();
+        let before = target.to_bytes();
+        for weight in [f64::NAN, f64::INFINITY, -0.5] {
+            assert!(matches!(
+                target.merge_scaled(&source, weight).unwrap_err(),
+                EstimatorError::InvalidParameter { .. }
+            ));
+            assert!(matches!(
+                target.copy_scaled_from(&source, weight).unwrap_err(),
+                EstimatorError::InvalidParameter { .. }
+            ));
+        }
+        assert_eq!(
+            target.to_bytes(),
+            before,
+            "failed scaled merges must not mutate"
+        );
+    }
+
+    #[test]
+    fn windowed_frames_round_trip_and_validate_their_metadata() {
+        let mut sketch = CoefficientSketch::sized_for(300).unwrap();
+        sketch.push_batch(&sample(300, 35));
+        let meta = WindowSliceMeta {
+            slice_age: 2,
+            ring_slices: 8,
+            advances: 41,
+            decay_lambda: 0.875,
+        };
+        let frame = sketch.to_bytes_with_window(&meta);
+        assert_eq!(u16::from_le_bytes([frame[4], frame[5]]), 3);
+        let (restored, restored_meta) = CoefficientSketch::from_bytes_with_window(&frame).unwrap();
+        assert_eq!(restored_meta, Some(meta));
+        assert_eq!(restored.count(), 300);
+        assert_eq!(restored.to_bytes(), sketch.to_bytes());
+        // Plain v2 frames carry no metadata.
+        let (_, none_meta) = CoefficientSketch::from_bytes_with_window(&sketch.to_bytes()).unwrap();
+        assert_eq!(none_meta, None);
+        // Corrupted metadata fields are rejected: the 24-byte window block
+        // follows the 41-byte header (slice_age, ring_slices, advances,
+        // decay_lambda).
+        let mut bad = frame.clone();
+        bad[45..49].copy_from_slice(&0_u32.to_le_bytes()); // ring_slices = 0
+        assert!(CoefficientSketch::from_bytes(&bad).is_err());
+        let mut bad = frame.clone();
+        bad[41..45].copy_from_slice(&9_u32.to_le_bytes()); // slice_age ≥ ring
+        assert!(CoefficientSketch::from_bytes(&bad).is_err());
+        let mut bad = frame.clone();
+        bad[57..65].copy_from_slice(&2.0_f64.to_le_bytes()); // λ out of (0, 1]
+        assert!(CoefficientSketch::from_bytes(&bad).is_err());
+    }
+
+    /// Mini-fuzz over the decoder: every single-bit flip and every
+    /// truncation of valid v1, v2 and v3 frames must come back as
+    /// `Ok`/`Err` — never a panic, and never an absurd allocation (the
+    /// decoder validates the level geometry against the byte length
+    /// before sizing any buffer).
+    #[test]
+    fn frame_decoder_survives_bit_flips_and_truncations() {
+        let mut sketch = CoefficientSketch::new(WaveletFamily::Haar, (0.0, 1.0), 0, 2).unwrap();
+        sketch.push_batch(&sample(64, 36));
+        let meta = WindowSliceMeta {
+            slice_age: 0,
+            ring_slices: 4,
+            advances: 7,
+            decay_lambda: 1.0,
+        };
+        let frames = [
+            sketch.to_bytes_v1(),
+            sketch.to_bytes(),
+            sketch.to_bytes_with_window(&meta),
+        ];
+        for frame in &frames {
+            for len in 0..frame.len() {
+                let _ = CoefficientSketch::from_bytes(&frame[..len]);
+            }
+            for offset in 0..frame.len() {
+                for bit in 0..8 {
+                    let mut mutated = frame.clone();
+                    mutated[offset] ^= 1 << bit;
+                    if let Ok(restored) = CoefficientSketch::from_bytes(&mutated) {
+                        // A surviving mutation (e.g. a flipped sum bit)
+                        // must still decode into a self-consistent sketch.
+                        let _ = restored.count();
+                    }
+                }
+            }
+        }
     }
 }

@@ -1,0 +1,522 @@
+//! Windowed and decaying sketch rings for streaming workloads.
+//!
+//! A [`CoefficientSketch`] can only merge — its sums add, never subtract —
+//! so a single lifetime sketch models an append-forever stream and drifts
+//! arbitrarily far from the *current* distribution under updates, deletes
+//! or regime changes. The classic fix needs no subtraction at all:
+//! time-slice the stream into a fixed ring of per-slice sketches
+//! ([`WindowedSketch`]), retire the oldest slice wholesale on every
+//! [`advance`](WindowedSketch::advance), and answer queries from a fold
+//! over the live slices. "Subtracting" expired rows is just *not merging
+//! their slice*, so the numerics stay the plain nonnegative-weight sums
+//! the paper's estimator is built on.
+//!
+//! Two windowed read policies share the ring:
+//!
+//! * **Sliding window** ([`WindowPolicy::SlidingSlices`]): merge the `k`
+//!   live slices at weight 1. The window estimate is *exactly* the
+//!   mergeable-sketch fit on the surviving rows — bit-for-bit the state a
+//!   fresh ring fed only those rows would hold.
+//! * **Exponential decay** ([`WindowPolicy::ExponentialDecay`]): merge the
+//!   slice of age `a` at weight `λᵃ` via
+//!   [`CoefficientSketch::merge_scaled`], smoothly down-weighting history
+//!   instead of cliff-dropping it.
+//!
+//! [`WindowPolicy::Landmark`] is the no-window policy the rest of the
+//! stack defaults to (one lifetime sketch, no ring).
+
+use crate::error::EstimatorError;
+use crate::sketch::CoefficientSketch;
+
+/// Ring size used for [`WindowPolicy::ExponentialDecay`], where the
+/// policy itself does not fix one: at 16 slices the oldest live slice
+/// already carries weight `λ^15` (≈ 0.2 even at a gentle λ = 0.9), so a
+/// deeper ring would spend memory on slices that barely register.
+pub const DEFAULT_DECAY_SLICES: usize = 16;
+
+/// How a synopsis weights history — the knob streaming workloads turn.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub enum WindowPolicy {
+    /// No window: one lifetime sketch over everything ever ingested (the
+    /// default, and the only policy before windowed rings existed).
+    #[default]
+    Landmark,
+    /// A sliding window of the newest `k` time slices, each retired
+    /// wholesale by an advance. Queries see exactly the rows of the live
+    /// slices, equally weighted.
+    SlidingSlices(usize),
+    /// Exponential decay: the slice of age `a` contributes with weight
+    /// `λᵃ` (λ in `(0, 1]`), over a ring of
+    /// [`DEFAULT_DECAY_SLICES`] slices. Smaller λ forgets faster.
+    ExponentialDecay(f64),
+}
+
+impl WindowPolicy {
+    /// Validates the policy parameters: a sliding window needs at least
+    /// one slice, a decay factor must be finite in `(0, 1]`.
+    pub fn validate(&self) -> Result<(), EstimatorError> {
+        match *self {
+            Self::Landmark => Ok(()),
+            Self::SlidingSlices(0) => Err(EstimatorError::InvalidParameter {
+                message: "sliding window needs at least one slice".to_string(),
+            }),
+            Self::SlidingSlices(_) => Ok(()),
+            Self::ExponentialDecay(lambda)
+                if !lambda.is_finite() || lambda <= 0.0 || lambda > 1.0 =>
+            {
+                Err(EstimatorError::InvalidParameter {
+                    message: format!("decay factor must be in (0, 1], got {lambda}"),
+                })
+            }
+            Self::ExponentialDecay(_) => Ok(()),
+        }
+    }
+
+    /// Ring size this policy maintains; `None` for
+    /// [`Landmark`](Self::Landmark), which keeps no ring.
+    pub fn ring_slices(&self) -> Option<usize> {
+        match *self {
+            Self::Landmark => None,
+            Self::SlidingSlices(k) => Some(k),
+            Self::ExponentialDecay(_) => Some(DEFAULT_DECAY_SLICES),
+        }
+    }
+
+    /// Whether the policy maintains a slice ring at all.
+    pub fn is_windowed(&self) -> bool {
+        !matches!(self, Self::Landmark)
+    }
+
+    /// Merge weight of the slice `age` advances old (age 0 = current).
+    /// `1.0` for every non-decaying policy.
+    pub fn weight(&self, age: usize) -> f64 {
+        match *self {
+            Self::ExponentialDecay(lambda) => lambda.powi(age as i32),
+            _ => 1.0,
+        }
+    }
+
+    /// The decay factor, `1.0` for non-decaying policies — what a shipped
+    /// slice records in its [`WindowSliceMeta`].
+    pub fn decay_lambda(&self) -> f64 {
+        match *self {
+            Self::ExponentialDecay(lambda) => lambda,
+            _ => 1.0,
+        }
+    }
+}
+
+/// Window metadata carried by a shipped slice frame (v3), so a receiver
+/// can place the slice in its own ring — or ignore it and read the frame
+/// as a plain sketch.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WindowSliceMeta {
+    /// How many advances old the slice was when shipped (0 = the slice
+    /// currently accumulating).
+    pub slice_age: u32,
+    /// Ring size at the sender.
+    pub ring_slices: u32,
+    /// The sender's advance counter at ship time — a logical clock that
+    /// lets the receiver order slices from one sender.
+    pub advances: u64,
+    /// Decay factor of the sender's policy (`1.0` when not decaying).
+    pub decay_lambda: f64,
+}
+
+/// A fixed ring of time-sliced [`CoefficientSketch`]es.
+///
+/// All ingestion lands in the *current* slice;
+/// [`advance`](Self::advance) rotates the ring, retiring the oldest
+/// slice (clearing it in place — no allocation) and starting a fresh
+/// current slice. Queries fold the live slices through a
+/// [`WindowPolicy`] into a single merged sketch. Until the ring has
+/// wrapped once, only the slices actually started are live, so a young
+/// ring never dilutes its estimate with never-used empty slices' stamps.
+#[derive(Debug, Clone)]
+pub struct WindowedSketch {
+    slices: Vec<CoefficientSketch>,
+    /// Index of the current (age-0) slice.
+    head: usize,
+    /// Number of live slices: `1..=slices.len()`, growing by one per
+    /// advance until the ring wraps.
+    live: usize,
+    /// Total advances performed — the ring's logical clock.
+    advances: u64,
+}
+
+impl WindowedSketch {
+    /// Creates a ring of `slices` empty clones of `template`. The
+    /// template must itself be empty (a ring adopting half-accumulated
+    /// state would mis-attribute those rows to the current time slice).
+    pub fn new(template: &CoefficientSketch, slices: usize) -> Result<Self, EstimatorError> {
+        if slices == 0 {
+            return Err(EstimatorError::InvalidParameter {
+                message: "a windowed sketch needs at least one slice".to_string(),
+            });
+        }
+        if !template.is_empty() {
+            return Err(EstimatorError::InvalidParameter {
+                message: format!(
+                    "windowed sketch template must be empty, holds {} rows",
+                    template.count()
+                ),
+            });
+        }
+        Ok(Self {
+            slices: (0..slices).map(|_| template.clone()).collect(),
+            head: 0,
+            live: 1,
+            advances: 0,
+        })
+    }
+
+    /// Creates the ring a policy calls for. Fails on
+    /// [`WindowPolicy::Landmark`] (no ring to build) and on invalid
+    /// policy parameters.
+    pub fn from_policy(
+        template: &CoefficientSketch,
+        policy: WindowPolicy,
+    ) -> Result<Self, EstimatorError> {
+        policy.validate()?;
+        let slices = policy
+            .ring_slices()
+            .ok_or(EstimatorError::InvalidParameter {
+                message: "a landmark synopsis keeps no slice ring".to_string(),
+            })?;
+        Self::new(template, slices)
+    }
+
+    /// Number of slices in the ring (live or not).
+    pub fn ring_slices(&self) -> usize {
+        self.slices.len()
+    }
+
+    /// Number of live slices: grows from 1 to the ring size as the
+    /// stream's first advances happen, then stays there.
+    pub fn live_slices(&self) -> usize {
+        self.live
+    }
+
+    /// Total advances performed — the ring's logical clock.
+    pub fn advances(&self) -> u64 {
+        self.advances
+    }
+
+    /// Rows currently live across all slices.
+    pub fn count(&self) -> usize {
+        (0..self.live)
+            .map(|age| self.slices[self.slot(age)].count())
+            .sum()
+    }
+
+    /// Ring slot of the slice `age` advances old.
+    fn slot(&self, age: usize) -> usize {
+        debug_assert!(age < self.live);
+        (self.head + self.slices.len() - age) % self.slices.len()
+    }
+
+    /// Read-only view of the slice `age` advances old (0 = current);
+    /// `None` when the ring holds no slice that old yet.
+    pub fn slice(&self, age: usize) -> Option<&CoefficientSketch> {
+        (age < self.live).then(|| &self.slices[self.slot(age)])
+    }
+
+    /// Ingests a batch into the current slice.
+    pub fn push_batch(&mut self, values: &[f64]) {
+        self.slices[self.head].push_batch(values);
+    }
+
+    /// Merges an already-accumulated sketch into the current slice (the
+    /// engine's scatter-outside-the-lock ingest lands batches this way).
+    pub fn merge_into_current(&mut self, other: &CoefficientSketch) -> Result<(), EstimatorError> {
+        self.slices[self.head].merge(other)
+    }
+
+    /// Closes the current time slice and starts a fresh one, retiring the
+    /// oldest slice when the ring is full (its rows leave the window).
+    /// Clears the retired slice in place — no allocation. Returns the
+    /// number of rows retired.
+    pub fn advance(&mut self) -> usize {
+        self.advances += 1;
+        self.head = (self.head + 1) % self.slices.len();
+        // When the ring has not wrapped yet the slot rotated into was
+        // never live — nothing retires, the window just grows.
+        let retired = if self.live < self.slices.len() {
+            self.live += 1;
+            0
+        } else {
+            self.slices[self.head].count()
+        };
+        self.slices[self.head].clear();
+        retired
+    }
+
+    /// [`advance`](Self::advance) that swaps `replacement` (an empty,
+    /// compatible sketch) in as the fresh current slice and hands the
+    /// retired slice back *uncleaned* — so a caller holding a lock can
+    /// rotate in O(1) and do the `clear()` outside the critical section
+    /// (the engine's `advance_all` short-critical-section pattern).
+    pub fn advance_swap(
+        &mut self,
+        replacement: CoefficientSketch,
+    ) -> Result<CoefficientSketch, EstimatorError> {
+        if !replacement.is_empty() {
+            return Err(EstimatorError::InvalidParameter {
+                message: format!(
+                    "advance replacement slice must be empty, holds {} rows",
+                    replacement.count()
+                ),
+            });
+        }
+        self.slices[self.head].is_compatible(&replacement)?;
+        self.advances += 1;
+        self.head = (self.head + 1) % self.slices.len();
+        if self.live < self.slices.len() {
+            self.live += 1;
+        }
+        Ok(std::mem::replace(&mut self.slices[self.head], replacement))
+    }
+
+    /// Overwrites `target` with the policy-weighted fold of the live
+    /// slices (oldest first, so the most-decayed contributions accumulate
+    /// while small). Reuses `target`'s allocations; its level stamps
+    /// advance strictly, so caches keyed to it stay sound across
+    /// advances.
+    pub fn merge_window_into(
+        &self,
+        target: &mut CoefficientSketch,
+        policy: WindowPolicy,
+    ) -> Result<(), EstimatorError> {
+        policy.validate()?;
+        for (i, age) in (0..self.live).rev().enumerate() {
+            let slice = &self.slices[self.slot(age)];
+            let weight = policy.weight(age);
+            if i == 0 {
+                target.copy_scaled_from(slice, weight)?;
+            } else {
+                target.merge_scaled(slice, weight)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Folds the live slices *into* an existing accumulation (no
+    /// overwrite) — what a multi-shard engine uses to fold several rings
+    /// into one query sketch.
+    pub fn merge_window_append(
+        &self,
+        target: &mut CoefficientSketch,
+        policy: WindowPolicy,
+    ) -> Result<(), EstimatorError> {
+        policy.validate()?;
+        for age in (0..self.live).rev() {
+            target.merge_scaled(&self.slices[self.slot(age)], policy.weight(age))?;
+        }
+        Ok(())
+    }
+
+    /// The policy-weighted merged window as a standalone sketch. For
+    /// [`WindowPolicy::SlidingSlices`] this is exactly the mergeable
+    /// sketch over the surviving rows; for
+    /// [`WindowPolicy::ExponentialDecay`] each slice enters at `λᵃ`.
+    pub fn merged_window(&self, policy: WindowPolicy) -> Result<CoefficientSketch, EstimatorError> {
+        let mut merged = self.slices[self.head].clone();
+        self.merge_window_into(&mut merged, policy)?;
+        Ok(merged)
+    }
+
+    /// Serializes the slice `age` advances old as a windowed v3 frame
+    /// carrying [`WindowSliceMeta`]. Receivers without window support
+    /// read it as a plain sketch via `CoefficientSketch::from_bytes`.
+    pub fn ship_slice(&self, age: usize, policy: WindowPolicy) -> Result<Vec<u8>, EstimatorError> {
+        policy.validate()?;
+        let slice = self
+            .slice(age)
+            .ok_or_else(|| EstimatorError::InvalidParameter {
+                message: format!("no live slice of age {age} (ring holds {})", self.live),
+            })?;
+        let meta = WindowSliceMeta {
+            slice_age: age as u32,
+            ring_slices: self.slices.len() as u32,
+            advances: self.advances,
+            decay_lambda: policy.decay_lambda(),
+        };
+        Ok(slice.to_bytes_with_window(&meta))
+    }
+
+    /// Resets the ring to its freshly-built state: every slice cleared,
+    /// one live slice, advance clock back to zero.
+    pub fn clear(&mut self) {
+        for slice in &mut self.slices {
+            slice.clear();
+        }
+        self.head = 0;
+        self.live = 1;
+        self.advances = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+    use wavedens_processes::seeded_rng;
+
+    fn sample(n: usize, seed: u64) -> Vec<f64> {
+        let mut rng = seeded_rng(seed);
+        (0..n).map(|_| rng.gen::<f64>()).collect()
+    }
+
+    fn template() -> CoefficientSketch {
+        CoefficientSketch::sized_for(1024).unwrap()
+    }
+
+    #[test]
+    fn policy_validation_and_weights() {
+        assert!(WindowPolicy::Landmark.validate().is_ok());
+        assert!(WindowPolicy::SlidingSlices(4).validate().is_ok());
+        assert!(WindowPolicy::ExponentialDecay(0.5).validate().is_ok());
+        assert!(WindowPolicy::ExponentialDecay(1.0).validate().is_ok());
+        for bad in [
+            WindowPolicy::SlidingSlices(0),
+            WindowPolicy::ExponentialDecay(0.0),
+            WindowPolicy::ExponentialDecay(-0.5),
+            WindowPolicy::ExponentialDecay(1.5),
+            WindowPolicy::ExponentialDecay(f64::NAN),
+        ] {
+            assert!(bad.validate().is_err(), "{bad:?} must be rejected");
+        }
+        assert_eq!(WindowPolicy::Landmark.ring_slices(), None);
+        assert_eq!(WindowPolicy::SlidingSlices(3).ring_slices(), Some(3));
+        assert_eq!(
+            WindowPolicy::ExponentialDecay(0.9).ring_slices(),
+            Some(DEFAULT_DECAY_SLICES)
+        );
+        assert!(!WindowPolicy::Landmark.is_windowed());
+        assert!(WindowPolicy::SlidingSlices(1).is_windowed());
+        assert_eq!(WindowPolicy::SlidingSlices(3).weight(5), 1.0);
+        assert_eq!(WindowPolicy::ExponentialDecay(0.5).weight(0), 1.0);
+        assert_eq!(WindowPolicy::ExponentialDecay(0.5).weight(2), 0.25);
+        assert_eq!(WindowPolicy::default(), WindowPolicy::Landmark);
+    }
+
+    #[test]
+    fn ring_construction_is_validated() {
+        assert!(WindowedSketch::new(&template(), 0).is_err());
+        let mut dirty = template();
+        dirty.push_batch(&sample(8, 1));
+        assert!(WindowedSketch::new(&dirty, 3).is_err());
+        assert!(WindowedSketch::from_policy(&template(), WindowPolicy::Landmark).is_err());
+        assert!(
+            WindowedSketch::from_policy(&template(), WindowPolicy::ExponentialDecay(2.0)).is_err()
+        );
+        let ring =
+            WindowedSketch::from_policy(&template(), WindowPolicy::SlidingSlices(3)).unwrap();
+        assert_eq!(ring.ring_slices(), 3);
+        assert_eq!(ring.live_slices(), 1);
+        assert_eq!(ring.advances(), 0);
+    }
+
+    #[test]
+    fn advances_grow_then_retire_in_fifo_order() {
+        let mut ring = WindowedSketch::new(&template(), 3).unwrap();
+        ring.push_batch(&sample(100, 2));
+        assert_eq!(ring.advance(), 0, "a growing ring retires nothing");
+        ring.push_batch(&sample(60, 3));
+        assert_eq!(ring.advance(), 0);
+        ring.push_batch(&sample(40, 4));
+        assert_eq!(ring.live_slices(), 3);
+        assert_eq!(ring.count(), 200);
+        assert_eq!(ring.slice(0).unwrap().count(), 40);
+        assert_eq!(ring.slice(2).unwrap().count(), 100);
+        assert!(ring.slice(3).is_none());
+        // Full ring: the next advances retire the oldest slices in order.
+        assert_eq!(ring.advance(), 100);
+        assert_eq!(ring.advance(), 60);
+        assert_eq!(ring.advance(), 40);
+        assert_eq!(ring.count(), 0);
+        assert_eq!(ring.advances(), 5);
+        ring.clear();
+        assert_eq!((ring.live_slices(), ring.advances()), (1, 0));
+    }
+
+    #[test]
+    fn advance_swap_rejects_unusable_replacements() {
+        let mut ring = WindowedSketch::new(&template(), 2).unwrap();
+        ring.push_batch(&sample(32, 5));
+        let mut dirty = template();
+        dirty.push_batch(&sample(8, 6));
+        assert!(ring.advance_swap(dirty).is_err());
+        let incompatible = CoefficientSketch::sized_for(65536).unwrap();
+        assert!(ring.advance_swap(incompatible).is_err());
+        assert_eq!(ring.advances(), 0, "failed swaps must not tick the clock");
+        let retired = ring.advance_swap(template()).unwrap();
+        assert_eq!(retired.count(), 0, "growing ring hands back an unused slot");
+        assert_eq!(ring.count(), 32);
+    }
+
+    #[test]
+    fn sliding_fold_is_bitwise_the_fresh_fit_on_surviving_rows() {
+        // Ring fed four batches with k = 2: after the retirements only the
+        // last two batches survive. The folded window must be *bitwise*
+        // the state of a fresh ring fed only those batches.
+        let batches: Vec<Vec<f64>> = (0..4)
+            .map(|i| sample(200 + 50 * i, 10 + i as u64))
+            .collect();
+        let mut ring = WindowedSketch::new(&template(), 2).unwrap();
+        for (i, batch) in batches.iter().enumerate() {
+            if i > 0 {
+                ring.advance();
+            }
+            ring.push_batch(batch);
+        }
+        let mut fresh = WindowedSketch::new(&template(), 2).unwrap();
+        fresh.push_batch(&batches[2]);
+        fresh.advance();
+        fresh.push_batch(&batches[3]);
+        let policy = WindowPolicy::SlidingSlices(2);
+        let a = ring.merged_window(policy).unwrap();
+        let b = fresh.merged_window(policy).unwrap();
+        assert_eq!(a.count(), b.count());
+        assert_eq!(a.to_bytes(), b.to_bytes(), "sliding fold must be bitwise");
+    }
+
+    #[test]
+    fn decayed_fold_weights_slices_geometrically() {
+        let mut ring = WindowedSketch::new(&template(), 4).unwrap();
+        ring.push_batch(&sample(400, 20));
+        ring.advance();
+        ring.push_batch(&sample(200, 21));
+        let merged = ring
+            .merged_window(WindowPolicy::ExponentialDecay(0.5))
+            .unwrap();
+        // 200·λ⁰ + 400·λ¹ at λ = 1/2.
+        assert_eq!(merged.count(), 200 + 200);
+        // merge_window_append folds *into* existing mass instead.
+        let mut acc = merged.clone();
+        ring.merge_window_append(&mut acc, WindowPolicy::ExponentialDecay(0.5))
+            .unwrap();
+        assert_eq!(acc.count(), 800);
+    }
+
+    #[test]
+    fn shipped_slices_round_trip_with_metadata() {
+        let mut ring = WindowedSketch::new(&template(), 3).unwrap();
+        ring.push_batch(&sample(150, 30));
+        ring.advance();
+        ring.push_batch(&sample(90, 31));
+        let policy = WindowPolicy::ExponentialDecay(0.75);
+        let frame = ring.ship_slice(1, policy).unwrap();
+        let (slice, meta) = CoefficientSketch::from_bytes_with_window(&frame).unwrap();
+        assert_eq!(slice.count(), 150);
+        let meta = meta.expect("v3 frames carry window metadata");
+        assert_eq!(meta.slice_age, 1);
+        assert_eq!(meta.ring_slices, 3);
+        assert_eq!(meta.advances, 1);
+        assert_eq!(meta.decay_lambda, 0.75);
+        // Plain readers see the same sketch, minus the metadata.
+        assert_eq!(CoefficientSketch::from_bytes(&frame).unwrap().count(), 150);
+        // Shipping a slice the ring does not hold yet fails cleanly.
+        assert!(ring.ship_slice(2, policy).is_err());
+    }
+}

@@ -12,7 +12,7 @@
 
 use crate::synopsis::{AttributeSynopsis, RefreshedSynopsis, SynopsisConfig};
 use std::collections::BTreeMap;
-use std::sync::{Arc, RwLock};
+use std::sync::{Arc, PoisonError, RwLock, RwLockReadGuard};
 use wavedens_core::{CompactionPolicy, EstimatorError};
 
 /// Errors raised by the catalog.
@@ -25,6 +25,15 @@ pub enum EngineError {
     },
     /// Building a synopsis (or its sketch) failed.
     Estimator(EstimatorError),
+    /// A thread panicked while *mutating* shared engine state, and the
+    /// state cannot be repaired automatically. Read paths never raise
+    /// this — they recover and keep answering — but mutating paths
+    /// (registration) refuse to build on top of a possibly
+    /// half-completed mutation.
+    Poisoned {
+        /// Which structure the crashed thread was mutating.
+        context: String,
+    },
 }
 
 impl std::fmt::Display for EngineError {
@@ -34,6 +43,9 @@ impl std::fmt::Display for EngineError {
                 write!(f, "attribute {name:?} is not registered in the catalog")
             }
             EngineError::Estimator(err) => write!(f, "estimator error: {err}"),
+            EngineError::Poisoned { context } => {
+                write!(f, "{context} was poisoned by a panicked writer")
+            }
         }
     }
 }
@@ -71,21 +83,43 @@ impl SynopsisCatalog {
         Self::default()
     }
 
+    /// Acquires the registry read lock, recovering from poisoning.
+    ///
+    /// The registry map is only mutated by [`Self::register`], whose
+    /// `BTreeMap::insert` either completed or never ran when a writer
+    /// panicked — readers cannot observe a torn entry, so read paths keep
+    /// answering. The poison flag is deliberately *not* cleared: the
+    /// mutating path in `register` keeps refusing with
+    /// [`EngineError::Poisoned`] until the catalog is rebuilt.
+    fn read_registry(&self) -> RwLockReadGuard<'_, BTreeMap<String, Arc<AttributeSynopsis>>> {
+        self.attributes
+            .read()
+            .unwrap_or_else(PoisonError::into_inner)
+    }
+
     /// Registers an attribute with the given configuration, returning its
     /// synopsis. Registering an existing name is idempotent: the existing
     /// synopsis is returned untouched (and keeps its data).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::Poisoned`] if a previous registration
+    /// panicked mid-insert: unlike the read paths (which recover), adding
+    /// attributes on top of a possibly half-completed mutation is refused.
     pub fn register(
         &self,
         name: &str,
         config: SynopsisConfig,
     ) -> Result<Arc<AttributeSynopsis>, EngineError> {
         {
-            let attributes = self.attributes.read().expect("catalog poisoned");
+            let attributes = self.read_registry();
             if let Some(existing) = attributes.get(name) {
                 return Ok(Arc::clone(existing));
             }
         }
-        let mut attributes = self.attributes.write().expect("catalog poisoned");
+        let mut attributes = self.attributes.write().map_err(|_| EngineError::Poisoned {
+            context: "catalog registry".to_string(),
+        })?;
         // Double-checked: another writer may have registered the name
         // between the read and write locks.
         if let Some(existing) = attributes.get(name) {
@@ -98,11 +132,7 @@ impl SynopsisCatalog {
 
     /// The synopsis of a registered attribute.
     pub fn attribute(&self, name: &str) -> Option<Arc<AttributeSynopsis>> {
-        self.attributes
-            .read()
-            .expect("catalog poisoned")
-            .get(name)
-            .map(Arc::clone)
+        self.read_registry().get(name).map(Arc::clone)
     }
 
     /// Resolves an attribute or errors with
@@ -125,6 +155,21 @@ impl SynopsisCatalog {
     pub fn ingest_parallel(&self, name: &str, values: &[f64]) -> Result<(), EngineError> {
         self.resolve(name)?.ingest_parallel(values);
         Ok(())
+    }
+
+    /// Advances a registered attribute's sketch window: retires its
+    /// oldest slice and opens a fresh one. Returns `true` if the
+    /// attribute runs a windowed policy, `false` for landmark attributes
+    /// (for which this is a no-op). See [`AttributeSynopsis::advance`].
+    pub fn advance(&self, name: &str) -> Result<bool, EngineError> {
+        Ok(self.resolve(name)?.advance())
+    }
+
+    /// Serializes a registered windowed attribute's *current* window
+    /// slice to the windowed wire frame. See
+    /// [`AttributeSynopsis::ship_window_slice`].
+    pub fn ship_window_slice(&self, name: &str) -> Result<Vec<u8>, EngineError> {
+        Ok(self.resolve(name)?.ship_window_slice()?)
     }
 
     /// Estimated selectivity `P(lo ≤ X ≤ hi)` for a registered attribute
@@ -151,17 +196,12 @@ impl SynopsisCatalog {
 
     /// Names of all registered attributes (sorted).
     pub fn names(&self) -> Vec<String> {
-        self.attributes
-            .read()
-            .expect("catalog poisoned")
-            .keys()
-            .cloned()
-            .collect()
+        self.read_registry().keys().cloned().collect()
     }
 
     /// Number of registered attributes.
     pub fn len(&self) -> usize {
-        self.attributes.read().expect("catalog poisoned").len()
+        self.read_registry().len()
     }
 
     /// Whether no attribute is registered.
@@ -171,9 +211,7 @@ impl SynopsisCatalog {
 
     /// Total rows ingested across all attributes.
     pub fn total_rows(&self) -> usize {
-        self.attributes
-            .read()
-            .expect("catalog poisoned")
+        self.read_registry()
             .values()
             .map(|synopsis| synopsis.rows())
             .sum()
@@ -255,6 +293,64 @@ mod tests {
                 .ship("missing", CompactionPolicy::Dense)
                 .unwrap_err(),
             EngineError::UnknownAttribute { .. }
+        ));
+    }
+
+    #[test]
+    fn windowed_attributes_advance_through_the_catalog() {
+        use wavedens_core::WindowPolicy;
+        let catalog = SynopsisCatalog::new();
+        catalog
+            .register(
+                "recent",
+                small_config().with_window(WindowPolicy::SlidingSlices(2)),
+            )
+            .unwrap();
+        catalog.register("lifetime", small_config()).unwrap();
+        catalog.ingest("recent", &sample(512, 7)).unwrap();
+        // Landmark attributes report the advance as a no-op.
+        assert!(!catalog.advance("lifetime").unwrap());
+        assert!(catalog.advance("recent").unwrap());
+        catalog.ingest("recent", &sample(256, 8)).unwrap();
+        // The second advance of a two-slice ring retires the 512-row slice.
+        assert!(catalog.advance("recent").unwrap());
+        assert_eq!(catalog.attribute("recent").unwrap().rows(), 256);
+        // Current-slice shipping works for windowed attributes only.
+        catalog.ingest("recent", &sample(64, 9)).unwrap();
+        let frame = catalog.ship_window_slice("recent").unwrap();
+        let restored = wavedens_core::CoefficientSketch::from_bytes(&frame).unwrap();
+        assert_eq!(restored.count(), 64);
+        assert!(matches!(
+            catalog.ship_window_slice("lifetime").unwrap_err(),
+            EngineError::Estimator(_)
+        ));
+        assert!(matches!(
+            catalog.advance("missing").unwrap_err(),
+            EngineError::UnknownAttribute { .. }
+        ));
+    }
+
+    #[test]
+    fn poisoned_registry_keeps_answering_reads_but_refuses_registration() {
+        let catalog = SynopsisCatalog::new();
+        catalog.register("x", small_config()).unwrap();
+        catalog.ingest("x", &sample(1024, 6)).unwrap();
+        // A writer panics while holding the registry write lock.
+        let crash = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _guard = catalog.attributes.write().unwrap();
+            panic!("simulated registration crash");
+        }));
+        assert!(crash.is_err());
+        // Read paths recover and keep answering.
+        assert_eq!(catalog.names(), vec!["x"]);
+        assert_eq!(catalog.total_rows(), 1024);
+        assert!(catalog.selectivity("x", 0.0, 1.0).unwrap() > 0.9);
+        // Registering an *existing* name resolves under the read path.
+        assert!(catalog.register("x", small_config()).is_ok());
+        // Registering a new name needs the write lock and is refused.
+        assert!(matches!(
+            catalog.register("y", small_config()).unwrap_err(),
+            EngineError::Poisoned { .. }
         ));
     }
 

@@ -26,6 +26,12 @@
 //!   queries in O(1); a stale cache is rebuilt by **one** thread while
 //!   concurrent readers keep answering from the previous snapshot — a
 //!   rebuild never blocks the read path.
+//! * [`WindowedIngest`] — the streaming sibling of [`ShardedIngest`]:
+//!   per-shard *rings* of time-sliced sketches. [`WindowedIngest::advance_all`]
+//!   retires the oldest slice in O(1) per shard, so sliding-window and
+//!   exponentially-decayed estimates subtract old data by dropping a
+//!   slice instead of un-merging it. Selected per attribute via
+//!   [`SynopsisConfig::with_window`] and a [`WindowPolicy`].
 //! * [`SynopsisCatalog`] — a named registry of attribute synopses, so one
 //!   process serves selectivity estimates for many table columns at once.
 //!
@@ -46,11 +52,13 @@
 pub mod catalog;
 pub mod sharded;
 pub mod synopsis;
+pub mod windowed;
 
 pub use catalog::{EngineError, SynopsisCatalog};
 pub use sharded::ShardedIngest;
 pub use synopsis::{AttributeSynopsis, RefreshedSynopsis, SynopsisConfig};
+pub use windowed::WindowedIngest;
 
-// Re-exported so engine users can pick a shipping policy without a direct
-// `wavedens_core` dependency.
-pub use wavedens_core::CompactionPolicy;
+// Re-exported so engine users can pick a shipping policy or window policy
+// without a direct `wavedens_core` dependency.
+pub use wavedens_core::{CompactionPolicy, WindowPolicy};

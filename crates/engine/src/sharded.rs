@@ -23,9 +23,21 @@
 //! evaluation, only the cheap vector addition. Small batches skip the
 //! detour: their in-lock scatter is already shorter than a full
 //! element-wise merge.
+//!
+//! # Poisoned shards
+//!
+//! A writer that panics while holding a shard lock poisons the mutex.
+//! Propagating that panic to every later ingest and query — what a bare
+//! `lock().expect(…)` does — turns one crashed writer into a permanently
+//! dead attribute. All the state behind these locks is repair-safe, so
+//! the locks recover instead: a poisoned shard is cleared (dropping the
+//! possibly-torn sums of the crashed batch and the shard's earlier rows,
+//! which the running row counter gives back), a poisoned scratch pool is
+//! emptied, and the poison flag is reset so the repair runs once, not on
+//! every subsequent access.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Mutex, MutexGuard};
 use wavedens_core::{CoefficientSketch, EstimatorError};
 
 /// Batch length from which [`ShardedIngest::ingest`] scatters outside the
@@ -34,18 +46,35 @@ use wavedens_core::{CoefficientSketch, EstimatorError};
 /// the scatter of a few dozen rows is cheaper than merging the full level
 /// tables, so the detour would lengthen the critical section instead of
 /// shrinking it.
-const SCATTER_OUTSIDE_LOCK_MIN: usize = 256;
+pub(crate) const SCATTER_OUTSIDE_LOCK_MIN: usize = 256;
 
 /// Minimum rows per scoped-thread chunk of
 /// [`ShardedIngest::ingest_parallel`]: spawning a thread for a handful of
 /// rows costs more than scattering them, so tiny bulk loads run inline (or
 /// on fewer threads than shards).
-const MIN_PARALLEL_CHUNK: usize = 256;
+pub(crate) const MIN_PARALLEL_CHUNK: usize = 256;
 
 /// Upper bound on pooled scratch sketches kept alive for the
 /// out-of-lock scatter path; more concurrent writers than this simply
 /// allocate (and drop) a scratch for the duration of their batch.
-const MAX_POOLED_SCRATCH: usize = 8;
+pub(crate) const MAX_POOLED_SCRATCH: usize = 8;
+
+/// Locks a scratch pool, recovering from poisoning by emptying it: pooled
+/// scratches are cheap to re-clone from the template, so dropping them is
+/// always a safe repair. Clears the poison flag — the repair runs once.
+pub(crate) fn lock_scratch_pool<'a>(
+    pool: &'a Mutex<Vec<CoefficientSketch>>,
+) -> MutexGuard<'a, Vec<CoefficientSketch>> {
+    match pool.lock() {
+        Ok(guard) => guard,
+        Err(poisoned) => {
+            let mut guard = poisoned.into_inner();
+            pool.clear_poison();
+            guard.clear();
+            guard
+        }
+    }
+}
 
 /// N per-shard sketches with round-robin batch placement and scoped-thread
 /// parallel bulk loads.
@@ -105,6 +134,35 @@ impl ShardedIngest {
         self.total_count() == 0
     }
 
+    /// Locks shard `index`, recovering from a poisoned mutex. The panicked
+    /// writer may have left the sketch mid-scatter with torn sums, so the
+    /// repair drops the shard's accumulation wholesale: `clear()` the
+    /// sketch, give its rows back to the running counter, and reset the
+    /// poison flag so the repair runs exactly once per crash. Later
+    /// ingests and merges then see a structurally sound (merely smaller)
+    /// shard instead of a propagated panic.
+    fn lock_shard(&self, index: usize) -> MutexGuard<'_, CoefficientSketch> {
+        match self.shards[index].lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => {
+                let mut guard = poisoned.into_inner();
+                self.shards[index].clear_poison();
+                let lost = guard.count();
+                guard.clear();
+                // The crashed batch was never added to `rows` (the counter
+                // is bumped after a batch lands), so only previously
+                // landed rows are subtracted; saturate rather than assume
+                // the interleaving.
+                let _ = self
+                    .rows
+                    .fetch_update(Ordering::AcqRel, Ordering::Acquire, |rows| {
+                        Some(rows.saturating_sub(lost))
+                    });
+                guard
+            }
+        }
+    }
+
     /// Ingests one batch into a single shard, chosen round-robin so that
     /// concurrent writers spread across shards and rarely contend on the
     /// same mutex.
@@ -128,17 +186,12 @@ impl ShardedIngest {
         if values.len() >= SCATTER_OUTSIDE_LOCK_MIN {
             let mut local = self.take_scratch();
             local.push_batch(values);
-            self.shards[shard]
-                .lock()
-                .expect("shard poisoned")
+            self.lock_shard(shard)
                 .merge(&local)
                 .expect("scratch is cloned from the shard template");
             self.return_scratch(local);
         } else {
-            self.shards[shard]
-                .lock()
-                .expect("shard poisoned")
-                .push_batch(values);
+            self.lock_shard(shard).push_batch(values);
         }
     }
 
@@ -170,9 +223,9 @@ impl ShardedIngest {
             self.scatter_into_shard(shard, values);
         } else {
             std::thread::scope(|scope| {
-                for (shard, slice) in self.shards.iter().zip(values.chunks(chunk)) {
+                for (shard, slice) in (0..self.shards.len()).zip(values.chunks(chunk)) {
                     scope.spawn(move || {
-                        shard.lock().expect("shard poisoned").push_batch(slice);
+                        self.lock_shard(shard).push_batch(slice);
                     });
                 }
             });
@@ -185,9 +238,9 @@ impl ShardedIngest {
     /// locked one at a time, so concurrent writers are stalled for at most
     /// one shard-clone each.
     pub fn merged(&self) -> Result<CoefficientSketch, EstimatorError> {
-        let mut merged = self.shards[0].lock().expect("shard poisoned").clone();
-        for shard in &self.shards[1..] {
-            let snapshot = shard.lock().expect("shard poisoned").clone();
+        let mut merged = self.lock_shard(0).clone();
+        for shard in 1..self.shards.len() {
+            let snapshot = self.lock_shard(shard).clone();
             merged.merge(&snapshot)?;
         }
         Ok(merged)
@@ -200,11 +253,11 @@ impl ShardedIngest {
     /// merge result is); its prior contents are overwritten.
     pub fn merge_into(&self, target: &mut CoefficientSketch) -> Result<(), EstimatorError> {
         {
-            let first = self.shards[0].lock().expect("shard poisoned");
+            let first = self.lock_shard(0);
             target.copy_from(&first)?;
         }
-        for shard in &self.shards[1..] {
-            let snapshot = shard.lock().expect("shard poisoned");
+        for shard in 1..self.shards.len() {
+            let snapshot = self.lock_shard(shard);
             target.merge(&snapshot)?;
         }
         Ok(())
@@ -214,9 +267,7 @@ impl ShardedIngest {
     /// when the pool is dry (first use, or more concurrent writers than
     /// pooled scratches).
     fn take_scratch(&self) -> CoefficientSketch {
-        self.scratch
-            .lock()
-            .expect("scratch pool poisoned")
+        lock_scratch_pool(&self.scratch)
             .pop()
             .unwrap_or_else(|| self.template.clone())
     }
@@ -225,7 +276,7 @@ impl ShardedIngest {
     /// the pool, unless the pool is already full.
     fn return_scratch(&self, mut sketch: CoefficientSketch) {
         sketch.clear();
-        let mut pool = self.scratch.lock().expect("scratch pool poisoned");
+        let mut pool = lock_scratch_pool(&self.scratch);
         if pool.len() < MAX_POOLED_SCRATCH {
             pool.push(sketch);
         }
@@ -237,10 +288,8 @@ impl Clone for ShardedIngest {
         // Clone the shard contents first so the row counter can be
         // recomputed from exactly the cloned state: the clone is then
         // self-consistent even if writers raced the per-shard locks.
-        let sketches: Vec<CoefficientSketch> = self
-            .shards
-            .iter()
-            .map(|shard| shard.lock().expect("shard poisoned").clone())
+        let sketches: Vec<CoefficientSketch> = (0..self.shards.len())
+            .map(|shard| self.lock_shard(shard).clone())
             .collect();
         let rows = sketches.iter().map(|sketch| sketch.count()).sum();
         Self {
@@ -406,6 +455,52 @@ mod tests {
         assert_eq!(sharded.shard_count(), 1);
         sharded.ingest(&[0.25, 0.75]);
         assert_eq!(sharded.merged().unwrap().count(), 2);
+    }
+
+    /// A writer panicking while holding a shard lock must not take the
+    /// whole ingest structure down with it: the next access repairs the
+    /// shard (dropping its possibly-torn rows) and everything keeps
+    /// answering.
+    #[test]
+    fn poisoned_shard_recovers_instead_of_propagating() {
+        let sharded = ShardedIngest::new(&template(1000), 2).unwrap();
+        // 500 rows land on shard 0 (first round-robin pick).
+        sharded.ingest(&sample(500, 11));
+        assert_eq!(sharded.total_count(), 500);
+        // Simulate a writer crash while holding shard 0's lock.
+        let crash = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _guard = sharded.shards[0].lock().unwrap();
+            panic!("simulated writer crash");
+        }));
+        assert!(crash.is_err());
+        assert!(sharded.shards[0].is_poisoned());
+        // Ingest keeps working (round-robin sends this batch to shard 1).
+        sharded.ingest(&sample(100, 12));
+        // The merge touches the poisoned shard, repairs it once (shard 0's
+        // torn state is dropped and its rows given back) and answers.
+        let merged = sharded.merged().unwrap();
+        assert_eq!(merged.count(), 100);
+        assert_eq!(sharded.total_count(), 100);
+        assert!(!sharded.shards[0].is_poisoned());
+        // The repair is not repeated: rows ingested after it survive the
+        // next merge.
+        sharded.ingest(&sample(200, 13));
+        assert_eq!(sharded.merged().unwrap().count(), 300);
+    }
+
+    /// A poisoned scratch pool is emptied and keeps serving: the long-
+    /// batch scatter path still lands its rows.
+    #[test]
+    fn poisoned_scratch_pool_recovers() {
+        let sharded = ShardedIngest::new(&template(1000), 1).unwrap();
+        let crash = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _guard = sharded.scratch.lock().unwrap();
+            panic!("simulated crash while holding the pool");
+        }));
+        assert!(crash.is_err());
+        let data = sample(2 * SCATTER_OUTSIDE_LOCK_MIN, 14);
+        sharded.ingest(&data);
+        assert_eq!(sharded.merged().unwrap().count(), data.len());
     }
 
     #[test]

@@ -2,11 +2,12 @@
 //! cache of the refreshed (thresholded + CDF-tabulated) estimate.
 
 use crate::sharded::ShardedIngest;
+use crate::windowed::WindowedIngest;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex, RwLock};
+use std::sync::{Arc, Mutex, MutexGuard, RwLock, RwLockReadGuard};
 use wavedens_core::{
     CoefficientSketch, CompactionPolicy, CumulativeEstimate, CvCache, DenseEvalCache,
-    EstimatorError, ThresholdRule, WaveletDensityEstimate, DEFAULT_CDF_POINTS,
+    EstimatorError, ThresholdRule, WaveletDensityEstimate, WindowPolicy, DEFAULT_CDF_POINTS,
 };
 
 /// Configuration of an [`AttributeSynopsis`].
@@ -24,6 +25,11 @@ pub struct SynopsisConfig {
     /// Resolution of the precomputed CDF table (default
     /// [`DEFAULT_CDF_POINTS`]).
     pub cdf_points: usize,
+    /// How the synopsis weights history (default
+    /// [`WindowPolicy::Landmark`]: one lifetime sketch). Windowed
+    /// policies maintain per-shard slice rings; see
+    /// [`AttributeSynopsis::advance`].
+    pub window: WindowPolicy,
 }
 
 impl Default for SynopsisConfig {
@@ -35,6 +41,7 @@ impl Default for SynopsisConfig {
                 .map(|p| p.get())
                 .unwrap_or(1),
             cdf_points: DEFAULT_CDF_POINTS,
+            window: WindowPolicy::Landmark,
         }
     }
 }
@@ -55,6 +62,12 @@ impl SynopsisConfig {
     /// Sets the thresholding rule.
     pub fn with_rule(mut self, rule: ThresholdRule) -> Self {
         self.rule = rule;
+        self
+    }
+
+    /// Sets the window policy (validated when the synopsis is built).
+    pub fn with_window(mut self, window: WindowPolicy) -> Self {
+        self.window = window;
         self
     }
 }
@@ -147,6 +160,59 @@ struct RefreshState {
     dense: DenseEvalCache,
 }
 
+/// The ingest structure behind a synopsis: one lifetime sharded sketch
+/// ([`WindowPolicy::Landmark`]) or per-shard windowed slice rings. Both
+/// expose the same merge surface, so the refresh path is policy-blind.
+#[derive(Debug, Clone)]
+enum IngestBackend {
+    Landmark(ShardedIngest),
+    Windowed(WindowedIngest),
+}
+
+impl IngestBackend {
+    fn ingest(&self, values: &[f64]) {
+        match self {
+            Self::Landmark(shards) => shards.ingest(values),
+            Self::Windowed(rings) => rings.ingest(values),
+        }
+    }
+
+    fn ingest_parallel(&self, values: &[f64]) {
+        match self {
+            Self::Landmark(shards) => shards.ingest_parallel(values),
+            Self::Windowed(rings) => rings.ingest_parallel(values),
+        }
+    }
+
+    fn total_count(&self) -> usize {
+        match self {
+            Self::Landmark(shards) => shards.total_count(),
+            Self::Windowed(rings) => rings.total_count(),
+        }
+    }
+
+    fn shard_count(&self) -> usize {
+        match self {
+            Self::Landmark(shards) => shards.shard_count(),
+            Self::Windowed(rings) => rings.shard_count(),
+        }
+    }
+
+    fn merged(&self) -> Result<CoefficientSketch, EstimatorError> {
+        match self {
+            Self::Landmark(shards) => shards.merged(),
+            Self::Windowed(rings) => rings.merged(),
+        }
+    }
+
+    fn merge_into(&self, target: &mut CoefficientSketch) -> Result<(), EstimatorError> {
+        match self {
+            Self::Landmark(shards) => shards.merge_into(target),
+            Self::Windowed(rings) => rings.merge_into(target),
+        }
+    }
+}
+
 /// One attribute's synopsis: a sharded sketch filled by writers plus an
 /// atomically swapped `Arc` of the latest refreshed estimate.
 ///
@@ -170,7 +236,7 @@ struct RefreshState {
 ///   ([`rebuild_count`](Self::rebuild_count) exposes the counter).
 #[derive(Debug)]
 pub struct AttributeSynopsis {
-    shards: ShardedIngest,
+    backend: IngestBackend,
     rule: ThresholdRule,
     cdf_points: usize,
     /// Bumped after every completed ingest batch; the cache is fresh when
@@ -186,11 +252,23 @@ pub struct AttributeSynopsis {
 }
 
 impl AttributeSynopsis {
-    /// Creates an empty synopsis from a configuration.
+    /// Creates an empty synopsis from a configuration. Fails on invalid
+    /// window-policy parameters (zero-slice sliding window, decay factor
+    /// outside `(0, 1]`).
     pub fn new(config: &SynopsisConfig) -> Result<Self, EstimatorError> {
+        config.window.validate()?;
         let template = CoefficientSketch::sized_for(config.expected_rows.max(16))?;
+        let backend = if config.window.is_windowed() {
+            IngestBackend::Windowed(WindowedIngest::new(
+                &template,
+                config.shards,
+                config.window,
+            )?)
+        } else {
+            IngestBackend::Landmark(ShardedIngest::new(&template, config.shards)?)
+        };
         Ok(Self {
-            shards: ShardedIngest::new(&template, config.shards)?,
+            backend,
             rule: config.rule,
             cdf_points: config.cdf_points.max(2),
             epoch: AtomicU64::new(0),
@@ -207,14 +285,25 @@ impl AttributeSynopsis {
 
     /// Number of ingest shards.
     pub fn shard_count(&self) -> usize {
-        self.shards.shard_count()
+        self.backend.shard_count()
     }
 
-    /// Total rows ingested so far — O(1) from the sharded ingest's atomic
-    /// running counter, so observability probes and staleness checks never
-    /// take the per-shard locks.
+    /// The window policy this synopsis weights history with
+    /// ([`WindowPolicy::Landmark`] unless configured otherwise).
+    pub fn window_policy(&self) -> WindowPolicy {
+        match &self.backend {
+            IngestBackend::Landmark(_) => WindowPolicy::Landmark,
+            IngestBackend::Windowed(rings) => rings.policy(),
+        }
+    }
+
+    /// Total rows currently contributing to the synopsis — all rows ever
+    /// ingested for a landmark synopsis, the rows live in the window for
+    /// a windowed one. O(1) from an atomic running counter, so
+    /// observability probes and staleness checks never take the per-shard
+    /// locks.
     pub fn rows(&self) -> usize {
-        self.shards.total_count()
+        self.backend.total_count()
     }
 
     /// Number of cross-validation rebuilds performed so far: increments
@@ -230,10 +319,40 @@ impl AttributeSynopsis {
         if values.is_empty() {
             return;
         }
-        self.shards.ingest(values);
+        self.backend.ingest(values);
         // Bump *after* the push so a concurrent rebuild can never tag a
         // cache that misses this batch with the post-batch epoch.
         self.epoch.fetch_add(1, Ordering::Release);
+    }
+
+    /// Closes the current time slice of a windowed synopsis: every shard
+    /// ring rotates, the oldest slice retires when the rings are full,
+    /// and the cache is marked stale so the next query refreshes over the
+    /// new window. Returns `true` when an advance happened; `false` (and
+    /// does nothing) on a landmark synopsis, which keeps no slices.
+    pub fn advance(&self) -> bool {
+        match &self.backend {
+            IngestBackend::Landmark(_) => false,
+            IngestBackend::Windowed(rings) => {
+                rings.advance_all();
+                self.epoch.fetch_add(1, Ordering::Release);
+                true
+            }
+        }
+    }
+
+    /// Ships the current (age-0) time slice of a windowed synopsis as a
+    /// windowed v3 wire frame (slice metadata + compact sketch body);
+    /// receivers without window support restore it as a plain sketch.
+    /// Fails with [`EstimatorError::InvalidParameter`] on a landmark
+    /// synopsis.
+    pub fn ship_window_slice(&self) -> Result<Vec<u8>, EstimatorError> {
+        match &self.backend {
+            IngestBackend::Landmark(_) => Err(EstimatorError::InvalidParameter {
+                message: "a landmark synopsis keeps no window slices to ship".to_string(),
+            }),
+            IngestBackend::Windowed(rings) => rings.ship_current_slice(),
+        }
     }
 
     /// Ingests a bulk load by fanning the rows out to every shard with
@@ -242,7 +361,7 @@ impl AttributeSynopsis {
         if values.is_empty() {
             return;
         }
-        self.shards.ingest_parallel(values);
+        self.backend.ingest_parallel(values);
         self.epoch.fetch_add(1, Ordering::Release);
     }
 
@@ -254,9 +373,10 @@ impl AttributeSynopsis {
     }
 
     /// The merged accumulation state across all shards (for example to
-    /// serialize and ship to another node).
+    /// serialize and ship to another node). For a windowed synopsis this
+    /// is the policy-weighted merged window — exactly what queries see.
     pub fn merged_sketch(&self) -> Result<CoefficientSketch, EstimatorError> {
-        self.shards.merged()
+        self.backend.merged()
     }
 
     /// The merged accumulation state compacted under `policy` with this
@@ -297,7 +417,7 @@ impl AttributeSynopsis {
     pub fn refreshed(&self) -> Result<Option<Arc<RefreshedSynopsis>>, EstimatorError> {
         let epoch = self.epoch.load(Ordering::Acquire);
         {
-            let cache = self.cache.read().expect("synopsis cache poisoned");
+            let cache = self.read_cache();
             if let Some(cached) = cache.as_ref() {
                 if cached.epoch == epoch {
                     return Ok(Some(Arc::clone(&cached.synopsis)));
@@ -309,17 +429,48 @@ impl AttributeSynopsis {
             Err(std::sync::TryLockError::WouldBlock) => {
                 // Another thread is rebuilding: serve the previous
                 // snapshot if one exists…
-                if let Some(cached) = self.cache.read().expect("synopsis cache poisoned").as_ref() {
+                if let Some(cached) = self.read_cache().as_ref() {
                     return Ok(Some(Arc::clone(&cached.synopsis)));
                 }
                 // …otherwise this is the very first build: wait for it.
-                let mut state = self.rebuild_guard.lock().expect("rebuild guard poisoned");
+                let mut state = self.lock_rebuild_guard();
                 self.rebuild_locked(&mut state)
             }
-            Err(std::sync::TryLockError::Poisoned(err)) => {
-                panic!("rebuild guard poisoned: {err}")
+            Err(std::sync::TryLockError::Poisoned(poisoned)) => {
+                // A rebuilder panicked mid-refresh (used to propagate the
+                // panic to every later query). Its scratch and caches may
+                // be mid-update, so restart the incremental state and
+                // rebuild from the shards — the source of truth.
+                let mut state = poisoned.into_inner();
+                self.rebuild_guard.clear_poison();
+                *state = RefreshState::default();
+                self.rebuild_locked(&mut state)
             }
         }
+    }
+
+    /// Reads the cache `RwLock`, recovering from poisoning: the cached
+    /// value is an `Option` swapped wholesale under the write lock, so a
+    /// panicked writer cannot have left it torn — the previous snapshot
+    /// stays servable. Clears the poison flag.
+    fn read_cache(&self) -> RwLockReadGuard<'_, Option<CachedSynopsis>> {
+        self.cache.read().unwrap_or_else(|poisoned| {
+            self.cache.clear_poison();
+            poisoned.into_inner()
+        })
+    }
+
+    /// Locks the rebuild guard, recovering from poisoning by resetting
+    /// the incremental [`RefreshState`] (the panicked rebuilder may have
+    /// torn its scratch sketch or caches mid-update). Clears the poison
+    /// flag so the reset happens once per crash.
+    fn lock_rebuild_guard(&self) -> MutexGuard<'_, RefreshState> {
+        self.rebuild_guard.lock().unwrap_or_else(|poisoned| {
+            let mut state = poisoned.into_inner();
+            self.rebuild_guard.clear_poison();
+            *state = RefreshState::default();
+            state
+        })
     }
 
     /// Rebuilds the cache if still stale, incrementally: the shards merge
@@ -333,7 +484,7 @@ impl AttributeSynopsis {
     ) -> Result<Option<Arc<RefreshedSynopsis>>, EstimatorError> {
         let epoch = self.epoch.load(Ordering::Acquire);
         {
-            let cache = self.cache.read().expect("synopsis cache poisoned");
+            let cache = self.read_cache();
             if let Some(cached) = cache.as_ref() {
                 if cached.epoch == epoch {
                     return Ok(Some(Arc::clone(&cached.synopsis)));
@@ -342,10 +493,10 @@ impl AttributeSynopsis {
         }
         let sketch = match state.scratch.as_mut() {
             Some(scratch) => {
-                self.shards.merge_into(scratch)?;
+                self.backend.merge_into(scratch)?;
                 &*scratch
             }
-            None => state.scratch.insert(self.shards.merged()?),
+            None => state.scratch.insert(self.backend.merged()?),
         };
         if sketch.is_empty() {
             return Ok(None);
@@ -358,7 +509,13 @@ impl AttributeSynopsis {
             &mut state.dense,
         )?);
         self.rebuilds.fetch_add(1, Ordering::Relaxed);
-        *self.cache.write().expect("synopsis cache poisoned") = Some(CachedSynopsis {
+        let mut cache = self.cache.write().unwrap_or_else(|poisoned| {
+            // Same repair-safety argument as `read_cache`: the value is
+            // swapped wholesale, never torn.
+            self.cache.clear_poison();
+            poisoned.into_inner()
+        });
+        *cache = Some(CachedSynopsis {
             epoch,
             synopsis: Arc::clone(&built),
         });
@@ -366,11 +523,18 @@ impl AttributeSynopsis {
     }
 
     /// Estimated selectivity `P(lo ≤ X ≤ hi)` from the (lazily refreshed)
-    /// CDF table; 0 while no rows have been ingested. Rebuild failures
-    /// surface as the error (this is what [`crate::SynopsisCatalog`]
-    /// calls, so estimator errors propagate to the query instead of being
-    /// silently mapped to 0).
+    /// CDF table; 0 while no rows have been ingested, and 0 for an empty
+    /// or reversed range (`hi ≤ lo`). NaN bounds are rejected with
+    /// [`EstimatorError::InvalidQueryBounds`] — they compare false with
+    /// everything, so they would otherwise slip past the reversed-range
+    /// normalization. Infinite bounds are fine (the CDF table clamps).
+    /// Rebuild failures surface as the error (this is what
+    /// [`crate::SynopsisCatalog`] calls, so estimator errors propagate to
+    /// the query instead of being silently mapped to 0).
     pub fn try_selectivity(&self, lo: f64, hi: f64) -> Result<f64, EstimatorError> {
+        if lo.is_nan() || hi.is_nan() {
+            return Err(EstimatorError::InvalidQueryBounds { lo, hi });
+        }
         Ok(match self.refreshed()? {
             Some(synopsis) => synopsis.selectivity(lo, hi),
             None => 0.0,
@@ -379,12 +543,16 @@ impl AttributeSynopsis {
 
     /// Infallible wrapper over [`try_selectivity`](Self::try_selectivity).
     ///
-    /// Estimation failures other than the empty-sample case indicate an
-    /// internal inconsistency: they trip a debug assertion and answer 0 in
+    /// NaN query bounds are a caller error, not an internal
+    /// inconsistency: they answer 0 (the mass of an empty range), the
+    /// same normalization [`CumulativeEstimate::range_mass`] applies.
+    /// Estimation failures other than that indicate an internal
+    /// inconsistency: they trip a debug assertion and answer 0 in
     /// release builds, mirroring the core estimator's fallback policy.
     pub fn selectivity(&self, lo: f64, hi: f64) -> f64 {
         match self.try_selectivity(lo, hi) {
             Ok(selectivity) => selectivity,
+            Err(EstimatorError::InvalidQueryBounds { .. }) => 0.0,
             Err(err) => {
                 debug_assert!(false, "synopsis refresh failed unexpectedly: {err}");
                 0.0
@@ -403,11 +571,11 @@ impl Clone for AttributeSynopsis {
         // a stale estimate forever.
         let epoch = self.epoch.load(Ordering::Acquire);
         Self {
-            shards: self.shards.clone(),
+            backend: self.backend.clone(),
             rule: self.rule,
             cdf_points: self.cdf_points,
             epoch: AtomicU64::new(epoch),
-            cache: RwLock::new(self.cache.read().expect("synopsis cache poisoned").clone()),
+            cache: RwLock::new(self.read_cache().clone()),
             rebuild_guard: Mutex::new(RefreshState::default()),
             rebuilds: AtomicUsize::new(self.rebuild_count()),
         }
@@ -621,5 +789,94 @@ mod tests {
             let x = i as f64 / 50.0;
             assert_eq!(a.evaluate(x), b.evaluate(x));
         }
+    }
+
+    #[test]
+    fn windowed_synopsis_forgets_retired_slices() {
+        let windowed =
+            AttributeSynopsis::new(&config(2).with_window(WindowPolicy::SlidingSlices(2))).unwrap();
+        assert_eq!(windowed.window_policy(), WindowPolicy::SlidingSlices(2));
+        // Old regime: values clustered low.
+        let low: Vec<f64> = sample(1024, 11).iter().map(|u| 0.1 + 0.2 * u).collect();
+        windowed.ingest_parallel(&low);
+        assert!(windowed.selectivity(0.0, 0.4) > 0.8);
+        assert!(windowed.advance());
+        // New regime: values clustered high. After the ring retires the
+        // low slice, the synopsis tracks only the recent distribution.
+        let high: Vec<f64> = sample(1024, 12).iter().map(|u| 0.7 + 0.2 * u).collect();
+        windowed.ingest_parallel(&high);
+        windowed.advance();
+        assert_eq!(windowed.rows(), 1024, "retired rows leave the count");
+        assert!(windowed.selectivity(0.6, 1.0) > 0.8);
+        assert!(windowed.selectivity(0.0, 0.4) < 0.1);
+        // A landmark synopsis reports advance() as a no-op and refuses
+        // slice shipping.
+        let landmark = AttributeSynopsis::new(&config(1)).unwrap();
+        assert!(!landmark.advance());
+        assert!(landmark.ship_window_slice().is_err());
+    }
+
+    #[test]
+    fn windowed_clone_is_independent() {
+        let synopsis =
+            AttributeSynopsis::new(&config(2).with_window(WindowPolicy::ExponentialDecay(0.5)))
+                .unwrap();
+        synopsis.ingest(&sample(512, 13));
+        let clone = synopsis.clone();
+        clone.advance();
+        clone.ingest(&sample(128, 14));
+        // λ = 0.5: the clone's merged mass is 128·1 + 512·0.5.
+        assert_eq!(clone.merged_sketch().unwrap().count(), 128 + 256);
+        // The original never advanced, so its slice is still whole.
+        assert_eq!(synopsis.merged_sketch().unwrap().count(), 512);
+    }
+
+    #[test]
+    fn nan_query_bounds_error_instead_of_lying() {
+        let synopsis = AttributeSynopsis::new(&config(2)).unwrap();
+        synopsis.ingest(&sample(512, 15));
+        assert!(matches!(
+            synopsis.try_selectivity(f64::NAN, 0.5).unwrap_err(),
+            EstimatorError::InvalidQueryBounds { .. }
+        ));
+        assert!(matches!(
+            synopsis.try_selectivity(0.5, f64::NAN).unwrap_err(),
+            EstimatorError::InvalidQueryBounds { .. }
+        ));
+        // The infallible path answers 0 instead of panicking in debug.
+        assert_eq!(synopsis.selectivity(f64::NAN, 0.5), 0.0);
+        // Reversed bounds are not an error: they normalize to zero mass.
+        assert_eq!(synopsis.try_selectivity(0.9, 0.1).unwrap(), 0.0);
+    }
+
+    /// Regression for the hardening sweep: a thread that panics while
+    /// holding the rebuild guard and the cache write lock used to poison
+    /// every later query (`panic!("synopsis cache poisoned")`). Both locks
+    /// now repair themselves — the guard restarts with fresh scratch
+    /// state, the cache rebuilds — so queries keep answering.
+    #[test]
+    fn panicked_rebuild_thread_does_not_poison_queries() {
+        let synopsis = Arc::new(AttributeSynopsis::new(&config(2)).unwrap());
+        synopsis.ingest(&sample(1024, 16));
+        let before = synopsis.try_selectivity(0.2, 0.8).unwrap();
+        assert!(before > 0.0);
+        synopsis.ingest(&sample(64, 17));
+        std::thread::scope(|scope| {
+            let crashed = scope.spawn({
+                let synopsis = Arc::clone(&synopsis);
+                move || {
+                    let _guard = synopsis.rebuild_guard.lock().unwrap();
+                    let _cache = synopsis.cache.write().unwrap();
+                    panic!("simulated rebuild crash");
+                }
+            });
+            assert!(crashed.join().is_err(), "the rebuild thread must panic");
+        });
+        let after = synopsis.try_selectivity(0.2, 0.8).unwrap();
+        assert!(
+            (after - before).abs() < 0.05,
+            "queries must keep answering after a crashed rebuild: {after} vs {before}"
+        );
+        assert!(synopsis.refreshed().unwrap().is_some());
     }
 }

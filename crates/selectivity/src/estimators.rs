@@ -374,6 +374,28 @@ mod tests {
         DependenceCase::ExpandingMap.simulate(&SineUniformMixture::paper(), n, &mut rng)
     }
 
+    /// Hardening sweep: reversed and NaN bounds must answer zero on every
+    /// CDF-backed query path (wavelet and kernel), and the workload type
+    /// refuses to construct such queries in the first place.
+    #[test]
+    fn kernel_and_wavelet_cdf_tables_reject_bad_bounds() {
+        let data = dependent_sample(512, 40);
+        let kernel = KernelSelectivity::rule_of_thumb(&data).unwrap();
+        let mut wavelet = WaveletSelectivity::fit(&data).unwrap();
+        for table in [kernel.cumulative(), wavelet.cumulative().unwrap()] {
+            assert_eq!(table.range_mass(f64::NAN, 0.5), 0.0);
+            assert_eq!(table.range_mass(0.2, f64::NAN), 0.0);
+            assert_eq!(table.selectivity(f64::NAN, f64::NAN), 0.0);
+            assert_eq!(table.range_mass(0.9, 0.1), 0.0);
+            // Slightly below 1 on the kernel path: bandwidth tails put a
+            // little of the table's mass outside [0, 1].
+            assert!(table.selectivity(0.0, 1.0) > 0.9);
+        }
+        assert!(RangeQuery::new(f64::NAN, 0.5).is_err());
+        assert!(RangeQuery::new(0.5, f64::NAN).is_err());
+        assert!(RangeQuery::new(0.8, 0.2).is_err());
+    }
+
     #[test]
     fn empirical_selectivity_counts_exactly() {
         let data = vec![0.1, 0.2, 0.3, 0.4, 0.5];

@@ -43,7 +43,7 @@ pub mod prelude {
     pub use wavedens_core::{
         CoefficientSketch, CompactionPolicy, CumulativeEstimate, Grid, KernelDensityEstimator,
         StreamingWaveletEstimator, ThresholdRule, ThresholdSelection, WaveletDensityEstimate,
-        WaveletDensityEstimator,
+        WaveletDensityEstimator, WindowPolicy, WindowedSketch,
     };
     pub use wavedens_engine::{SynopsisCatalog, SynopsisConfig};
     pub use wavedens_processes::{
