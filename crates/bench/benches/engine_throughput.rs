@@ -38,6 +38,15 @@ fn min_seconds(mut routine: impl FnMut()) -> f64 {
     best
 }
 
+/// Nearest-rank percentile of an ascending-sorted sample (`q` in [0, 1]).
+fn percentile(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
 fn engine_throughput(c: &mut Criterion) {
     let data = paper_sample(ROWS, 41);
     let template = CoefficientSketch::sized_for(ROWS).expect("template");
@@ -112,7 +121,7 @@ fn engine_throughput(c: &mut Criterion) {
 
     let queries_answered = AtomicUsize::new(0);
     let writers_done = AtomicBool::new(false);
-    let mut max_query_latency = 0.0_f64;
+    let mut query_latencies: Vec<f64> = Vec::new();
     let concurrent_start = Instant::now();
     std::thread::scope(|scope| {
         for (name, stream) in names.iter().zip(&streams) {
@@ -133,7 +142,7 @@ fn engine_throughput(c: &mut Criterion) {
             let queries_answered = &queries_answered;
             let writers_done = &writers_done;
             latency_handles.push(scope.spawn(move || {
-                let mut worst = 0.0_f64;
+                let mut latencies = Vec::new();
                 let mut i = 0usize;
                 while !writers_done.load(Ordering::Acquire) || i < 500 {
                     let name = &names[(reader + i) % names.len()];
@@ -142,12 +151,12 @@ fn engine_throughput(c: &mut Criterion) {
                     let s = catalog
                         .selectivity(name, lo, lo + 0.25)
                         .expect("registered");
-                    worst = worst.max(start.elapsed().as_secs_f64());
+                    latencies.push(start.elapsed().as_secs_f64());
                     assert!((0.0..=1.0).contains(&s));
                     queries_answered.fetch_add(1, Ordering::Relaxed);
                     i += 1;
                 }
-                worst
+                latencies
             }));
         }
         // Release the readers once every writer's rows have landed.
@@ -156,7 +165,7 @@ fn engine_throughput(c: &mut Criterion) {
         }
         writers_done.store(true, Ordering::Release);
         for handle in latency_handles {
-            max_query_latency = max_query_latency.max(handle.join().expect("reader"));
+            query_latencies.extend(handle.join().expect("reader"));
         }
     });
     let concurrent_seconds = concurrent_start.elapsed().as_secs_f64();
@@ -165,13 +174,19 @@ fn engine_throughput(c: &mut Criterion) {
         .iter()
         .map(|name| catalog.attribute(name).expect("registered").rebuild_count())
         .sum();
+    query_latencies.sort_by(f64::total_cmp);
+    let latency_p50 = percentile(&query_latencies, 0.50);
+    let latency_p99 = percentile(&query_latencies, 0.99);
+    let latency_max = query_latencies.last().copied().unwrap_or(0.0);
     println!(
         "mixed load: {queries} queries answered in {concurrent_seconds:.3} s \
          ({:.0} queries/s) while {} rows were ingested and {rebuilds} \
-         rebuilds ran; worst single-query latency {:.2} ms",
+         rebuilds ran; query latency p50 {:.6} ms, p99 {:.6} ms, max {:.3} ms",
         queries as f64 / concurrent_seconds,
         ATTRIBUTES * ROWS,
-        max_query_latency * 1e3,
+        latency_p50 * 1e3,
+        latency_p99 * 1e3,
+        latency_max * 1e3,
     );
 
     // Phase 3 — synopsis size: the paper's n = 8192 workload, dense wire
@@ -310,7 +325,9 @@ fn engine_throughput(c: &mut Criterion) {
          \"best_shards\": {},\n  \"ingest_speedup_over_1_shard\": {speedup:.2},\n  \
          \"concurrent\": {{\n    \"queries\": {queries},\n    \"seconds\": {concurrent_seconds:.6},\n    \
          \"queries_per_second\": {:.0},\n    \"rebuilds\": {rebuilds},\n    \
-         \"max_query_latency_ms\": {:.3}\n  }},\n  \
+         \"query_latency_p50_ms\": {:.6},\n    \
+         \"query_latency_p99_ms\": {:.6},\n    \
+         \"query_latency_max_ms\": {:.3}\n  }},\n  \
          \"synopsis_size\": {{\n    \"rows\": {SIZE_ROWS},\n    \
          \"dense_v1_bytes\": {dense_v1_bytes},\n    \"dense_v2_bytes\": {dense_v2_bytes},\n    \
          \"compacted_bytes\": {compacted_bytes},\n    \
@@ -330,7 +347,9 @@ fn engine_throughput(c: &mut Criterion) {
         ingest_json.join(",\n"),
         best.0,
         queries as f64 / concurrent_seconds,
-        max_query_latency * 1e3,
+        latency_p50 * 1e3,
+        latency_p99 * 1e3,
+        latency_max * 1e3,
         ROWS as f64 / windowed_seconds,
     );
     let path = concat!(

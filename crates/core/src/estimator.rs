@@ -576,7 +576,7 @@ fn level_sum(
 ///
 /// Support of `δ_{j,k}` in `x`: `[k / 2^j, (k + 2N−1) / 2^j]`; the table
 /// argument `2^j x − k` then advances by `2^j · grid_step` per point.
-fn coefficient_window(
+pub(crate) fn coefficient_window(
     grid: &Grid,
     scale: f64,
     support: f64,

@@ -31,6 +31,12 @@
 //! * [`streaming`] — an online variant maintaining the coefficients
 //!   incrementally (exactly equivalent to a batch fit), a thin layer over
 //!   [`sketch`];
+//! * [`tensor`] — dimension-generic tensor-product sketches
+//!   ([`TensorSketch`]): levels keyed by per-axis level tuples, flattened
+//!   row-major translation storage, hyperbolic-budget 2-D level sets, and
+//!   a joint CDF grid ([`TensorCumulative`]) answering rectangle masses
+//!   by inclusion–exclusion (1-D is the `dims == 1` special case, bitwise
+//!   identical to [`CoefficientSketch`]);
 //! * [`window`] — windowed and decaying sketch rings ([`WindowedSketch`])
 //!   for streaming workloads: time-sliced sketches retire wholesale so
 //!   the synopsis tracks the *recent* distribution without subtraction;
@@ -66,6 +72,7 @@ pub mod kernel;
 pub mod risk;
 pub mod sketch;
 pub mod streaming;
+pub mod tensor;
 pub mod threshold;
 pub mod window;
 
@@ -85,6 +92,7 @@ pub use kernel::{BandwidthRule, Kernel, KernelDensityEstimate, KernelDensityEsti
 pub use risk::{integrated_squared_error, lp_distance, RiskAccumulator};
 pub use sketch::{CoefficientSketch, CompactionPolicy};
 pub use streaming::StreamingWaveletEstimator;
+pub use tensor::{TensorCumulative, TensorEstimate, TensorSketch, MAX_TENSOR_SLOTS};
 pub use threshold::{ThresholdProfile, ThresholdRule, ThresholdSelection};
 pub use window::{WindowPolicy, WindowSliceMeta, WindowedSketch, DEFAULT_DECAY_SLICES};
 

@@ -946,14 +946,19 @@ pub enum CompactionPolicy {
 /// slices this long so the observation chunk (a few KB) stays in L1 while
 /// the scaling level and every detail level sweep it, instead of
 /// streaming the whole batch once per level.
-const INGEST_CHUNK: usize = 512;
+pub(crate) const INGEST_CHUNK: usize = 512;
 
-const MAGIC: &[u8] = b"WDSK";
+pub(crate) const MAGIC: &[u8] = b"WDSK";
 const FORMAT_V1: u16 = 1;
 const FORMAT_V2: u16 = 2;
 /// Windowed slice frame: the standard header, then [`WindowSliceMeta`],
 /// then the v2 compact body.
 const FORMAT_V3_WINDOWED: u16 = 3;
+/// Tensor-product frame (see `crate::tensor`): the shared magic/family
+/// prefix, then a dims header, then per-level dense or coefficient-sparse
+/// payloads behind a presence bitmap. Decoded only by
+/// `TensorSketch::from_bytes`; the 1-D decoder keeps rejecting it.
+pub(crate) const FORMAT_V4_TENSOR: u16 = 4;
 
 /// Hard cap on the detail level a wire frame may declare. A level at `j`
 /// holds `O(2^j)` coefficient slots, so the cap bounds what a hostile
@@ -961,7 +966,7 @@ const FORMAT_V3_WINDOWED: u16 = 3;
 /// of slots at 30 — far above any real synopsis, which the exact
 /// byte-fit check then rejects long before allocation anyway, since such
 /// a payload cannot actually be present).
-const MAX_SERIALIZED_LEVEL: i32 = 30;
+pub(crate) const MAX_SERIALIZED_LEVEL: i32 = 30;
 
 /// Serialized size of [`WindowSliceMeta`] in a v3 frame.
 const WINDOW_META_LEN: usize = 4 + 4 + 8 + 8;
@@ -969,7 +974,7 @@ const WINDOW_META_LEN: usize = 4 + 4 + 8 + 8;
 /// Rejects scale weights that would corrupt the sums: decay weights must
 /// be finite and nonnegative (zero is allowed — it merges nothing, which
 /// is how a fully decayed slice drops out).
-fn validate_merge_weight(weight: f64) -> Result<(), EstimatorError> {
+pub(crate) fn validate_merge_weight(weight: f64) -> Result<(), EstimatorError> {
     if !weight.is_finite() || weight < 0.0 {
         return Err(EstimatorError::InvalidParameter {
             message: format!("merge weight must be finite and nonnegative, got {weight}"),
@@ -982,7 +987,7 @@ fn validate_merge_weight(weight: f64) -> Result<(), EstimatorError> {
 /// the nearest integer and saturating at `usize::MAX`. Exact at
 /// `weight == 1.0` for every representable count (counts are far below
 /// 2^53).
-fn scaled_count(count: usize, weight: f64) -> usize {
+pub(crate) fn scaled_count(count: usize, weight: f64) -> usize {
     if weight == 1.0 {
         return count;
     }
@@ -1030,7 +1035,7 @@ fn next_lineage() -> u64 {
 }
 
 /// Bytes needed for one presence bit per level.
-fn presence_bitmap_len(levels: usize) -> usize {
+pub(crate) fn presence_bitmap_len(levels: usize) -> usize {
     levels.div_ceil(8)
 }
 
@@ -1044,13 +1049,13 @@ fn write_level(out: &mut Vec<u8>, level: &SketchLevel) {
     }
 }
 
-fn invalid(message: &str) -> EstimatorError {
+pub(crate) fn invalid(message: &str) -> EstimatorError {
     EstimatorError::InvalidSerialization {
         message: message.to_string(),
     }
 }
 
-fn encode_family(family: WaveletFamily) -> (u8, usize) {
+pub(crate) fn encode_family(family: WaveletFamily) -> (u8, usize) {
     match family {
         WaveletFamily::Haar => (0, 1),
         WaveletFamily::Daubechies(n) => (1, n),
@@ -1058,7 +1063,7 @@ fn encode_family(family: WaveletFamily) -> (u8, usize) {
     }
 }
 
-fn decode_family(tag: u8, order: usize) -> Result<WaveletFamily, EstimatorError> {
+pub(crate) fn decode_family(tag: u8, order: usize) -> Result<WaveletFamily, EstimatorError> {
     match tag {
         0 => Ok(WaveletFamily::Haar),
         1 => Ok(WaveletFamily::Daubechies(order)),
@@ -1099,17 +1104,17 @@ fn read_level(reader: &mut Reader<'_>, level: &mut SketchLevel) -> Result<(), Es
 }
 
 /// A bounds-checked little-endian cursor over a byte slice.
-struct Reader<'a> {
+pub(crate) struct Reader<'a> {
     bytes: &'a [u8],
     offset: usize,
 }
 
 impl<'a> Reader<'a> {
-    fn new(bytes: &'a [u8]) -> Self {
+    pub(crate) fn new(bytes: &'a [u8]) -> Self {
         Self { bytes, offset: 0 }
     }
 
-    fn take(&mut self, n: usize) -> Result<&'a [u8], EstimatorError> {
+    pub(crate) fn take(&mut self, n: usize) -> Result<&'a [u8], EstimatorError> {
         let end = self
             .offset
             .checked_add(n)
@@ -1120,35 +1125,35 @@ impl<'a> Reader<'a> {
         Ok(slice)
     }
 
-    fn u8(&mut self) -> Result<u8, EstimatorError> {
+    pub(crate) fn u8(&mut self) -> Result<u8, EstimatorError> {
         Ok(self.take(1)?[0])
     }
 
-    fn u16(&mut self) -> Result<u16, EstimatorError> {
+    pub(crate) fn u16(&mut self) -> Result<u16, EstimatorError> {
         Ok(u16::from_le_bytes(self.take(2)?.try_into().expect("len 2")))
     }
 
-    fn u32(&mut self) -> Result<u32, EstimatorError> {
+    pub(crate) fn u32(&mut self) -> Result<u32, EstimatorError> {
         Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("len 4")))
     }
 
-    fn i32(&mut self) -> Result<i32, EstimatorError> {
+    pub(crate) fn i32(&mut self) -> Result<i32, EstimatorError> {
         Ok(i32::from_le_bytes(self.take(4)?.try_into().expect("len 4")))
     }
 
-    fn u64(&mut self) -> Result<u64, EstimatorError> {
+    pub(crate) fn u64(&mut self) -> Result<u64, EstimatorError> {
         Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("len 8")))
     }
 
-    fn f64(&mut self) -> Result<f64, EstimatorError> {
+    pub(crate) fn f64(&mut self) -> Result<f64, EstimatorError> {
         Ok(f64::from_le_bytes(self.take(8)?.try_into().expect("len 8")))
     }
 
-    fn remaining(&self) -> usize {
+    pub(crate) fn remaining(&self) -> usize {
         self.bytes.len() - self.offset
     }
 
-    fn is_done(&self) -> bool {
+    pub(crate) fn is_done(&self) -> bool {
         self.offset == self.bytes.len()
     }
 }

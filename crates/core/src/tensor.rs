@@ -1,0 +1,1755 @@
+//! Dimension-generic tensor-product coefficient sketches.
+//!
+//! This module generalises the scalar-indexed [`CoefficientSketch`]
+//! pipeline to `dims ∈ {1, 2}`. A *level* is no longer a single resolution
+//! index: it is keyed by a per-axis `(generator, level)` tuple — the
+//! scaling layer `φ_{j0}⊗φ_{j0}`, the two mixed orientations
+//! `ψ_j⊗φ_{j0}` / `φ_{j0}⊗ψ_j`, and the wavelet–wavelet layers
+//! `ψ_{jx}⊗ψ_{jy}` kept under a hyperbolic budget `jx + jy ≤ budget`
+//! (the standard hyperbolic-cross truncation that keeps the 2-D level-set
+//! blowup polynomial instead of quadratic). Translations within a level
+//! are flattened to a single row-major index `kx·extent_y + ky`, so the
+//! accumulation, merge and CV+threshold machinery operate on flat slot
+//! arrays exactly as in 1-D — and `dims == 1` *is* the 1-D pipeline: the
+//! same level set, the same `LevelAccumulator` scatter path, bitwise
+//! identical sums.
+//!
+//! The empirical coefficient of the product basis function
+//! `δ_{jx,kx}(x)·δ_{jy,ky}(y)` is the sample mean of the product, so a
+//! [`TensorSketch`] stores per-slot running sums and sums of squares plus
+//! the observation count — the same mergeable-statistic shape as the 1-D
+//! sketch, which is what lets sharded ingestion, scaled decay merges and
+//! cross-node shipping carry over unchanged.
+//!
+//! Estimates come out of [`TensorSketch::thresholded`]: each non-scaling
+//! level is handed (flattened) to the level-wise cross-validation of the
+//! 1-D pipeline to pick its threshold `λ`, and the surviving coefficients
+//! reconstruct a density on a 2-D grid via separable per-axis strided
+//! table sweeps. [`TensorCumulative`] then turns the grid into a joint
+//! CDF whose rectangle queries are answered by inclusion–exclusion of
+//! four corner lookups.
+//!
+//! [`CoefficientSketch`]: crate::sketch::CoefficientSketch
+
+use std::sync::Arc;
+
+use crate::coefficients::{
+    active_translations, max_active_translations, Generator, LevelAccumulator, LevelCoefficients,
+    ScatterScratch,
+};
+use crate::cv::{cross_validate_level, CvCriterion};
+use crate::error::EstimatorError;
+use crate::estimator::{coefficient_window, cv_max_level, default_coarse_level};
+use crate::grid::Grid;
+use crate::sketch::{
+    decode_family, encode_family, invalid, presence_bitmap_len, scaled_count,
+    validate_merge_weight, CompactionPolicy, Reader, FORMAT_V4_TENSOR, INGEST_CHUNK, MAGIC,
+    MAX_SERIALIZED_LEVEL,
+};
+use crate::threshold::ThresholdRule;
+use wavedens_wavelets::{WaveletBasis, WaveletFamily};
+
+/// Hard cap on the total number of flattened coefficient slots a tensor
+/// sketch may hold, enforced at construction (and therefore on the wire
+/// decode path, which sizes everything through the same constructor). At
+/// `2^22` slots the slot arrays top out around 64 MB — far above any
+/// real synopsis, but small enough that a hostile v4 header cannot
+/// provoke a runaway allocation.
+pub const MAX_TENSOR_SLOTS: usize = 1 << 22;
+
+/// Rows per internal scatter chunk of [`TensorSketch::push_pairs`]: the
+/// per-axis gather rows for a chunk this long stay cache-resident while
+/// every tensor level sweeps them.
+const TENSOR_CHUNK: usize = 128;
+
+/// Frames whose total mass is below this floor answer zero selectivity
+/// (mirrors the 1-D `CumulativeEstimate` guard).
+const TOTAL_MASS_FLOOR: f64 = 1e-12;
+
+/// Payload-type tag of a dense v4 level payload.
+const PAYLOAD_DENSE: u8 = 0;
+/// Payload-type tag of a coefficient-sparse v4 level payload.
+const PAYLOAD_SPARSE: u8 = 1;
+
+/// One per-axis basis factor: a generator (`φ` or `ψ`) at one resolution
+/// level, with the translation range covering that axis' interval.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct AxisComponent {
+    generator: Generator,
+    level: i32,
+    scale: f64,
+    sqrt_scale: f64,
+    k_start: i64,
+    extent: usize,
+}
+
+impl AxisComponent {
+    fn new(basis: &WaveletBasis, interval: (f64, f64), level: i32, generator: Generator) -> Self {
+        let range = basis.translations_covering(level, interval.0, interval.1);
+        let k_start = *range.start();
+        let extent = (*range.end() - k_start + 1).max(0) as usize;
+        let scale = f64::from(level).exp2();
+        Self {
+            generator,
+            level,
+            scale,
+            sqrt_scale: scale.sqrt(),
+            k_start,
+            extent,
+        }
+    }
+}
+
+/// One tensor level: a pair of per-axis component indices plus the
+/// flattened row-major slot arrays. Mirrors the 1-D `SketchLevel`
+/// exactly: monotone version stamp, running sums, copy-on-write sums of
+/// squares.
+#[derive(Debug, Clone)]
+struct TensorLevel {
+    component: [usize; 2],
+    version: u64,
+    sums: Vec<f64>,
+    sum_squares: Arc<Vec<f64>>,
+}
+
+impl TensorLevel {
+    fn new(component: [usize; 2], slots: usize) -> Self {
+        Self {
+            component,
+            version: 0,
+            sums: vec![0.0; slots],
+            sum_squares: Arc::new(vec![0.0; slots]),
+        }
+    }
+
+    fn clear(&mut self) {
+        self.version = 0;
+        self.sums.fill(0.0);
+        Arc::make_mut(&mut self.sum_squares).fill(0.0);
+    }
+
+    fn merge(&mut self, other: &Self) {
+        debug_assert_eq!(self.sums.len(), other.sums.len());
+        if other.version == 0 {
+            return;
+        }
+        self.version += other.version;
+        for (acc, v) in self.sums.iter_mut().zip(&other.sums) {
+            *acc += v;
+        }
+        let squares = Arc::make_mut(&mut self.sum_squares);
+        for (acc, v) in squares.iter_mut().zip(other.sum_squares.iter()) {
+            *acc += v;
+        }
+    }
+
+    fn merge_scaled(&mut self, other: &Self, weight: f64) {
+        debug_assert_eq!(self.sums.len(), other.sums.len());
+        if other.version == 0 {
+            return;
+        }
+        self.version += other.version;
+        for (acc, v) in self.sums.iter_mut().zip(&other.sums) {
+            *acc += weight * v;
+        }
+        let squares = Arc::make_mut(&mut self.sum_squares);
+        for (acc, v) in squares.iter_mut().zip(other.sum_squares.iter()) {
+            *acc += weight * v;
+        }
+    }
+
+    fn copy_from(&mut self, source: &Self) {
+        debug_assert_eq!(self.sums.len(), source.sums.len());
+        // Strict version advance, exactly as the 1-D level copy: the
+        // copied contents are arbitrary relative to whatever this
+        // instance held at any earlier stamp.
+        self.version = source.version.max(self.version + 1);
+        self.sums.copy_from_slice(&source.sums);
+        Arc::make_mut(&mut self.sum_squares).copy_from_slice(&source.sum_squares);
+    }
+
+    fn is_zero(&self) -> bool {
+        self.sums.iter().all(|v| *v == 0.0) && self.sum_squares.iter().all(|v| *v == 0.0)
+    }
+
+    fn nonzero_slots(&self) -> usize {
+        self.sums
+            .iter()
+            .zip(self.sum_squares.iter())
+            .filter(|(s, q)| **s != 0.0 || **q != 0.0)
+            .count()
+    }
+}
+
+/// Per-chunk gather scratch for the 2-D scatter path: every distinct
+/// `(axis, component)` factor is gathered **once** per observation, and
+/// all tensor levels sharing that factor reuse the cached row.
+#[derive(Debug)]
+struct TensorScratch {
+    rows: usize,
+    width: usize,
+    values: [Vec<f64>; 2],
+    spans: [Vec<(u32, u32)>; 2],
+}
+
+impl TensorScratch {
+    fn new(basis: &WaveletBasis, components: usize, rows: usize) -> Self {
+        let width = max_active_translations(basis);
+        let values = vec![0.0; components * rows * width];
+        let spans = vec![(0_u32, 0_u32); components * rows];
+        Self {
+            rows,
+            width,
+            values: [values.clone(), values],
+            spans: [spans.clone(), spans],
+        }
+    }
+}
+
+/// Scratch storage of a tensor sketch: the 1-D path reuses the exact
+/// scatter scratch of [`CoefficientSketch`](crate::CoefficientSketch),
+/// the 2-D path the per-component gather cache above.
+#[derive(Debug)]
+enum Scratch {
+    OneD(ScatterScratch),
+    TwoD(TensorScratch),
+}
+
+/// A mergeable, dimension-generic coefficient sketch over the tensor
+/// product of a 1-D wavelet basis with itself.
+///
+/// For `dims == 1` the level set, the accumulation path and the stored
+/// sums are **bitwise identical** to
+/// [`CoefficientSketch`](crate::CoefficientSketch) — the 1-D sketch is
+/// literally the `dims == 1` special case of this type. For `dims == 2`
+/// levels are keyed by per-axis level tuples and translations by a
+/// flattened row-major index, and [`thresholded`](Self::thresholded) runs
+/// the same level-wise CV+threshold pipeline over the flattened slots.
+#[derive(Debug)]
+pub struct TensorSketch {
+    basis: Arc<WaveletBasis>,
+    dims: usize,
+    intervals: [(f64, f64); 2],
+    j0: i32,
+    j_max: i32,
+    budget: i32,
+    count: usize,
+    axes: [Vec<AxisComponent>; 2],
+    levels: Vec<TensorLevel>,
+    scratch: Option<Scratch>,
+}
+
+impl Clone for TensorSketch {
+    fn clone(&self) -> Self {
+        Self {
+            basis: Arc::clone(&self.basis),
+            dims: self.dims,
+            intervals: self.intervals,
+            j0: self.j0,
+            j_max: self.j_max,
+            budget: self.budget,
+            count: self.count,
+            axes: self.axes.clone(),
+            levels: self.levels.clone(),
+            // Scratch is pure accumulation workspace; clones start fresh.
+            scratch: None,
+        }
+    }
+}
+
+impl TensorSketch {
+    /// Builds a 1-D sketch: same basis, interval, level set and scatter
+    /// path as [`CoefficientSketch`](crate::CoefficientSketch) with the
+    /// same parameters — the `dims == 1` special case.
+    pub fn new_1d(
+        family: WaveletFamily,
+        interval: (f64, f64),
+        coarse_level: i32,
+        max_level: i32,
+    ) -> Result<Self, EstimatorError> {
+        let basis = Arc::new(WaveletBasis::new(family)?);
+        Self::with_basis_1d(basis, interval, coarse_level, max_level)
+    }
+
+    /// [`new_1d`](Self::new_1d) over an existing (possibly shared) basis.
+    pub fn with_basis_1d(
+        basis: Arc<WaveletBasis>,
+        interval: (f64, f64),
+        coarse_level: i32,
+        max_level: i32,
+    ) -> Result<Self, EstimatorError> {
+        Self::build(basis, 1, [interval, interval], coarse_level, max_level, 0)
+    }
+
+    /// Builds a 2-D tensor-product sketch over `interval_x × interval_y`.
+    ///
+    /// The level set is the scaling layer `φ_{j0}⊗φ_{j0}`, the mixed
+    /// orientations `ψ_j⊗φ_{j0}` and `φ_{j0}⊗ψ_j` for
+    /// `j ∈ j0..=max_level`, and the wavelet–wavelet layers
+    /// `ψ_{jx}⊗ψ_{jy}` for every pair with `jx + jy ≤ budget`.
+    pub fn new_2d(
+        family: WaveletFamily,
+        interval_x: (f64, f64),
+        interval_y: (f64, f64),
+        coarse_level: i32,
+        max_level: i32,
+        budget: i32,
+    ) -> Result<Self, EstimatorError> {
+        let basis = Arc::new(WaveletBasis::new(family)?);
+        Self::with_basis_2d(
+            basis,
+            interval_x,
+            interval_y,
+            coarse_level,
+            max_level,
+            budget,
+        )
+    }
+
+    /// [`new_2d`](Self::new_2d) over an existing (possibly shared) basis.
+    pub fn with_basis_2d(
+        basis: Arc<WaveletBasis>,
+        interval_x: (f64, f64),
+        interval_y: (f64, f64),
+        coarse_level: i32,
+        max_level: i32,
+        budget: i32,
+    ) -> Result<Self, EstimatorError> {
+        Self::build(
+            basis,
+            2,
+            [interval_x, interval_y],
+            coarse_level,
+            max_level,
+            budget,
+        )
+    }
+
+    /// A 2-D sketch sized for `expected_n` observation pairs on the unit
+    /// square, mirroring the 1-D
+    /// [`sized_for`](crate::CoefficientSketch::sized_for) rule per axis:
+    /// Symmlet-8, `j0` from the paper's coarse-level rule, per-axis
+    /// `j_max = min(⌊log2 n⌋, j0 + 6)` and hyperbolic budget
+    /// `j0 + j_max` (so the finest pure-wavelet layers pair the finest
+    /// level on one axis with the coarsest on the other).
+    pub fn sized_for_pairs(expected_n: usize) -> Result<Self, EstimatorError> {
+        let n = expected_n.max(2);
+        let family = WaveletFamily::Symmlet(8);
+        let vanishing = 8;
+        let j0 = default_coarse_level(n, vanishing);
+        let j_max = cv_max_level(n).min(j0 + 6).max(j0);
+        Self::new_2d(family, (0.0, 1.0), (0.0, 1.0), j0, j_max, j0 + j_max)
+    }
+
+    fn build(
+        basis: Arc<WaveletBasis>,
+        dims: usize,
+        intervals: [(f64, f64); 2],
+        j0: i32,
+        j_max: i32,
+        budget: i32,
+    ) -> Result<Self, EstimatorError> {
+        if !(1..=2).contains(&dims) {
+            return Err(EstimatorError::InvalidParameter {
+                message: format!("tensor sketches support 1 or 2 dimensions, got {dims}"),
+            });
+        }
+        for &(lo, hi) in intervals.iter().take(dims) {
+            if !lo.is_finite() || !hi.is_finite() || lo >= hi {
+                return Err(EstimatorError::InvalidInterval { lo, hi });
+            }
+        }
+        if j0 < 0 {
+            return Err(EstimatorError::InvalidLevels {
+                message: format!("coarse level must be nonnegative, got {j0}"),
+            });
+        }
+        if j_max < j0 {
+            return Err(EstimatorError::InvalidLevels {
+                message: format!("max level {j_max} below coarse level {j0}"),
+            });
+        }
+        let axis_count = if dims == 2 { 2 } else { 1 };
+        let mut axes: [Vec<AxisComponent>; 2] = [Vec::new(), Vec::new()];
+        for (axis, components) in axes.iter_mut().enumerate().take(axis_count) {
+            components.push(AxisComponent::new(
+                &basis,
+                intervals[axis],
+                j0,
+                Generator::Scaling,
+            ));
+            for level in j0..=j_max {
+                components.push(AxisComponent::new(
+                    &basis,
+                    intervals[axis],
+                    level,
+                    Generator::Wavelet,
+                ));
+            }
+        }
+        let mut levels = Vec::new();
+        let mut total_slots = 0_usize;
+        for selector in enumerate_levels(dims, j0, j_max, budget) {
+            let cx = component_index(selector[0], j0);
+            let cy = component_index(selector[1], j0);
+            let slots = if dims == 2 {
+                axes[0][cx]
+                    .extent
+                    .checked_mul(axes[1][cy].extent)
+                    .ok_or_else(|| EstimatorError::InvalidParameter {
+                        message: "tensor level slot count overflows".to_string(),
+                    })?
+            } else {
+                axes[0][cx].extent
+            };
+            total_slots = total_slots.saturating_add(slots);
+            if total_slots > MAX_TENSOR_SLOTS {
+                return Err(EstimatorError::InvalidParameter {
+                    message: format!(
+                        "tensor level set holds more than {MAX_TENSOR_SLOTS} coefficient slots"
+                    ),
+                });
+            }
+            levels.push(TensorLevel::new([cx, cy], slots));
+        }
+        Ok(Self {
+            basis,
+            dims,
+            intervals,
+            j0,
+            j_max,
+            budget,
+            count: 0,
+            axes,
+            levels,
+            scratch: None,
+        })
+    }
+
+    /// Number of dimensions (1 or 2).
+    pub fn dims(&self) -> usize {
+        self.dims
+    }
+
+    /// Observations accumulated so far.
+    pub fn count(&self) -> usize {
+        self.count
+    }
+
+    /// Whether no observations have been accumulated.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// The coarse resolution level `j0` (shared by both axes).
+    pub fn coarse_level(&self) -> i32 {
+        self.j0
+    }
+
+    /// The finest per-axis detail level.
+    pub fn max_level(&self) -> i32 {
+        self.j_max
+    }
+
+    /// The hyperbolic budget bounding `jx + jy` of the `ψ⊗ψ` layers
+    /// (irrelevant for `dims == 1`).
+    pub fn hyperbolic_budget(&self) -> i32 {
+        self.budget
+    }
+
+    /// The accumulation interval of one axis (`axis < dims`).
+    pub fn interval(&self, axis: usize) -> (f64, f64) {
+        assert!(
+            axis < self.dims,
+            "axis {axis} out of range for {} dims",
+            self.dims
+        );
+        self.intervals[axis]
+    }
+
+    /// The shared per-axis wavelet basis.
+    pub fn basis(&self) -> &Arc<WaveletBasis> {
+        &self.basis
+    }
+
+    /// Number of tensor levels in the canonical level set.
+    pub fn level_count(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// Total flattened coefficient slots across all levels.
+    pub fn total_slots(&self) -> usize {
+        self.levels.iter().map(|l| l.sums.len()).sum()
+    }
+
+    /// Ingests a batch of scalar observations (`dims == 1` only).
+    ///
+    /// Mirrors [`CoefficientSketch::push_batch`](crate::CoefficientSketch::push_batch)
+    /// instruction for instruction — same chunking, same
+    /// `LevelAccumulator` scatter
+    /// path — so the accumulated sums are bitwise identical to the 1-D
+    /// sketch's.
+    ///
+    /// # Panics
+    /// If the sketch is 2-dimensional.
+    pub fn push_scalars(&mut self, values: &[f64]) {
+        assert_eq!(self.dims, 1, "push_scalars requires a 1-D tensor sketch");
+        self.count += values.len();
+        if values.is_empty() {
+            return;
+        }
+        let rows = values.len().min(INGEST_CHUNK);
+        let need_new = match &self.scratch {
+            Some(Scratch::OneD(s)) => s.rows() < rows,
+            _ => true,
+        };
+        if need_new {
+            self.scratch = Some(Scratch::OneD(ScatterScratch::new(&self.basis, rows)));
+        }
+        let Some(Scratch::OneD(scratch)) = self.scratch.as_mut() else {
+            unreachable!("1-D scratch just ensured");
+        };
+        for chunk in values.chunks(INGEST_CHUNK) {
+            for level in &mut self.levels {
+                let comp = self.axes[0][level.component[0]];
+                level.version += 1;
+                let accumulator =
+                    LevelAccumulator::new(&self.basis, comp.generator, comp.level, comp.k_start);
+                let squares = Arc::make_mut(&mut level.sum_squares);
+                accumulator.scatter_chunk(chunk, scratch, &mut level.sums, squares);
+            }
+        }
+    }
+
+    /// Ingests a batch of `(x, y)` observation pairs (`dims == 2` only).
+    ///
+    /// Each distinct per-axis factor (one `φ` row, one `ψ` row per level
+    /// per axis) is gathered **once** per observation through the 1-D
+    /// polyphase fast path; every tensor level then scatters the outer
+    /// product of its two cached rows into its flattened slots.
+    ///
+    /// # Panics
+    /// If the sketch is 1-dimensional.
+    pub fn push_pairs(&mut self, rows: &[(f64, f64)]) {
+        assert_eq!(self.dims, 2, "push_pairs requires a 2-D tensor sketch");
+        self.count += rows.len();
+        if rows.is_empty() {
+            return;
+        }
+        let chunk_rows = rows.len().min(TENSOR_CHUNK);
+        let components = self.axes[0].len().max(self.axes[1].len());
+        let need_new = match &self.scratch {
+            Some(Scratch::TwoD(s)) => s.rows < chunk_rows,
+            _ => true,
+        };
+        if need_new {
+            self.scratch = Some(Scratch::TwoD(TensorScratch::new(
+                &self.basis,
+                components,
+                chunk_rows,
+            )));
+        }
+        for chunk in rows.chunks(TENSOR_CHUNK) {
+            self.scatter_pair_chunk(chunk);
+        }
+    }
+
+    fn scatter_pair_chunk(&mut self, chunk: &[(f64, f64)]) {
+        let support = self.basis.support_length();
+        let table = self.basis.table();
+        let Some(Scratch::TwoD(scratch)) = self.scratch.as_mut() else {
+            unreachable!("2-D scratch ensured by push_pairs");
+        };
+        let rows_cap = scratch.rows;
+        let width = scratch.width;
+        // Pass 1: gather the raw mother values of every (axis, component)
+        // factor for every observation in the chunk.
+        for axis in 0..2 {
+            let values = &mut scratch.values[axis];
+            let spans = &mut scratch.spans[axis];
+            for (c, comp) in self.axes[axis].iter().enumerate() {
+                for (i, row) in chunk.iter().enumerate() {
+                    let x = if axis == 0 { row.0 } else { row.1 };
+                    let position = comp.scale * x;
+                    let range = active_translations(support, position, comp.k_start, comp.extent);
+                    let (k_lo, k_hi) = (*range.start(), *range.end());
+                    let slot = c * rows_cap + i;
+                    if k_lo > k_hi {
+                        spans[slot] = (0, 0);
+                        continue;
+                    }
+                    let len = (k_hi - k_lo + 1) as usize;
+                    spans[slot] = ((k_lo - comp.k_start) as u32, len as u32);
+                    let base = slot * width;
+                    let out = &mut values[base..base + len];
+                    match comp.generator {
+                        Generator::Scaling => table.gather_phi(position, k_lo, out),
+                        Generator::Wavelet => table.gather_psi(position, k_lo, out),
+                    }
+                }
+            }
+        }
+        // Pass 2: scatter the outer product of each level's two cached
+        // rows into the flattened slots, accumulating value and value².
+        for level in &mut self.levels {
+            level.version += 1;
+            let ax = self.axes[0][level.component[0]];
+            let ay = self.axes[1][level.component[1]];
+            let extent_y = ay.extent;
+            let cx_base = level.component[0] * rows_cap;
+            let cy_base = level.component[1] * rows_cap;
+            let squares = Arc::make_mut(&mut level.sum_squares);
+            for i in 0..chunk.len() {
+                let (off_x, len_x) = scratch.spans[0][cx_base + i];
+                let (off_y, len_y) = scratch.spans[1][cy_base + i];
+                if len_x == 0 || len_y == 0 {
+                    continue;
+                }
+                let base_x = (cx_base + i) * width;
+                let base_y = (cy_base + i) * width;
+                let row_x = &scratch.values[0][base_x..base_x + len_x as usize];
+                let row_y = &scratch.values[1][base_y..base_y + len_y as usize];
+                for (mx, &raw_x) in row_x.iter().enumerate() {
+                    let vx = ax.sqrt_scale * raw_x;
+                    if vx == 0.0 {
+                        continue;
+                    }
+                    let slot = (off_x as usize + mx) * extent_y + off_y as usize;
+                    let sums = &mut level.sums[slot..slot + len_y as usize];
+                    let sqs = &mut squares[slot..slot + len_y as usize];
+                    for ((sum, square), &raw_y) in sums.iter_mut().zip(sqs.iter_mut()).zip(row_y) {
+                        let value = vx * (ay.sqrt_scale * raw_y);
+                        *sum += value;
+                        *square += value * value;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Resets the sketch to the empty state in place, keeping every
+    /// allocation (scratch-sketch reuse, as in the 1-D
+    /// [`clear`](crate::CoefficientSketch::clear)).
+    pub fn clear(&mut self) {
+        self.count = 0;
+        for level in &mut self.levels {
+            level.clear();
+        }
+    }
+
+    /// Checks that `other` accumulates the same tensor coefficients as
+    /// `self` (same family, dimensions, intervals, levels and budget).
+    pub fn is_compatible(&self, other: &Self) -> Result<(), EstimatorError> {
+        let mismatch = |message: String| EstimatorError::IncompatibleSketches { message };
+        if self.basis.family() != other.basis.family() {
+            return Err(mismatch(format!(
+                "wavelet families differ: {:?} vs {:?}",
+                self.basis.family(),
+                other.basis.family()
+            )));
+        }
+        if self.dims != other.dims {
+            return Err(mismatch(format!(
+                "dimensions differ: {} vs {}",
+                self.dims, other.dims
+            )));
+        }
+        for axis in 0..self.dims {
+            if self.intervals[axis] != other.intervals[axis] {
+                return Err(mismatch(format!(
+                    "axis {axis} intervals differ: {:?} vs {:?}",
+                    self.intervals[axis], other.intervals[axis]
+                )));
+            }
+        }
+        if (self.j0, self.j_max, self.budget) != (other.j0, other.j_max, other.budget) {
+            return Err(mismatch(format!(
+                "level sets differ: ({}, {}, budget {}) vs ({}, {}, budget {})",
+                self.j0, self.j_max, self.budget, other.j0, other.j_max, other.budget
+            )));
+        }
+        Ok(())
+    }
+
+    /// Merges another sketch accumulated over the same tensor basis;
+    /// exactly equivalent to having pushed both observation streams into
+    /// one sketch.
+    pub fn merge(&mut self, other: &Self) -> Result<(), EstimatorError> {
+        self.is_compatible(other)?;
+        for (mine, theirs) in self.levels.iter_mut().zip(&other.levels) {
+            mine.merge(theirs);
+        }
+        self.count = self.count.saturating_add(other.count);
+        Ok(())
+    }
+
+    /// [`merge`](Self::merge) with every contribution scaled by `weight`
+    /// (decayed window folds). At `weight == 1.0` this is bitwise
+    /// `merge`.
+    pub fn merge_scaled(&mut self, other: &Self, weight: f64) -> Result<(), EstimatorError> {
+        validate_merge_weight(weight)?;
+        self.is_compatible(other)?;
+        for (mine, theirs) in self.levels.iter_mut().zip(&other.levels) {
+            mine.merge_scaled(theirs, weight);
+        }
+        self.count = self.count.saturating_add(scaled_count(other.count, weight));
+        Ok(())
+    }
+
+    /// Overwrites this sketch with the contents of a compatible source,
+    /// reusing the allocations (the engine's refresh scratch path).
+    pub fn copy_from(&mut self, source: &Self) -> Result<(), EstimatorError> {
+        self.is_compatible(source)?;
+        for (mine, theirs) in self.levels.iter_mut().zip(&source.levels) {
+            mine.copy_from(theirs);
+        }
+        self.count = source.count;
+        Ok(())
+    }
+
+    /// The empirical coefficients of every tensor level, each flattened
+    /// into a pseudo-1-D [`LevelCoefficients`] (values are `sums / n`;
+    /// the `level` tag is the finest per-axis level of the pair, the
+    /// flattened slot index starts at `k_start = 0`). This is the view
+    /// the level-wise CV pipeline consumes.
+    pub fn snapshot_levels(&self) -> Result<Vec<LevelCoefficients>, EstimatorError> {
+        if self.count == 0 {
+            return Err(EstimatorError::EmptySample);
+        }
+        Ok((0..self.levels.len())
+            .map(|index| self.pseudo_level(index))
+            .collect())
+    }
+
+    /// The flattened level at `index` as a pseudo-1-D coefficient set.
+    fn pseudo_level(&self, index: usize) -> LevelCoefficients {
+        let level = &self.levels[index];
+        let ax = self.axes[0][level.component[0]];
+        let (tag_level, generator) = if self.dims == 2 {
+            let ay = self.axes[1][level.component[1]];
+            let wavelet = ax.generator == Generator::Wavelet || ay.generator == Generator::Wavelet;
+            (
+                ax.level.max(ay.level),
+                if wavelet {
+                    Generator::Wavelet
+                } else {
+                    Generator::Scaling
+                },
+            )
+        } else {
+            (ax.level, ax.generator)
+        };
+        let n = self.count as f64;
+        LevelCoefficients {
+            level: tag_level,
+            generator,
+            k_start: 0,
+            values: level.sums.iter().map(|s| s / n).collect(),
+            sum_squares: Arc::clone(&level.sum_squares),
+        }
+    }
+
+    /// Runs the level-wise CV+threshold pipeline over the flattened
+    /// levels: the scaling layer is kept as-is, every other level gets a
+    /// cross-validated threshold `λ` (exactly the 1-D
+    /// [`cross_validate_level`] over the
+    /// flattened coefficients) and `rule` applied slot by slot.
+    pub fn thresholded(&self, rule: ThresholdRule) -> Result<TensorEstimate, EstimatorError> {
+        if self.count == 0 {
+            return Err(EstimatorError::EmptySample);
+        }
+        let n = self.count;
+        let criterion = CvCriterion::recommended_for(rule);
+        let mut levels = Vec::with_capacity(self.levels.len());
+        for (index, level) in self.levels.iter().enumerate() {
+            let pseudo = self.pseudo_level(index);
+            let coefficients = if index == 0 {
+                // The scaling layer is never thresholded (same convention
+                // as the 1-D pipeline).
+                pseudo.values
+            } else {
+                let cv = cross_validate_level(&pseudo, n, criterion);
+                pseudo
+                    .values
+                    .iter()
+                    .map(|&beta| rule.apply(beta, cv.lambda))
+                    .collect()
+            };
+            let surviving = coefficients.iter().filter(|c| **c != 0.0).count();
+            let ay_index = if self.dims == 2 {
+                level.component[1]
+            } else {
+                level.component[0]
+            };
+            levels.push(EstimateLevel {
+                axes: [
+                    self.axes[0][level.component[0]],
+                    self.axes[self.dims - 1][ay_index],
+                ],
+                coefficients,
+                surviving,
+            });
+        }
+        Ok(TensorEstimate {
+            basis: Arc::clone(&self.basis),
+            dims: self.dims,
+            intervals: self.intervals,
+            n,
+            levels,
+        })
+    }
+
+    /// Zeroes the cross-validated inactive state of every detail level.
+    /// Levels whose CV active set is empty are cleared wholesale (the
+    /// presence bitmap then elides them). Under [`ThresholdRule::Hard`]
+    /// the sweep additionally zeroes *individual* slots the threshold
+    /// kills: hard-thresholded survivors ship verbatim, so dropping the
+    /// killed slots leaves the re-thresholded estimate pointwise
+    /// identical while making the level coefficient-sparse on the wire.
+    /// (Soft shrinkage depends on the selected `λ`, which the frame does
+    /// not carry, so `Soft` stays level-granular.)
+    fn zero_inactive_levels(&mut self, rule: ThresholdRule) -> Result<(), EstimatorError> {
+        if self.count == 0 {
+            return Ok(());
+        }
+        let n = self.count;
+        let criterion = CvCriterion::recommended_for(rule);
+        let per_slot = matches!(rule, ThresholdRule::Hard);
+        for index in 1..self.levels.len() {
+            if self.levels[index].is_zero() {
+                continue;
+            }
+            let keep = {
+                let pseudo = self.pseudo_level(index);
+                let cv = cross_validate_level(&pseudo, n, criterion);
+                if cv.kept == 0 {
+                    None
+                } else if per_slot && cv.kept < pseudo.values.len() {
+                    Some(
+                        pseudo
+                            .values
+                            .iter()
+                            .map(|&beta| rule.apply(beta, cv.lambda) != 0.0)
+                            .collect::<Vec<bool>>(),
+                    )
+                } else {
+                    // Every slot survives: nothing to zero.
+                    continue;
+                }
+            };
+            let level = &mut self.levels[index];
+            match keep {
+                None => level.clear(),
+                Some(keep) => {
+                    let squares = Arc::make_mut(&mut level.sum_squares);
+                    let mut changed = false;
+                    for (slot, kept) in keep.iter().enumerate() {
+                        if !kept && (level.sums[slot] != 0.0 || squares[slot] != 0.0) {
+                            level.sums[slot] = 0.0;
+                            squares[slot] = 0.0;
+                            changed = true;
+                        }
+                    }
+                    if changed {
+                        level.version += 1;
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Produces a compacted clone for shipping, mirroring the 1-D
+    /// [`compact`](crate::CoefficientSketch::compact) semantics on the
+    /// tensor level set: `Dense` keeps everything, `InactiveTail` zeroes
+    /// the CV-inactive levels — and, under [`ThresholdRule::Hard`], the
+    /// individually killed slots (lossless — pointwise-identical
+    /// estimates), `ByteBudget` additionally zeroes the finest remaining
+    /// levels until
+    /// the frame fits (best-effort, potentially lossy; the scaling layer
+    /// is never dropped).
+    pub fn compact(
+        &self,
+        policy: CompactionPolicy,
+        rule: ThresholdRule,
+    ) -> Result<Self, EstimatorError> {
+        let mut compacted = self.clone();
+        match policy {
+            CompactionPolicy::Dense => {}
+            CompactionPolicy::InactiveTail => compacted.zero_inactive_levels(rule)?,
+            CompactionPolicy::ByteBudget { max_bytes } => {
+                compacted.zero_inactive_levels(rule)?;
+                let mut index = compacted.levels.len();
+                while compacted.serialized_len() > max_bytes && index > 1 {
+                    index -= 1;
+                    compacted.levels[index].clear();
+                }
+            }
+        }
+        Ok(compacted)
+    }
+
+    fn header_len(dims: usize) -> usize {
+        // magic + version + family tag + order + dims + count + three
+        // level fields + per-axis interval bounds.
+        MAGIC.len() + 2 + 1 + 2 + 1 + 8 + 3 * 4 + dims * 16
+    }
+
+    /// The cheaper of the two payload encodings for one level: dense
+    /// (`u64` slot count + per-slot sum and sum of squares) or
+    /// coefficient-sparse (`u64` nonzero count + per-entry `u32` slot
+    /// index, sum, sum of squares).
+    fn payload_len(level: &TensorLevel) -> usize {
+        let dense = 8 + 16 * level.sums.len();
+        let sparse = 8 + 20 * level.nonzero_slots();
+        dense.min(sparse)
+    }
+
+    /// Exact length of [`to_bytes`](Self::to_bytes).
+    pub fn serialized_len(&self) -> usize {
+        let mut len = Self::header_len(self.dims) + presence_bitmap_len(self.levels.len());
+        for level in &self.levels {
+            if level.is_zero() {
+                continue;
+            }
+            len += 1 + Self::payload_len(level);
+        }
+        len
+    }
+
+    /// Serializes the sketch as a compact v4 tensor frame: the shared
+    /// magic/family prefix, a dims header, the level-set parameters (the
+    /// canonical level list is derived from them, so no level directory
+    /// ships), a presence bitmap eliding all-zero levels, and per level
+    /// the cheaper of a dense or coefficient-sparse payload. Lossless:
+    /// [`from_bytes`](Self::from_bytes) reproduces the slot arrays
+    /// bit for bit.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        self.encode(false)
+    }
+
+    /// Serializes with every level present and dense payloads — the
+    /// uncompacted baseline the compaction ratio is measured against.
+    pub fn to_bytes_dense(&self) -> Vec<u8> {
+        self.encode(true)
+    }
+
+    fn encode(&self, force_dense: bool) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(MAGIC);
+        out.extend_from_slice(&FORMAT_V4_TENSOR.to_le_bytes());
+        let (family_tag, order) = encode_family(self.basis.family());
+        out.push(family_tag);
+        out.extend_from_slice(&(order as u16).to_le_bytes());
+        out.push(self.dims as u8);
+        out.extend_from_slice(&(self.count as u64).to_le_bytes());
+        out.extend_from_slice(&self.j0.to_le_bytes());
+        out.extend_from_slice(&self.j_max.to_le_bytes());
+        out.extend_from_slice(&self.budget.to_le_bytes());
+        for &(lo, hi) in self.intervals.iter().take(self.dims) {
+            out.extend_from_slice(&lo.to_le_bytes());
+            out.extend_from_slice(&hi.to_le_bytes());
+        }
+        let mut bitmap = vec![0_u8; presence_bitmap_len(self.levels.len())];
+        for (i, level) in self.levels.iter().enumerate() {
+            if force_dense || !level.is_zero() {
+                bitmap[i / 8] |= 1 << (i % 8);
+            }
+        }
+        out.extend_from_slice(&bitmap);
+        for level in &self.levels {
+            if !force_dense && level.is_zero() {
+                continue;
+            }
+            let slots = level.sums.len();
+            let nonzero = level.nonzero_slots();
+            let sparse = !force_dense && 20 * nonzero < 16 * slots;
+            if sparse {
+                out.push(PAYLOAD_SPARSE);
+                out.extend_from_slice(&(nonzero as u64).to_le_bytes());
+                for (index, (sum, square)) in
+                    level.sums.iter().zip(level.sum_squares.iter()).enumerate()
+                {
+                    if *sum == 0.0 && *square == 0.0 {
+                        continue;
+                    }
+                    out.extend_from_slice(&(index as u32).to_le_bytes());
+                    out.extend_from_slice(&sum.to_le_bytes());
+                    out.extend_from_slice(&square.to_le_bytes());
+                }
+            } else {
+                out.push(PAYLOAD_DENSE);
+                out.extend_from_slice(&(slots as u64).to_le_bytes());
+                for sum in &level.sums {
+                    out.extend_from_slice(&sum.to_le_bytes());
+                }
+                for square in level.sum_squares.iter() {
+                    out.extend_from_slice(&square.to_le_bytes());
+                }
+            }
+        }
+        out
+    }
+
+    /// Deserializes a v4 tensor frame produced by
+    /// [`to_bytes`](Self::to_bytes) or
+    /// [`to_bytes_dense`](Self::to_bytes_dense), rebuilding the canonical
+    /// level set from the header parameters. Every structural field is
+    /// validated (level range, slot cap, per-level payload bounds, sparse
+    /// index monotonicity, finiteness) so a corrupted or hostile frame
+    /// can neither panic the reader nor provoke an oversized allocation.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, EstimatorError> {
+        let mut reader = Reader::new(bytes);
+        if reader.take(MAGIC.len())? != MAGIC {
+            return Err(invalid("bad magic bytes"));
+        }
+        let version = reader.u16()?;
+        if version != FORMAT_V4_TENSOR {
+            return Err(invalid(&format!(
+                "unsupported tensor frame version {version} (expected {FORMAT_V4_TENSOR})"
+            )));
+        }
+        let family_tag = reader.u8()?;
+        let order = reader.u16()? as usize;
+        let family = decode_family(family_tag, order)?;
+        let dims = reader.u8()? as usize;
+        if !(1..=2).contains(&dims) {
+            return Err(invalid(&format!(
+                "unsupported tensor dimension count {dims}"
+            )));
+        }
+        let count = reader.u64()? as usize;
+        let j0 = reader.i32()?;
+        let j_max = reader.i32()?;
+        let budget = reader.i32()?;
+        if j0 < 0 || j_max < j0 {
+            return Err(invalid(&format!("invalid level range {j0}..={j_max}")));
+        }
+        if j_max > MAX_SERIALIZED_LEVEL {
+            return Err(invalid(&format!(
+                "max level {j_max} exceeds the wire cap {MAX_SERIALIZED_LEVEL}"
+            )));
+        }
+        let mut intervals = [(0.0, 1.0); 2];
+        for interval in intervals.iter_mut().take(dims) {
+            let lo = reader.f64()?;
+            let hi = reader.f64()?;
+            if !lo.is_finite() || !hi.is_finite() || lo >= hi {
+                return Err(invalid(&format!("invalid interval [{lo}, {hi}]")));
+            }
+            *interval = (lo, hi);
+        }
+        if dims == 1 {
+            intervals[1] = intervals[0];
+        }
+        let basis = Arc::new(WaveletBasis::new(family)?);
+        // The constructor re-derives the canonical level set from the
+        // header parameters and enforces the slot cap, bounding every
+        // allocation below.
+        let mut sketch = Self::build(basis, dims, intervals, j0, j_max, budget)
+            .map_err(|e| invalid(&format!("frame declares an invalid level set: {e}")))?;
+        sketch.count = count;
+        let level_count = sketch.levels.len();
+        let bitmap = reader.take(presence_bitmap_len(level_count))?.to_vec();
+        if (level_count..bitmap.len() * 8).any(|i| bitmap[i / 8] & (1 << (i % 8)) != 0) {
+            return Err(invalid("presence bitmap has bits beyond the level count"));
+        }
+        for (index, level) in sketch.levels.iter_mut().enumerate() {
+            let is_present = bitmap[index / 8] & (1 << (index % 8)) != 0;
+            if is_present {
+                read_tensor_level(&mut reader, level)?;
+            }
+            level.version = u64::from(is_present && !level.is_zero());
+        }
+        if !reader.is_done() {
+            return Err(invalid(&format!(
+                "{} trailing bytes after the last level",
+                reader.remaining()
+            )));
+        }
+        if count == 0 && sketch.levels.iter().any(|level| !level.is_zero()) {
+            return Err(invalid("count is zero but level sums are nonzero"));
+        }
+        Ok(sketch)
+    }
+}
+
+/// Reads one v4 level payload (dense or sparse) into `level`.
+fn read_tensor_level(
+    reader: &mut Reader<'_>,
+    level: &mut TensorLevel,
+) -> Result<(), EstimatorError> {
+    let slots = level.sums.len();
+    let tag = reader.u8()?;
+    match tag {
+        PAYLOAD_DENSE => {
+            let len = reader.u64()? as usize;
+            if len != slots {
+                return Err(invalid(&format!(
+                    "level stores {slots} slots, dense payload has {len}"
+                )));
+            }
+            for slot in &mut level.sums {
+                let value = reader.f64()?;
+                if !value.is_finite() {
+                    return Err(invalid(&format!("non-finite sum {value} in level payload")));
+                }
+                *slot = value;
+            }
+            let squares = Arc::make_mut(&mut level.sum_squares);
+            for slot in squares.iter_mut() {
+                let value = reader.f64()?;
+                if !value.is_finite() || value < 0.0 {
+                    return Err(invalid(&format!(
+                        "invalid sum of squares {value} in level payload"
+                    )));
+                }
+                *slot = value;
+            }
+        }
+        PAYLOAD_SPARSE => {
+            let nonzero = reader.u64()? as usize;
+            if nonzero > slots {
+                return Err(invalid(&format!(
+                    "sparse payload declares {nonzero} entries for {slots} slots"
+                )));
+            }
+            let squares = Arc::make_mut(&mut level.sum_squares);
+            let mut previous: Option<usize> = None;
+            for _ in 0..nonzero {
+                let index = reader.u32()? as usize;
+                if index >= slots {
+                    return Err(invalid(&format!(
+                        "sparse entry index {index} outside {slots} slots"
+                    )));
+                }
+                if previous.is_some_and(|p| index <= p) {
+                    return Err(invalid("sparse entry indices must be strictly increasing"));
+                }
+                previous = Some(index);
+                let sum = reader.f64()?;
+                if !sum.is_finite() {
+                    return Err(invalid(&format!("non-finite sum {sum} in sparse payload")));
+                }
+                let square = reader.f64()?;
+                if !square.is_finite() || square < 0.0 {
+                    return Err(invalid(&format!(
+                        "invalid sum of squares {square} in sparse payload"
+                    )));
+                }
+                level.sums[index] = sum;
+                squares[index] = square;
+            }
+        }
+        other => {
+            return Err(invalid(&format!("unknown level payload tag {other}")));
+        }
+    }
+    Ok(())
+}
+
+/// The canonical tensor level list derived from `(dims, j0, j_max,
+/// budget)`: the scaling layer, then `ψ_j⊗φ_{j0}`, then `φ_{j0}⊗ψ_j`,
+/// then `ψ_{jx}⊗ψ_{jy}` under the hyperbolic cut, each block in
+/// ascending level order. The wire format relies on this list being a
+/// pure function of the four header parameters.
+fn enumerate_levels(dims: usize, j0: i32, j_max: i32, budget: i32) -> Vec<[(Generator, i32); 2]> {
+    let scaling = (Generator::Scaling, j0);
+    let mut levels = Vec::new();
+    if dims == 1 {
+        levels.push([scaling, scaling]);
+        for j in j0..=j_max {
+            levels.push([(Generator::Wavelet, j), scaling]);
+        }
+        return levels;
+    }
+    levels.push([scaling, scaling]);
+    for j in j0..=j_max {
+        levels.push([(Generator::Wavelet, j), scaling]);
+    }
+    for j in j0..=j_max {
+        levels.push([scaling, (Generator::Wavelet, j)]);
+    }
+    for jx in j0..=j_max {
+        for jy in j0..=j_max {
+            if jx + jy <= budget {
+                levels.push([(Generator::Wavelet, jx), (Generator::Wavelet, jy)]);
+            }
+        }
+    }
+    levels
+}
+
+/// Index of a `(generator, level)` factor in the per-axis component list
+/// (`φ_{j0}` first, then `ψ_{j0}..ψ_{j_max}`).
+fn component_index(selector: (Generator, i32), j0: i32) -> usize {
+    match selector.0 {
+        Generator::Scaling => 0,
+        Generator::Wavelet => 1 + (selector.1 - j0) as usize,
+    }
+}
+
+/// One thresholded tensor level of a [`TensorEstimate`].
+#[derive(Debug, Clone)]
+struct EstimateLevel {
+    axes: [AxisComponent; 2],
+    coefficients: Vec<f64>,
+    surviving: usize,
+}
+
+/// A thresholded tensor-product density expansion, produced by
+/// [`TensorSketch::thresholded`].
+#[derive(Debug, Clone)]
+pub struct TensorEstimate {
+    basis: Arc<WaveletBasis>,
+    dims: usize,
+    intervals: [(f64, f64); 2],
+    n: usize,
+    levels: Vec<EstimateLevel>,
+}
+
+impl TensorEstimate {
+    /// Number of dimensions (1 or 2).
+    pub fn dims(&self) -> usize {
+        self.dims
+    }
+
+    /// Sample size behind the empirical coefficients.
+    pub fn sample_size(&self) -> usize {
+        self.n
+    }
+
+    /// Total coefficients surviving thresholding (scaling layer
+    /// included).
+    pub fn surviving_coefficients(&self) -> usize {
+        self.levels.iter().map(|l| l.surviving).sum()
+    }
+
+    /// Evaluates the 2-D density expansion on the tensor grid
+    /// `grid_x × grid_y`, returned row-major (`x` major). Each surviving
+    /// coefficient sweeps its compact support with two 1-D strided table
+    /// passes — one per axis — and scatters their outer product.
+    ///
+    /// # Panics
+    /// If the estimate is 1-dimensional.
+    pub fn density_grid(&self, grid_x: &Grid, grid_y: &Grid) -> Vec<f64> {
+        assert_eq!(self.dims, 2, "density_grid requires a 2-D estimate");
+        let nx = grid_x.len();
+        let ny = grid_y.len();
+        let mut out = vec![0.0; nx * ny];
+        let support = self.basis.support_length();
+        let table = self.basis.table();
+        let mut row_x: Vec<f64> = Vec::new();
+        let mut row_y: Vec<f64> = Vec::new();
+        for level in &self.levels {
+            if level.surviving == 0 {
+                continue;
+            }
+            let ax = level.axes[0];
+            let ay = level.axes[1];
+            let stride_x = ax.scale * grid_x.step();
+            let stride_y = ay.scale * grid_y.step();
+            for (m, &coeff) in level.coefficients.iter().enumerate() {
+                if coeff == 0.0 {
+                    continue;
+                }
+                let kx = ax.k_start + (m / ay.extent) as i64;
+                let ky = ay.k_start + (m % ay.extent) as i64;
+                let Some((first_x, last_x, u0_x)) =
+                    coefficient_window(grid_x, ax.scale, support, kx, nx)
+                else {
+                    continue;
+                };
+                let Some((first_y, last_y, u0_y)) =
+                    coefficient_window(grid_y, ay.scale, support, ky, ny)
+                else {
+                    continue;
+                };
+                row_x.clear();
+                row_x.resize(last_x - first_x + 1, 0.0);
+                match ax.generator {
+                    Generator::Scaling => {
+                        table.accumulate_phi(u0_x, stride_x, ax.sqrt_scale, &mut row_x)
+                    }
+                    Generator::Wavelet => {
+                        table.accumulate_psi(u0_x, stride_x, ax.sqrt_scale, &mut row_x)
+                    }
+                }
+                row_y.clear();
+                row_y.resize(last_y - first_y + 1, 0.0);
+                match ay.generator {
+                    Generator::Scaling => {
+                        table.accumulate_phi(u0_y, stride_y, ay.sqrt_scale, &mut row_y)
+                    }
+                    Generator::Wavelet => {
+                        table.accumulate_psi(u0_y, stride_y, ay.sqrt_scale, &mut row_y)
+                    }
+                }
+                for (i, &vx) in row_x.iter().enumerate() {
+                    if vx == 0.0 {
+                        continue;
+                    }
+                    let weight = coeff * vx;
+                    let base = (first_x + i) * ny + first_y;
+                    for (j, &vy) in row_y.iter().enumerate() {
+                        out[base + j] += weight * vy;
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Builds the joint cumulative grid of the 2-D expansion on a
+    /// `points_x × points_y` tensor grid over the accumulation
+    /// rectangle.
+    ///
+    /// # Panics
+    /// If the estimate is 1-dimensional.
+    pub fn cumulative(&self, points_x: usize, points_y: usize) -> TensorCumulative {
+        assert_eq!(self.dims, 2, "cumulative requires a 2-D estimate");
+        let (lo_x, hi_x) = self.intervals[0];
+        let (lo_y, hi_y) = self.intervals[1];
+        let grid_x = Grid::new(lo_x, hi_x, points_x.max(2));
+        let grid_y = Grid::new(lo_y, hi_y, points_y.max(2));
+        let density = self.density_grid(&grid_x, &grid_y);
+        TensorCumulative::from_density(grid_x, grid_y, &density)
+    }
+}
+
+/// A precomputed joint CDF grid over a rectangle, answering range-mass
+/// queries by inclusion–exclusion of four bilinear corner lookups.
+///
+/// Construction clamps the density at zero and accumulates nonnegative
+/// per-cell trapezoid masses into a 2-D prefix grid; the bilinear
+/// interpolant of that grid is the exact CDF of the measure spreading
+/// each cell's mass uniformly over the cell. Rectangle masses are
+/// therefore nonnegative and exactly additive across abutting
+/// rectangles.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TensorCumulative {
+    grid_x: Grid,
+    grid_y: Grid,
+    cumulative: Vec<f64>,
+}
+
+impl TensorCumulative {
+    /// Builds the prefix-mass grid from a row-major density sample on
+    /// `grid_x × grid_y` (negative density values are clamped to zero).
+    ///
+    /// # Panics
+    /// If `density.len() != grid_x.len() * grid_y.len()`.
+    pub fn from_density(grid_x: Grid, grid_y: Grid, density: &[f64]) -> Self {
+        let nx = grid_x.len();
+        let ny = grid_y.len();
+        assert_eq!(density.len(), nx * ny, "density grid size mismatch");
+        let cell_weight = 0.25 * grid_x.step() * grid_y.step();
+        let mut cumulative = vec![0.0; nx * ny];
+        for i in 1..nx {
+            for j in 1..ny {
+                let d00 = density[(i - 1) * ny + (j - 1)].max(0.0);
+                let d10 = density[i * ny + (j - 1)].max(0.0);
+                let d01 = density[(i - 1) * ny + j].max(0.0);
+                let d11 = density[i * ny + j].max(0.0);
+                let mass = cell_weight * (d00 + d10 + d01 + d11);
+                cumulative[i * ny + j] = cumulative[(i - 1) * ny + j]
+                    + cumulative[i * ny + (j - 1)]
+                    - cumulative[(i - 1) * ny + (j - 1)]
+                    + mass;
+            }
+        }
+        Self {
+            grid_x,
+            grid_y,
+            cumulative,
+        }
+    }
+
+    /// The evaluation grid along `x`.
+    pub fn grid_x(&self) -> &Grid {
+        &self.grid_x
+    }
+
+    /// The evaluation grid along `y`.
+    pub fn grid_y(&self) -> &Grid {
+        &self.grid_y
+    }
+
+    /// Total mass over the full rectangle.
+    pub fn total_mass(&self) -> f64 {
+        *self
+            .cumulative
+            .last()
+            .expect("grids have at least 2 points")
+    }
+
+    /// Fractional grid position of `v` along one axis (clamped).
+    fn axis_position(grid: &Grid, v: f64) -> f64 {
+        if v <= grid.lo() {
+            return 0.0;
+        }
+        if v >= grid.hi() {
+            return (grid.len() - 1) as f64;
+        }
+        (v - grid.lo()) / grid.step()
+    }
+
+    /// The joint CDF `F(x, y)` — the mass over `(-∞, x] × (-∞, y]` —
+    /// by bilinear interpolation of the prefix grid. NaN arguments
+    /// answer 0.
+    pub fn cdf(&self, x: f64, y: f64) -> f64 {
+        if x.is_nan() || y.is_nan() {
+            return 0.0;
+        }
+        let ny = self.grid_y.len();
+        let px = Self::axis_position(&self.grid_x, x);
+        let py = Self::axis_position(&self.grid_y, y);
+        let cx = (px as usize).min(self.grid_x.len() - 2);
+        let cy = (py as usize).min(ny - 2);
+        let fx = px - cx as f64;
+        let fy = py - cy as f64;
+        let c00 = self.cumulative[cx * ny + cy];
+        let c10 = self.cumulative[(cx + 1) * ny + cy];
+        let c01 = self.cumulative[cx * ny + cy + 1];
+        let c11 = self.cumulative[(cx + 1) * ny + cy + 1];
+        (1.0 - fx) * (1.0 - fy) * c00
+            + fx * (1.0 - fy) * c10
+            + (1.0 - fx) * fy * c01
+            + fx * fy * c11
+    }
+
+    /// Mass of the rectangle `x_range × y_range` by inclusion–exclusion
+    /// of the four corner CDF lookups:
+    /// `F(b₁,b₂) − F(a₁,b₂) − F(b₁,a₂) + F(a₁,a₂)`. Reversed or NaN
+    /// ranges answer 0; the result is clamped at 0 against floating-point
+    /// cancellation.
+    pub fn range_mass(&self, x_range: (f64, f64), y_range: (f64, f64)) -> f64 {
+        let (ax, bx) = x_range;
+        let (ay, by) = y_range;
+        if ax.is_nan() || bx.is_nan() || ay.is_nan() || by.is_nan() {
+            return 0.0;
+        }
+        if bx <= ax || by <= ay {
+            return 0.0;
+        }
+        (self.cdf(bx, by) - self.cdf(ax, by) - self.cdf(bx, ay) + self.cdf(ax, ay)).max(0.0)
+    }
+
+    /// The selectivity of the rectangle predicate: range mass normalised
+    /// by total mass, clamped to `[0, 1]`. Answers 0 when the total mass
+    /// is numerically negligible.
+    pub fn selectivity(&self, x_range: (f64, f64), y_range: (f64, f64)) -> f64 {
+        let total = self.total_mass();
+        if total <= TOTAL_MASS_FLOOR {
+            return 0.0;
+        }
+        (self.range_mass(x_range, y_range) / total).clamp(0.0, 1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sketch::CoefficientSketch;
+    use rand::Rng;
+    use wavedens_processes::seeded_rng;
+
+    fn pairs(n: usize, seed: u64, noise: f64) -> Vec<(f64, f64)> {
+        let mut rng = seeded_rng(seed);
+        (0..n)
+            .map(|_| {
+                let x: f64 = rng.gen();
+                let y = (x + noise * (2.0 * rng.gen::<f64>() - 1.0)).rem_euclid(1.0);
+                (x, y)
+            })
+            .collect()
+    }
+
+    fn small_2d() -> TensorSketch {
+        TensorSketch::new_2d(WaveletFamily::Symmlet(8), (0.0, 1.0), (0.0, 1.0), 1, 4, 5)
+            .expect("valid 2-D sketch")
+    }
+
+    #[test]
+    fn dims1_sums_are_bitwise_identical_to_coefficient_sketch() {
+        let mut rng = seeded_rng(7);
+        let sample: Vec<f64> = (0..700).map(|_| rng.gen()).collect();
+        let basis = Arc::new(WaveletBasis::new(WaveletFamily::Symmlet(8)).unwrap());
+        let mut reference =
+            CoefficientSketch::with_basis(Arc::clone(&basis), (0.0, 1.0), 2, 6).unwrap();
+        let mut tensor = TensorSketch::with_basis_1d(basis, (0.0, 1.0), 2, 6).unwrap();
+        // Mixed slicings: the chunk boundaries must not matter.
+        reference.push_batch(&sample[..611]);
+        reference.push_batch(&sample[611..]);
+        tensor.push_scalars(&sample[..611]);
+        tensor.push_scalars(&sample[611..]);
+        assert_eq!(tensor.count(), reference.count());
+        let snapshot = reference.snapshot().unwrap();
+        let reference_levels: Vec<&LevelCoefficients> = std::iter::once(snapshot.scaling())
+            .chain(snapshot.details())
+            .collect();
+        let tensor_levels = tensor.snapshot_levels().unwrap();
+        assert_eq!(tensor_levels.len(), reference_levels.len());
+        for (mine, theirs) in tensor_levels.iter().zip(reference_levels) {
+            assert_eq!(mine.values.len(), theirs.values.len());
+            for (a, b) in mine.values.iter().zip(&theirs.values) {
+                assert_eq!(a.to_bits(), b.to_bits());
+            }
+            for (a, b) in mine.sum_squares.iter().zip(theirs.sum_squares.iter()) {
+                assert_eq!(a.to_bits(), b.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn merge_matches_single_stream() {
+        let rows = pairs(900, 11, 0.1);
+        let mut single = small_2d();
+        single.push_pairs(&rows);
+        let mut left = small_2d();
+        let mut right = small_2d();
+        left.push_pairs(&rows[..450]);
+        right.push_pairs(&rows[450..]);
+        left.merge(&right).unwrap();
+        assert_eq!(left.count(), single.count());
+        for (a, b) in left.levels.iter().zip(&single.levels) {
+            for (x, y) in a.sums.iter().zip(&b.sums) {
+                assert!((x - y).abs() <= 1e-9 * (1.0 + y.abs()));
+            }
+        }
+    }
+
+    #[test]
+    fn merge_scaled_at_weight_one_is_bitwise_merge() {
+        let rows = pairs(300, 3, 0.05);
+        let mut merged = small_2d();
+        let mut scaled = small_2d();
+        let mut other = small_2d();
+        other.push_pairs(&rows[..150]);
+        merged.push_pairs(&rows[150..]);
+        scaled.push_pairs(&rows[150..]);
+        merged.merge(&other).unwrap();
+        scaled.merge_scaled(&other, 1.0).unwrap();
+        assert_eq!(merged.count(), scaled.count());
+        for (a, b) in merged.levels.iter().zip(&scaled.levels) {
+            for (x, y) in a.sums.iter().zip(&b.sums) {
+                assert_eq!(x.to_bits(), y.to_bits());
+            }
+            for (x, y) in a.sum_squares.iter().zip(b.sum_squares.iter()) {
+                assert_eq!(x.to_bits(), y.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn incompatible_sketches_are_rejected() {
+        let mut a = small_2d();
+        let b = TensorSketch::new_2d(WaveletFamily::Symmlet(8), (0.0, 1.0), (0.0, 1.0), 1, 4, 4)
+            .unwrap();
+        assert!(matches!(
+            a.merge(&b),
+            Err(EstimatorError::IncompatibleSketches { .. })
+        ));
+        let c = TensorSketch::new_1d(WaveletFamily::Symmlet(8), (0.0, 1.0), 1, 4).unwrap();
+        assert!(matches!(
+            a.merge(&c),
+            Err(EstimatorError::IncompatibleSketches { .. })
+        ));
+    }
+
+    #[test]
+    fn serialization_round_trips_bitwise() {
+        let rows = pairs(800, 23, 0.08);
+        let mut sketch = small_2d();
+        sketch.push_pairs(&rows);
+        let bytes = sketch.to_bytes();
+        assert_eq!(bytes.len(), sketch.serialized_len());
+        let restored = TensorSketch::from_bytes(&bytes).unwrap();
+        assert_eq!(restored.count(), sketch.count());
+        assert_eq!(restored.dims(), 2);
+        for (a, b) in restored.levels.iter().zip(&sketch.levels) {
+            for (x, y) in a.sums.iter().zip(&b.sums) {
+                assert_eq!(x.to_bits(), y.to_bits());
+            }
+            for (x, y) in a.sum_squares.iter().zip(b.sum_squares.iter()) {
+                assert_eq!(x.to_bits(), y.to_bits());
+            }
+        }
+        // Dense framing round-trips to the same state too.
+        let dense = TensorSketch::from_bytes(&sketch.to_bytes_dense()).unwrap();
+        for (a, b) in dense.levels.iter().zip(&sketch.levels) {
+            for (x, y) in a.sums.iter().zip(&b.sums) {
+                assert_eq!(x.to_bits(), y.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn compacted_frames_shrink_and_stay_lossless() {
+        let rows = pairs(4096, 41, 0.05);
+        let mut sketch = TensorSketch::sized_for_pairs(4096).unwrap();
+        sketch.push_pairs(&rows);
+        let rule = ThresholdRule::Hard;
+        let compacted = sketch
+            .compact(CompactionPolicy::InactiveTail, rule)
+            .unwrap();
+        let compact_bytes = compacted.to_bytes();
+        let dense_bytes = sketch.to_bytes_dense();
+        assert!(
+            dense_bytes.len() >= 5 * compact_bytes.len(),
+            "dense {} vs compact {}",
+            dense_bytes.len(),
+            compact_bytes.len()
+        );
+        // Lossless: the estimates agree pointwise on a probe grid.
+        let restored = TensorSketch::from_bytes(&compact_bytes).unwrap();
+        let grid_x = Grid::new(0.0, 1.0, 65);
+        let grid_y = Grid::new(0.0, 1.0, 65);
+        let original = sketch
+            .thresholded(rule)
+            .unwrap()
+            .density_grid(&grid_x, &grid_y);
+        let shipped = restored
+            .thresholded(rule)
+            .unwrap()
+            .density_grid(&grid_x, &grid_y);
+        for (a, b) in original.iter().zip(&shipped) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn byte_budget_fits_best_effort() {
+        let rows = pairs(2000, 5, 0.2);
+        let mut sketch = small_2d();
+        sketch.push_pairs(&rows);
+        let budget = 4096;
+        let compacted = sketch
+            .compact(
+                CompactionPolicy::ByteBudget { max_bytes: budget },
+                ThresholdRule::Hard,
+            )
+            .unwrap();
+        assert!(
+            compacted.serialized_len() <= budget.max(compacted.levels[0].sums.len() * 16 + 128)
+        );
+        // The scaling layer always survives.
+        assert!(!compacted.levels[0].is_zero());
+    }
+
+    #[test]
+    fn cumulative_masses_are_nonnegative_and_additive() {
+        let rows = pairs(2048, 17, 0.07);
+        let mut sketch = TensorSketch::sized_for_pairs(2048).unwrap();
+        sketch.push_pairs(&rows);
+        let cumulative = sketch
+            .thresholded(ThresholdRule::Hard)
+            .unwrap()
+            .cumulative(129, 129);
+        assert!(cumulative.total_mass() > 0.5);
+        let rects = [
+            ((0.1, 0.4), (0.2, 0.5)),
+            ((0.0, 1.0), (0.0, 1.0)),
+            ((0.33, 0.34), (0.9, 0.99)),
+        ];
+        for (xr, yr) in rects {
+            assert!(cumulative.range_mass(xr, yr) >= 0.0);
+        }
+        // Abutting rectangles add exactly.
+        let whole = cumulative.range_mass((0.1, 0.7), (0.2, 0.6));
+        let left = cumulative.range_mass((0.1, 0.45), (0.2, 0.6));
+        let right = cumulative.range_mass((0.45, 0.7), (0.2, 0.6));
+        assert!((whole - (left + right)).abs() <= 1e-9);
+        let bottom = cumulative.range_mass((0.1, 0.7), (0.2, 0.37));
+        let top = cumulative.range_mass((0.1, 0.7), (0.37, 0.6));
+        assert!((whole - (bottom + top)).abs() <= 1e-9);
+        // Reversed and NaN ranges answer zero.
+        assert_eq!(cumulative.range_mass((0.5, 0.2), (0.1, 0.9)), 0.0);
+        assert_eq!(cumulative.range_mass((f64::NAN, 0.2), (0.1, 0.9)), 0.0);
+    }
+
+    #[test]
+    fn empty_sketches_cannot_estimate_and_frames_without_mass_decode() {
+        let sketch = small_2d();
+        assert!(matches!(
+            sketch.thresholded(ThresholdRule::Hard),
+            Err(EstimatorError::EmptySample)
+        ));
+        let restored = TensorSketch::from_bytes(&sketch.to_bytes()).unwrap();
+        assert!(restored.is_empty());
+    }
+
+    #[test]
+    fn malformed_frames_are_rejected() {
+        // A tiny Haar frame keeps the exhaustive truncation sweep cheap
+        // (every prefix past the header pays a basis construction).
+        let rows = pairs(64, 31, 0.1);
+        let mut sketch =
+            TensorSketch::new_2d(WaveletFamily::Haar, (0.0, 1.0), (0.0, 1.0), 0, 1, 2).unwrap();
+        sketch.push_pairs(&rows);
+        let bytes = sketch.to_bytes();
+        // Truncations at every prefix length must error, never panic.
+        for len in 0..bytes.len() {
+            assert!(
+                TensorSketch::from_bytes(&bytes[..len]).is_err(),
+                "prefix {len}"
+            );
+        }
+        // Trailing garbage is rejected.
+        let mut padded = bytes.clone();
+        padded.push(0);
+        assert!(TensorSketch::from_bytes(&padded).is_err());
+        // A 1-D v2 frame is not a tensor frame, and a v4 frame is not a
+        // 1-D frame.
+        let mut one_d = CoefficientSketch::sized_for(256).unwrap();
+        one_d.push_batch(&[0.5; 64]);
+        assert!(TensorSketch::from_bytes(&one_d.to_bytes()).is_err());
+        assert!(CoefficientSketch::from_bytes(&bytes).is_err());
+        // Single-bit flips in the header region must never panic.
+        for bit in 0..(bytes.len().min(80) * 8) {
+            let mut corrupted = bytes.clone();
+            corrupted[bit / 8] ^= 1 << (bit % 8);
+            let _ = TensorSketch::from_bytes(&corrupted);
+        }
+    }
+
+    #[test]
+    fn clear_resets_in_place() {
+        let rows = pairs(300, 2, 0.1);
+        let mut sketch = small_2d();
+        sketch.push_pairs(&rows);
+        sketch.clear();
+        assert!(sketch.is_empty());
+        assert!(sketch.levels.iter().all(TensorLevel::is_zero));
+        sketch.push_pairs(&rows);
+        let mut fresh = small_2d();
+        fresh.push_pairs(&rows);
+        for (a, b) in sketch.levels.iter().zip(&fresh.levels) {
+            for (x, y) in a.sums.iter().zip(&b.sums) {
+                assert_eq!(x.to_bits(), y.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn invalid_configurations_are_rejected() {
+        assert!(
+            TensorSketch::new_2d(WaveletFamily::Symmlet(8), (1.0, 0.0), (0.0, 1.0), 1, 3, 4)
+                .is_err()
+        );
+        assert!(
+            TensorSketch::new_2d(WaveletFamily::Symmlet(8), (0.0, 1.0), (0.0, 1.0), 3, 1, 4)
+                .is_err()
+        );
+        assert!(
+            TensorSketch::new_2d(WaveletFamily::Symmlet(8), (0.0, 1.0), (0.0, 1.0), -1, 3, 4)
+                .is_err()
+        );
+        // Slot-cap guard: an absurd level range is refused at
+        // construction.
+        assert!(
+            TensorSketch::new_2d(WaveletFamily::Symmlet(8), (0.0, 1.0), (0.0, 1.0), 1, 14, 28)
+                .is_err()
+        );
+    }
+}

@@ -10,6 +10,7 @@
 //! per-query operation proceeds under the shared read lock against the
 //! attribute's own `Arc`.
 
+use crate::joint::JointSynopsis;
 use crate::synopsis::{AttributeSynopsis, RefreshedSynopsis, SynopsisConfig};
 use std::collections::BTreeMap;
 use std::sync::{Arc, PoisonError, RwLock, RwLockReadGuard};
@@ -22,6 +23,22 @@ pub enum EngineError {
     UnknownAttribute {
         /// The attribute name that failed to resolve.
         name: String,
+    },
+    /// The named attribute pair has not been registered.
+    UnknownPair {
+        /// The first member of the pair that failed to resolve.
+        first: String,
+        /// The second member of the pair that failed to resolve.
+        second: String,
+    },
+    /// A pair registration named an attribute that is already registered
+    /// standalone with a *different* configuration. Serving the same
+    /// attribute under two silently diverging configs would let the
+    /// marginal and joint estimates disagree about basics (thresholding
+    /// rule, expected scale), so the conflict is refused instead.
+    ConflictingConfig {
+        /// The attribute whose standalone config differs from the pair's.
+        attribute: String,
     },
     /// Building a synopsis (or its sketch) failed.
     Estimator(EstimatorError),
@@ -41,6 +58,19 @@ impl std::fmt::Display for EngineError {
         match self {
             EngineError::UnknownAttribute { name } => {
                 write!(f, "attribute {name:?} is not registered in the catalog")
+            }
+            EngineError::UnknownPair { first, second } => {
+                write!(
+                    f,
+                    "attribute pair ({first:?}, {second:?}) is not registered in the catalog"
+                )
+            }
+            EngineError::ConflictingConfig { attribute } => {
+                write!(
+                    f,
+                    "attribute {attribute:?} is already registered standalone with a \
+                     different configuration"
+                )
             }
             EngineError::Estimator(err) => write!(f, "estimator error: {err}"),
             EngineError::Poisoned { context } => {
@@ -75,6 +105,12 @@ impl From<EstimatorError> for EngineError {
 #[derive(Debug, Default)]
 pub struct SynopsisCatalog {
     attributes: RwLock<BTreeMap<String, Arc<AttributeSynopsis>>>,
+    /// Joint synopses keyed by attribute pair, registered via
+    /// [`register_pair`](Self::register_pair). Separate lock from the
+    /// marginal registry: pair registration must read the marginal map
+    /// (for the config-conflict check) without holding its own write
+    /// lock against readers.
+    pairs: RwLock<BTreeMap<(String, String), Arc<JointSynopsis>>>,
 }
 
 impl SynopsisCatalog {
@@ -128,6 +164,155 @@ impl SynopsisCatalog {
         let synopsis = Arc::new(AttributeSynopsis::new(&config)?);
         attributes.insert(name.to_string(), Arc::clone(&synopsis));
         Ok(synopsis)
+    }
+
+    /// Acquires the pair-registry read lock, recovering from poisoning
+    /// with the same wholesale-insert argument as
+    /// [`read_registry`](Self::read_registry).
+    fn read_pairs(&self) -> RwLockReadGuard<'_, BTreeMap<(String, String), Arc<JointSynopsis>>> {
+        self.pairs.read().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Registers a joint synopsis for the ordered attribute pair
+    /// `(first, second)`, returning it. Registering an existing pair is
+    /// idempotent: the existing synopsis is returned untouched.
+    ///
+    /// # Errors
+    ///
+    /// * [`EngineError::ConflictingConfig`] if either member attribute is
+    ///   already registered standalone with a configuration different
+    ///   from `config` — the marginal and joint estimates of one
+    ///   attribute must agree on thresholding rule, expected scale and
+    ///   the rest of the config, or their answers silently diverge.
+    /// * [`EngineError::Estimator`] if the pair names the same attribute
+    ///   twice, the config is windowed (pairs do not support windows
+    ///   yet), or building the tensor sketch fails.
+    /// * [`EngineError::Poisoned`] if a previous pair registration
+    ///   panicked mid-insert.
+    pub fn register_pair(
+        &self,
+        first: &str,
+        second: &str,
+        config: SynopsisConfig,
+    ) -> Result<Arc<JointSynopsis>, EngineError> {
+        if first == second {
+            return Err(EstimatorError::InvalidParameter {
+                message: format!(
+                    "a joint synopsis needs two distinct attributes, got {first:?} twice"
+                ),
+            }
+            .into());
+        }
+        let key = (first.to_string(), second.to_string());
+        {
+            let pairs = self.read_pairs();
+            if let Some(existing) = pairs.get(&key) {
+                return Ok(Arc::clone(existing));
+            }
+        }
+        // A member already registered standalone must carry the same
+        // configuration, or the marginal and joint paths for that
+        // attribute would silently disagree.
+        {
+            let attributes = self.read_registry();
+            for name in [first, second] {
+                if let Some(standalone) = attributes.get(name) {
+                    if standalone.config() != &config {
+                        return Err(EngineError::ConflictingConfig {
+                            attribute: name.to_string(),
+                        });
+                    }
+                }
+            }
+        }
+        let mut pairs = self.pairs.write().map_err(|_| EngineError::Poisoned {
+            context: "catalog pair registry".to_string(),
+        })?;
+        // Double-checked: another writer may have registered the pair
+        // between the read and write locks.
+        if let Some(existing) = pairs.get(&key) {
+            return Ok(Arc::clone(existing));
+        }
+        let joint = Arc::new(JointSynopsis::new(&config)?);
+        pairs.insert(key, Arc::clone(&joint));
+        Ok(joint)
+    }
+
+    /// The joint synopsis of a registered attribute pair.
+    pub fn pair(&self, first: &str, second: &str) -> Option<Arc<JointSynopsis>> {
+        self.read_pairs()
+            .get(&(first.to_string(), second.to_string()))
+            .map(Arc::clone)
+    }
+
+    /// Resolves a pair or errors with [`EngineError::UnknownPair`].
+    fn resolve_pair(&self, first: &str, second: &str) -> Result<Arc<JointSynopsis>, EngineError> {
+        self.pair(first, second)
+            .ok_or_else(|| EngineError::UnknownPair {
+                first: first.to_string(),
+                second: second.to_string(),
+            })
+    }
+
+    /// Ingests a batch of `(x, y)` row pairs into a registered pair.
+    pub fn ingest_pair(
+        &self,
+        first: &str,
+        second: &str,
+        rows: &[(f64, f64)],
+    ) -> Result<(), EngineError> {
+        self.resolve_pair(first, second)?.ingest(rows);
+        Ok(())
+    }
+
+    /// Bulk-loads row pairs into a registered pair with parallel sharded
+    /// ingestion.
+    pub fn ingest_pair_parallel(
+        &self,
+        first: &str,
+        second: &str,
+        rows: &[(f64, f64)],
+    ) -> Result<(), EngineError> {
+        self.resolve_pair(first, second)?.ingest_parallel(rows);
+        Ok(())
+    }
+
+    /// Estimated joint selectivity
+    /// `P(first ∈ x_range, second ∈ y_range)` for a registered pair (0
+    /// while it has no rows). Fallible like
+    /// [`selectivity`](Self::selectivity): rebuild failures surface as
+    /// [`EngineError::Estimator`].
+    pub fn joint_selectivity(
+        &self,
+        first: &str,
+        second: &str,
+        x_range: (f64, f64),
+        y_range: (f64, f64),
+    ) -> Result<f64, EngineError> {
+        Ok(self
+            .resolve_pair(first, second)?
+            .try_joint_selectivity(x_range, y_range)?)
+    }
+
+    /// Serializes a registered pair's merged, `policy`-compacted tensor
+    /// sketch to the v4 wire frame ([`JointSynopsis::ship`]).
+    pub fn ship_pair(
+        &self,
+        first: &str,
+        second: &str,
+        policy: CompactionPolicy,
+    ) -> Result<Vec<u8>, EngineError> {
+        Ok(self.resolve_pair(first, second)?.ship(policy)?)
+    }
+
+    /// Names of all registered attribute pairs (sorted).
+    pub fn pair_names(&self) -> Vec<(String, String)> {
+        self.read_pairs().keys().cloned().collect()
+    }
+
+    /// Number of registered attribute pairs.
+    pub fn pair_count(&self) -> usize {
+        self.read_pairs().len()
     }
 
     /// The synopsis of a registered attribute.
@@ -209,12 +394,15 @@ impl SynopsisCatalog {
         self.len() == 0
     }
 
-    /// Total rows ingested across all attributes.
+    /// Total rows ingested across all attributes and attribute pairs.
     pub fn total_rows(&self) -> usize {
-        self.read_registry()
+        let marginal: usize = self
+            .read_registry()
             .values()
             .map(|synopsis| synopsis.rows())
-            .sum()
+            .sum();
+        let joint: usize = self.read_pairs().values().map(|joint| joint.rows()).sum();
+        marginal + joint
     }
 }
 
@@ -351,6 +539,134 @@ mod tests {
         assert!(matches!(
             catalog.register("y", small_config()).unwrap_err(),
             EngineError::Poisoned { .. }
+        ));
+    }
+
+    fn correlated(n: usize, seed: u64, noise: f64) -> Vec<(f64, f64)> {
+        let mut rng = seeded_rng(seed);
+        (0..n)
+            .map(|_| {
+                let x: f64 = rng.gen();
+                let y = (x + noise * (2.0 * rng.gen::<f64>() - 1.0)).rem_euclid(1.0);
+                (x, y)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn pair_registration_is_idempotent_and_serves_joint_queries() {
+        let catalog = SynopsisCatalog::new();
+        let first = catalog.register_pair("x", "y", small_config()).unwrap();
+        let second = catalog.register_pair("x", "y", small_config()).unwrap();
+        assert!(Arc::ptr_eq(&first, &second));
+        assert_eq!(catalog.pair_count(), 1);
+        assert_eq!(
+            catalog.pair_names(),
+            vec![("x".to_string(), "y".to_string())]
+        );
+        catalog
+            .ingest_pair_parallel("x", "y", &correlated(2048, 20, 0.05))
+            .unwrap();
+        assert_eq!(catalog.total_rows(), 2048);
+        let diagonal = catalog
+            .joint_selectivity("x", "y", (0.3, 0.55), (0.3, 0.55))
+            .unwrap();
+        assert!(diagonal > 0.15, "diagonal square: {diagonal}");
+        // Unregistered pairs error.
+        assert!(matches!(
+            catalog.ingest_pair("a", "b", &[(0.5, 0.5)]).unwrap_err(),
+            EngineError::UnknownPair { .. }
+        ));
+        assert!(matches!(
+            catalog
+                .joint_selectivity("y", "x", (0.0, 1.0), (0.0, 1.0))
+                .unwrap_err(),
+            EngineError::UnknownPair { .. }
+        ));
+        assert!(catalog.pair("y", "x").is_none());
+    }
+
+    /// Regression: a pair registration naming an attribute that already
+    /// has a standalone synopsis with a *different* config must be
+    /// refused with [`EngineError::ConflictingConfig`] — not silently
+    /// accepted with two diverging configurations for one attribute.
+    #[test]
+    fn pair_with_conflicting_member_config_is_rejected() {
+        let catalog = SynopsisCatalog::new();
+        catalog.register("amount", small_config()).unwrap();
+        let different = small_config().with_expected_rows(9999);
+        let err = catalog
+            .register_pair("amount", "quantity", different)
+            .unwrap_err();
+        assert_eq!(
+            err,
+            EngineError::ConflictingConfig {
+                attribute: "amount".to_string()
+            }
+        );
+        assert!(format!("{err}").contains("amount"));
+        assert_eq!(
+            catalog.pair_count(),
+            0,
+            "the conflicting pair must not register"
+        );
+        // The same config as the standalone member is accepted…
+        catalog
+            .register_pair("amount", "quantity", small_config())
+            .unwrap();
+        // …and the conflict check also covers the second member.
+        catalog
+            .register(
+                "discount",
+                small_config().with_rule(wavedens_core::ThresholdRule::Hard),
+            )
+            .unwrap();
+        assert!(matches!(
+            catalog
+                .register_pair("quantity", "discount", small_config())
+                .unwrap_err(),
+            EngineError::ConflictingConfig { attribute } if attribute == "discount"
+        ));
+    }
+
+    #[test]
+    fn degenerate_and_windowed_pairs_are_rejected() {
+        use wavedens_core::WindowPolicy;
+        let catalog = SynopsisCatalog::new();
+        assert!(matches!(
+            catalog.register_pair("x", "x", small_config()).unwrap_err(),
+            EngineError::Estimator(EstimatorError::InvalidParameter { .. })
+        ));
+        assert!(matches!(
+            catalog
+                .register_pair(
+                    "x",
+                    "y",
+                    small_config().with_window(WindowPolicy::SlidingSlices(2))
+                )
+                .unwrap_err(),
+            EngineError::Estimator(EstimatorError::InvalidParameter { .. })
+        ));
+    }
+
+    #[test]
+    fn shipping_a_pair_round_trips_the_tensor_frame() {
+        let catalog = SynopsisCatalog::new();
+        catalog.register_pair("x", "y", small_config()).unwrap();
+        catalog
+            .ingest_pair("x", "y", &correlated(2048, 21, 0.08))
+            .unwrap();
+        let frame = catalog
+            .ship_pair("x", "y", CompactionPolicy::InactiveTail)
+            .unwrap();
+        let restored = wavedens_core::TensorSketch::from_bytes(&frame).unwrap();
+        assert_eq!(restored.count(), 2048);
+        assert_eq!(restored.dims(), 2);
+        assert!(matches!(
+            catalog
+                .ship_pair("a", "b", CompactionPolicy::Dense)
+                .unwrap_err(),
+            EngineError::UnknownPair { .. }
         ));
     }
 

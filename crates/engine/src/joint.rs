@@ -1,0 +1,535 @@
+//! An attribute *pair*'s synopsis: a sharded 2-D tensor sketch plus an
+//! atomically swapped cache of the refreshed joint estimate.
+//!
+//! A query optimiser that multiplies two marginal selectivities assumes
+//! the attributes are independent; on correlated columns (`y ≈ x`, say)
+//! that product can be off by an order of magnitude. A [`JointSynopsis`]
+//! accumulates `(x, y)` row pairs into a sharded
+//! [`TensorSketch`] — the dimension-generic
+//! sibling of the 1-D coefficient sketch — and answers
+//! `joint_selectivity((a₁, b₁), (a₂, b₂))` from a precomputed joint CDF
+//! grid by inclusion–exclusion of four corner lookups, capturing exactly
+//! the correlation the independence assumption throws away.
+//!
+//! The concurrency machinery is the same as
+//! [`AttributeSynopsis`](crate::AttributeSynopsis): writers touch one
+//! shard and bump an epoch, readers clone an `Arc` snapshot under a
+//! briefly held read lock, and a stale cache is rebuilt by exactly one
+//! thread while concurrent readers keep answering from the previous
+//! snapshot.
+
+use crate::sharded::ShardedIngest;
+use crate::synopsis::SynopsisConfig;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, RwLock, RwLockReadGuard};
+use wavedens_core::{
+    CompactionPolicy, EstimatorError, TensorCumulative, TensorEstimate, TensorSketch, ThresholdRule,
+};
+
+/// Per-axis resolution cap of the joint CDF grid: a full-resolution 1-D
+/// table squared would be ~16M nodes; 257² ≈ 66k nodes answers rectangle
+/// queries to well below the estimation error.
+const MAX_JOINT_CDF_POINTS: usize = 257;
+
+/// The refreshed state of a joint synopsis: the thresholded 2-D tensor
+/// estimate plus its precomputed joint CDF grid. Immutable once built;
+/// shared with readers via [`Arc`].
+#[derive(Debug, Clone)]
+pub struct RefreshedJoint {
+    estimate: TensorEstimate,
+    cumulative: TensorCumulative,
+}
+
+impl RefreshedJoint {
+    /// Runs the joint model-selection pipeline (level-wise CV thresholds
+    /// over the flattened tensor levels + joint CDF grid construction) on
+    /// an accumulation state.
+    pub fn build(
+        sketch: &TensorSketch,
+        rule: ThresholdRule,
+        cdf_points: usize,
+    ) -> Result<Self, EstimatorError> {
+        let estimate = sketch.thresholded(rule)?;
+        let cumulative = estimate.cumulative(cdf_points, cdf_points);
+        Ok(Self {
+            estimate,
+            cumulative,
+        })
+    }
+
+    /// The thresholded joint density estimate.
+    pub fn estimate(&self) -> &TensorEstimate {
+        &self.estimate
+    }
+
+    /// The precomputed joint CDF grid.
+    pub fn cumulative(&self) -> &TensorCumulative {
+        &self.cumulative
+    }
+
+    /// Estimated joint selectivity `P(x ∈ x_range, y ∈ y_range)`; O(1)
+    /// from the CDF grid (four bilinear corner lookups), normalised by
+    /// the grid's total mass exactly as the 1-D synopsis normalises its
+    /// range masses.
+    pub fn selectivity(&self, x_range: (f64, f64), y_range: (f64, f64)) -> f64 {
+        self.cumulative.selectivity(x_range, y_range)
+    }
+}
+
+/// A cache entry: the refreshed joint synopsis and the ingest epoch it
+/// covers.
+#[derive(Debug, Clone)]
+struct CachedJoint {
+    epoch: u64,
+    joint: Arc<RefreshedJoint>,
+}
+
+/// State owned by whichever thread holds the rebuild guard: the scratch
+/// sketch the shards merge into, allocated once and reused every refresh.
+#[derive(Debug, Default)]
+struct RefreshState {
+    scratch: Option<TensorSketch>,
+}
+
+/// One attribute pair's synopsis: a sharded 2-D tensor sketch filled by
+/// writers plus an atomically swapped `Arc` of the latest refreshed joint
+/// estimate. See the module docs for the concurrency model (identical to
+/// [`AttributeSynopsis`](crate::AttributeSynopsis)).
+#[derive(Debug)]
+pub struct JointSynopsis {
+    backend: ShardedIngest<TensorSketch>,
+    rule: ThresholdRule,
+    /// Per-axis CDF grid resolution (clamped to `[2, 257]`).
+    cdf_points: usize,
+    /// Bumped after every completed ingest batch; the cache is fresh when
+    /// its recorded epoch matches.
+    epoch: AtomicU64,
+    cache: RwLock<Option<CachedJoint>>,
+    /// Serialises rebuilds; readers `try_lock` it so at most one becomes
+    /// the rebuilder while the rest serve the previous snapshot.
+    rebuild_guard: Mutex<RefreshState>,
+    rebuilds: AtomicUsize,
+}
+
+impl JointSynopsis {
+    /// Creates an empty joint synopsis from a configuration: a 2-D tensor
+    /// sketch sized for `config.expected_rows` pairs on the unit square,
+    /// sharded `config.shards` ways, thresholded with `config.rule` at
+    /// refresh time.
+    ///
+    /// Windowed policies are not supported for pairs yet — a windowed
+    /// config is rejected with [`EstimatorError::InvalidParameter`]
+    /// rather than silently degraded to a landmark synopsis.
+    pub fn new(config: &SynopsisConfig) -> Result<Self, EstimatorError> {
+        if config.window.is_windowed() {
+            return Err(EstimatorError::InvalidParameter {
+                message: "joint synopses do not support windowed policies yet".to_string(),
+            });
+        }
+        let template = TensorSketch::sized_for_pairs(config.expected_rows.max(16))?;
+        Ok(Self {
+            backend: ShardedIngest::new(&template, config.shards)?,
+            rule: config.rule,
+            cdf_points: config.cdf_points.clamp(2, MAX_JOINT_CDF_POINTS),
+            epoch: AtomicU64::new(0),
+            cache: RwLock::new(None),
+            rebuild_guard: Mutex::new(RefreshState::default()),
+            rebuilds: AtomicUsize::new(0),
+        })
+    }
+
+    /// The thresholding rule applied at refresh time.
+    pub fn rule(&self) -> ThresholdRule {
+        self.rule
+    }
+
+    /// Number of ingest shards.
+    pub fn shard_count(&self) -> usize {
+        self.backend.shard_count()
+    }
+
+    /// Total row pairs ingested so far, O(1) from the atomic running
+    /// counter.
+    pub fn rows(&self) -> usize {
+        self.backend.total_count()
+    }
+
+    /// Number of joint rebuilds performed so far (one per stale-cache
+    /// refresh, regardless of how many queries hit the stale cache).
+    pub fn rebuild_count(&self) -> usize {
+        self.rebuilds.load(Ordering::Relaxed)
+    }
+
+    /// The number of completed ingest batches (the staleness clock the
+    /// refresh cache is keyed to).
+    pub fn ingest_epoch(&self) -> u64 {
+        self.epoch.load(Ordering::Acquire)
+    }
+
+    /// Ingests one batch of `(x, y)` row pairs into a single shard
+    /// (round-robin), marking the cache stale.
+    pub fn ingest(&self, rows: &[(f64, f64)]) {
+        if rows.is_empty() {
+            return;
+        }
+        self.backend.ingest(rows);
+        // Bump *after* the push so a concurrent rebuild can never tag a
+        // cache that misses this batch with the post-batch epoch.
+        self.epoch.fetch_add(1, Ordering::Release);
+    }
+
+    /// Ingests a bulk load by fanning the pairs out to every shard with
+    /// scoped threads ([`ShardedIngest::ingest_parallel`]).
+    pub fn ingest_parallel(&self, rows: &[(f64, f64)]) {
+        if rows.is_empty() {
+            return;
+        }
+        self.backend.ingest_parallel(rows);
+        self.epoch.fetch_add(1, Ordering::Release);
+    }
+
+    /// The merged 2-D accumulation state across all shards.
+    pub fn merged_sketch(&self) -> Result<TensorSketch, EstimatorError> {
+        self.backend.merged()
+    }
+
+    /// The merged accumulation state compacted under `policy` with this
+    /// synopsis' thresholding rule (see [`TensorSketch::compact`]; the
+    /// default [`CompactionPolicy::InactiveTail`] is lossless).
+    pub fn compacted_sketch(
+        &self,
+        policy: CompactionPolicy,
+    ) -> Result<TensorSketch, EstimatorError> {
+        self.merged_sketch()?.compact(policy, self.rule)
+    }
+
+    /// Serializes the merged, `policy`-compacted accumulation state to
+    /// the v4 tensor wire frame — what one node sends another so the 2-D
+    /// sketch can be [`TensorSketch::from_bytes`]-restored and merged (or
+    /// estimated) where it lands.
+    pub fn ship(&self, policy: CompactionPolicy) -> Result<Vec<u8>, EstimatorError> {
+        Ok(self.compacted_sketch(policy)?.to_bytes())
+    }
+
+    /// The current refreshed joint synopsis, rebuilding at most once if
+    /// the cache is stale; `None` when no pairs have been ingested yet.
+    pub fn refreshed(&self) -> Result<Option<Arc<RefreshedJoint>>, EstimatorError> {
+        let epoch = self.epoch.load(Ordering::Acquire);
+        {
+            let cache = self.read_cache();
+            if let Some(cached) = cache.as_ref() {
+                if cached.epoch == epoch {
+                    return Ok(Some(Arc::clone(&cached.joint)));
+                }
+            }
+        }
+        match self.rebuild_guard.try_lock() {
+            Ok(mut state) => self.rebuild_locked(&mut state),
+            Err(std::sync::TryLockError::WouldBlock) => {
+                // Another thread is rebuilding: serve the previous
+                // snapshot if one exists…
+                if let Some(cached) = self.read_cache().as_ref() {
+                    return Ok(Some(Arc::clone(&cached.joint)));
+                }
+                // …otherwise this is the very first build: wait for it.
+                let mut state = self.lock_rebuild_guard();
+                self.rebuild_locked(&mut state)
+            }
+            Err(std::sync::TryLockError::Poisoned(poisoned)) => {
+                // A rebuilder panicked mid-refresh; its scratch may be
+                // mid-update, so restart the incremental state and
+                // rebuild from the shards — the source of truth.
+                let mut state = poisoned.into_inner();
+                self.rebuild_guard.clear_poison();
+                *state = RefreshState::default();
+                self.rebuild_locked(&mut state)
+            }
+        }
+    }
+
+    /// Reads the cache `RwLock`, recovering from poisoning: the cached
+    /// value is an `Option` swapped wholesale under the write lock, so a
+    /// panicked writer cannot have left it torn. Clears the poison flag.
+    fn read_cache(&self) -> RwLockReadGuard<'_, Option<CachedJoint>> {
+        self.cache.read().unwrap_or_else(|poisoned| {
+            self.cache.clear_poison();
+            poisoned.into_inner()
+        })
+    }
+
+    /// Locks the rebuild guard, recovering from poisoning by resetting
+    /// the scratch state. Clears the poison flag so the reset happens
+    /// once per crash.
+    fn lock_rebuild_guard(&self) -> MutexGuard<'_, RefreshState> {
+        self.rebuild_guard.lock().unwrap_or_else(|poisoned| {
+            let mut state = poisoned.into_inner();
+            self.rebuild_guard.clear_poison();
+            *state = RefreshState::default();
+            state
+        })
+    }
+
+    /// Rebuilds the cache if still stale: the shards merge into the
+    /// guard-owned scratch sketch (no allocation after the first
+    /// refresh), the CV+threshold pipeline and CDF grid run outside any
+    /// reader-visible lock, and the cache `Arc` is swapped wholesale.
+    /// Caller must hold `rebuild_guard`.
+    fn rebuild_locked(
+        &self,
+        state: &mut RefreshState,
+    ) -> Result<Option<Arc<RefreshedJoint>>, EstimatorError> {
+        let epoch = self.epoch.load(Ordering::Acquire);
+        {
+            let cache = self.read_cache();
+            if let Some(cached) = cache.as_ref() {
+                if cached.epoch == epoch {
+                    return Ok(Some(Arc::clone(&cached.joint)));
+                }
+            }
+        }
+        let sketch = match state.scratch.as_mut() {
+            Some(scratch) => {
+                self.backend.merge_into(scratch)?;
+                &*scratch
+            }
+            None => state.scratch.insert(self.backend.merged()?),
+        };
+        if sketch.is_empty() {
+            return Ok(None);
+        }
+        let built = Arc::new(RefreshedJoint::build(sketch, self.rule, self.cdf_points)?);
+        self.rebuilds.fetch_add(1, Ordering::Relaxed);
+        let mut cache = self.cache.write().unwrap_or_else(|poisoned| {
+            self.cache.clear_poison();
+            poisoned.into_inner()
+        });
+        *cache = Some(CachedJoint {
+            epoch,
+            joint: Arc::clone(&built),
+        });
+        Ok(Some(built))
+    }
+
+    /// Estimated joint selectivity
+    /// `P(x ∈ x_range, y ∈ y_range)` from the (lazily refreshed) joint
+    /// CDF grid; 0 while no pairs have been ingested, and 0 for empty or
+    /// reversed ranges. NaN bounds are rejected with
+    /// [`EstimatorError::InvalidQueryBounds`], mirroring the 1-D
+    /// synopsis.
+    pub fn try_joint_selectivity(
+        &self,
+        x_range: (f64, f64),
+        y_range: (f64, f64),
+    ) -> Result<f64, EstimatorError> {
+        for &(lo, hi) in &[x_range, y_range] {
+            if lo.is_nan() || hi.is_nan() {
+                return Err(EstimatorError::InvalidQueryBounds { lo, hi });
+            }
+        }
+        Ok(match self.refreshed()? {
+            Some(joint) => joint.selectivity(x_range, y_range),
+            None => 0.0,
+        })
+    }
+
+    /// Infallible wrapper over
+    /// [`try_joint_selectivity`](Self::try_joint_selectivity): NaN
+    /// bounds answer 0 (the mass of an empty range); any other failure
+    /// trips a debug assertion and answers 0 in release builds.
+    pub fn joint_selectivity(&self, x_range: (f64, f64), y_range: (f64, f64)) -> f64 {
+        match self.try_joint_selectivity(x_range, y_range) {
+            Ok(selectivity) => selectivity,
+            Err(EstimatorError::InvalidQueryBounds { .. }) => 0.0,
+            Err(err) => {
+                debug_assert!(false, "joint refresh failed unexpectedly: {err}");
+                0.0
+            }
+        }
+    }
+}
+
+impl Clone for JointSynopsis {
+    fn clone(&self) -> Self {
+        // Load the epoch *before* cloning the shards (same race argument
+        // as the 1-D synopsis clone): an ingest landing in between leaves
+        // the clone's epoch behind its shard data, which merely costs one
+        // conservative rebuild — never a forever-stale cache.
+        let epoch = self.epoch.load(Ordering::Acquire);
+        Self {
+            backend: self.backend.clone(),
+            rule: self.rule,
+            cdf_points: self.cdf_points,
+            epoch: AtomicU64::new(epoch),
+            cache: RwLock::new(self.read_cache().clone()),
+            rebuild_guard: Mutex::new(RefreshState::default()),
+            rebuilds: AtomicUsize::new(self.rebuild_count()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+    use wavedens_core::WindowPolicy;
+    use wavedens_processes::seeded_rng;
+
+    fn correlated(n: usize, seed: u64, noise: f64) -> Vec<(f64, f64)> {
+        let mut rng = seeded_rng(seed);
+        (0..n)
+            .map(|_| {
+                let x: f64 = rng.gen();
+                let y = (x + noise * (2.0 * rng.gen::<f64>() - 1.0)).rem_euclid(1.0);
+                (x, y)
+            })
+            .collect()
+    }
+
+    fn config(shards: usize) -> SynopsisConfig {
+        // Hard thresholding: shipped frames then carry coefficient-sparse
+        // payloads (the survivors ship verbatim), which the round-trip
+        // test's shrink assertion relies on.
+        SynopsisConfig::default()
+            .with_expected_rows(4096)
+            .with_shards(shards)
+            .with_rule(wavedens_core::ThresholdRule::Hard)
+    }
+
+    #[test]
+    fn empty_joint_answers_zero_without_rebuilding() {
+        let joint = JointSynopsis::new(&config(2)).unwrap();
+        assert_eq!(joint.joint_selectivity((0.2, 0.8), (0.2, 0.8)), 0.0);
+        assert_eq!(joint.rows(), 0);
+        assert_eq!(joint.rebuild_count(), 0);
+        assert!(joint.refreshed().unwrap().is_none());
+    }
+
+    #[test]
+    fn stale_cache_burst_rebuilds_exactly_once() {
+        let joint = JointSynopsis::new(&config(2)).unwrap();
+        joint.ingest_parallel(&correlated(4096, 1, 0.05));
+        assert_eq!(joint.rebuild_count(), 0, "ingest must stay lazy");
+        for i in 0..25 {
+            let lo = i as f64 / 50.0;
+            let s = joint.joint_selectivity((lo, lo + 0.3), (lo, lo + 0.3));
+            assert!((0.0..=1.0).contains(&s));
+        }
+        assert_eq!(joint.rebuild_count(), 1);
+        joint.ingest(&[(0.5, 0.5)]);
+        for _ in 0..10 {
+            joint.joint_selectivity((0.1, 0.9), (0.1, 0.9));
+        }
+        assert_eq!(joint.rebuild_count(), 2);
+    }
+
+    #[test]
+    fn correlated_data_beats_the_independence_assumption() {
+        // y tracks x closely, so the mass of a diagonal square is ~ its
+        // side length, while independence predicts the side squared.
+        let joint = JointSynopsis::new(&config(4)).unwrap();
+        joint.ingest_parallel(&correlated(8192, 2, 0.05));
+        let s = joint.joint_selectivity((0.3, 0.55), (0.3, 0.55));
+        assert!(
+            s > 0.15,
+            "diagonal square must hold ~a quarter of the mass, got {s}"
+        );
+        // An anti-diagonal square holds almost nothing.
+        let off = joint.joint_selectivity((0.05, 0.3), (0.6, 0.9));
+        assert!(off < 0.05, "off-diagonal mass {off}");
+    }
+
+    #[test]
+    fn uncorrelated_data_matches_the_product_of_marginals() {
+        let mut rng = seeded_rng(3);
+        let rows: Vec<(f64, f64)> = (0..4096).map(|_| (rng.gen(), rng.gen())).collect();
+        let joint = JointSynopsis::new(&config(2)).unwrap();
+        joint.ingest_parallel(&rows);
+        let s = joint.joint_selectivity((0.2, 0.6), (0.3, 0.8));
+        assert!((s - 0.4 * 0.5).abs() < 0.05, "independent uniforms: {s}");
+    }
+
+    #[test]
+    fn windowed_configs_are_rejected() {
+        let config = config(2).with_window(WindowPolicy::SlidingSlices(2));
+        assert!(matches!(
+            JointSynopsis::new(&config),
+            Err(EstimatorError::InvalidParameter { .. })
+        ));
+    }
+
+    #[test]
+    fn shipped_joint_frames_round_trip() {
+        let joint = JointSynopsis::new(&config(2)).unwrap();
+        joint.ingest_parallel(&correlated(4096, 5, 0.05));
+        let frame = joint.ship(CompactionPolicy::InactiveTail).unwrap();
+        let restored = TensorSketch::from_bytes(&frame).unwrap();
+        assert_eq!(restored.count(), 4096);
+        assert_eq!(restored.dims(), 2);
+        // The restored sketch estimates like the local merged state.
+        let local = joint
+            .merged_sketch()
+            .unwrap()
+            .thresholded(joint.rule())
+            .unwrap()
+            .cumulative(65, 65);
+        let remote = restored
+            .thresholded(joint.rule())
+            .unwrap()
+            .cumulative(65, 65);
+        let q = ((0.25, 0.75), (0.25, 0.75));
+        assert_eq!(local.selectivity(q.0, q.1), remote.selectivity(q.0, q.1));
+        // The compacted frame is much smaller than the dense framing.
+        let dense = joint.merged_sketch().unwrap().to_bytes_dense();
+        assert!(
+            dense.len() >= 5 * frame.len(),
+            "dense {} vs shipped {}",
+            dense.len(),
+            frame.len()
+        );
+    }
+
+    #[test]
+    fn nan_bounds_error_on_the_fallible_path() {
+        let joint = JointSynopsis::new(&config(1)).unwrap();
+        joint.ingest(&correlated(512, 6, 0.1));
+        assert!(matches!(
+            joint.try_joint_selectivity((f64::NAN, 0.5), (0.0, 1.0)),
+            Err(EstimatorError::InvalidQueryBounds { .. })
+        ));
+        assert!(matches!(
+            joint.try_joint_selectivity((0.0, 1.0), (0.5, f64::NAN)),
+            Err(EstimatorError::InvalidQueryBounds { .. })
+        ));
+        assert_eq!(joint.joint_selectivity((f64::NAN, 0.5), (0.0, 1.0)), 0.0);
+        // Reversed ranges normalise to zero mass, not an error.
+        assert_eq!(
+            joint.try_joint_selectivity((0.9, 0.1), (0.0, 1.0)).unwrap(),
+            0.0
+        );
+    }
+
+    #[test]
+    fn clone_preserves_cache_and_counters() {
+        let joint = JointSynopsis::new(&config(2)).unwrap();
+        joint.ingest(&correlated(1024, 7, 0.1));
+        let s = joint.joint_selectivity((0.2, 0.7), (0.2, 0.7));
+        let clone = joint.clone();
+        assert_eq!(clone.rebuild_count(), 1);
+        assert_eq!(clone.rows(), 1024);
+        assert_eq!(clone.joint_selectivity((0.2, 0.7), (0.2, 0.7)), s);
+        assert_eq!(clone.rebuild_count(), 1, "clone reuses the cached grid");
+    }
+
+    #[test]
+    fn readers_see_the_old_snapshot_until_refresh() {
+        let joint = JointSynopsis::new(&config(2)).unwrap();
+        joint.ingest(&correlated(1024, 8, 0.1));
+        let first = joint.refreshed().unwrap().unwrap();
+        joint.ingest(&[(0.5, 0.5); 16]);
+        let again = joint.refreshed().unwrap().unwrap();
+        assert!(!Arc::ptr_eq(&first, &again), "stale cache must rebuild");
+        let third = joint.refreshed().unwrap().unwrap();
+        assert!(Arc::ptr_eq(&again, &third));
+        assert_eq!(joint.rebuild_count(), 2);
+    }
+}

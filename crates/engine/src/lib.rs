@@ -32,8 +32,16 @@
 //!   exponentially-decayed estimates subtract old data by dropping a
 //!   slice instead of un-merging it. Selected per attribute via
 //!   [`SynopsisConfig::with_window`] and a [`WindowPolicy`].
-//! * [`SynopsisCatalog`] — a named registry of attribute synopses, so one
-//!   process serves selectivity estimates for many table columns at once.
+//! * [`JointSynopsis`] — the 2-D sibling of [`AttributeSynopsis`]: a
+//!   sharded [`TensorSketch`](wavedens_core::TensorSketch) over `(x, y)`
+//!   row pairs whose refreshed snapshot answers
+//!   `joint_selectivity((a₁, b₁), (a₂, b₂))` — rectangle mass by
+//!   inclusion–exclusion over a precomputed joint CDF grid — capturing
+//!   the cross-attribute correlation the product of two marginal
+//!   synopses misses.
+//! * [`SynopsisCatalog`] — a named registry of attribute synopses (and
+//!   attribute-*pair* synopses, keyed `(a, b)`), so one process serves
+//!   selectivity estimates for many table columns at once.
 //!
 //! ```
 //! use wavedens_engine::{SynopsisCatalog, SynopsisConfig};
@@ -50,12 +58,14 @@
 #![warn(missing_docs)]
 
 pub mod catalog;
+pub mod joint;
 pub mod sharded;
 pub mod synopsis;
 pub mod windowed;
 
 pub use catalog::{EngineError, SynopsisCatalog};
-pub use sharded::ShardedIngest;
+pub use joint::{JointSynopsis, RefreshedJoint};
+pub use sharded::{MergeableSketch, ShardedIngest};
 pub use synopsis::{AttributeSynopsis, RefreshedSynopsis, SynopsisConfig};
 pub use windowed::WindowedIngest;
 

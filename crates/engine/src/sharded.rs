@@ -38,7 +38,92 @@
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Mutex, MutexGuard};
-use wavedens_core::{CoefficientSketch, EstimatorError};
+use wavedens_core::{CoefficientSketch, EstimatorError, TensorSketch};
+
+/// The accumulation-state contract sharded ingestion relies on: a sketch
+/// whose state is a plain sum of per-row contributions, so that any
+/// partition of the rows across shard instances merges back into exactly
+/// the single-stream state. Implemented by the 1-D
+/// [`CoefficientSketch`] (rows are scalars) and the 2-D
+/// [`TensorSketch`] (rows are `(x, y)` pairs), which is what lets one
+/// ingest structure serve both marginal and joint synopses.
+pub trait MergeableSketch: Clone + Send + Sync + std::fmt::Debug {
+    /// One observation: `f64` for marginal sketches, `(f64, f64)` for
+    /// joint ones.
+    type Row: Copy + Send + Sync;
+
+    /// Observations accumulated so far.
+    fn count(&self) -> usize;
+
+    /// Whether no observation has been accumulated.
+    fn is_empty(&self) -> bool {
+        self.count() == 0
+    }
+
+    /// Resets to the empty state in place, keeping allocations.
+    fn clear(&mut self);
+
+    /// Accumulates a batch of rows.
+    fn push_rows(&mut self, rows: &[Self::Row]);
+
+    /// Merges a compatible sketch (addition of accumulation state).
+    fn merge(&mut self, other: &Self) -> Result<(), EstimatorError>;
+
+    /// Overwrites this sketch with a compatible source, reusing
+    /// allocations.
+    fn copy_from(&mut self, source: &Self) -> Result<(), EstimatorError>;
+}
+
+impl MergeableSketch for CoefficientSketch {
+    type Row = f64;
+
+    fn count(&self) -> usize {
+        CoefficientSketch::count(self)
+    }
+
+    fn clear(&mut self) {
+        CoefficientSketch::clear(self);
+    }
+
+    fn push_rows(&mut self, rows: &[f64]) {
+        self.push_batch(rows);
+    }
+
+    fn merge(&mut self, other: &Self) -> Result<(), EstimatorError> {
+        CoefficientSketch::merge(self, other)
+    }
+
+    fn copy_from(&mut self, source: &Self) -> Result<(), EstimatorError> {
+        CoefficientSketch::copy_from(self, source)
+    }
+}
+
+/// Joint (2-D) sketches shard exactly like marginal ones; the template
+/// handed to [`ShardedIngest::new`] must be 2-dimensional, since rows
+/// are `(x, y)` pairs ([`TensorSketch::push_pairs`] checks).
+impl MergeableSketch for TensorSketch {
+    type Row = (f64, f64);
+
+    fn count(&self) -> usize {
+        TensorSketch::count(self)
+    }
+
+    fn clear(&mut self) {
+        TensorSketch::clear(self);
+    }
+
+    fn push_rows(&mut self, rows: &[(f64, f64)]) {
+        self.push_pairs(rows);
+    }
+
+    fn merge(&mut self, other: &Self) -> Result<(), EstimatorError> {
+        TensorSketch::merge(self, other)
+    }
+
+    fn copy_from(&mut self, source: &Self) -> Result<(), EstimatorError> {
+        TensorSketch::copy_from(self, source)
+    }
+}
 
 /// Batch length from which [`ShardedIngest::ingest`] scatters outside the
 /// shard lock (into a pooled scratch sketch) and locks only for the
@@ -62,9 +147,7 @@ pub(crate) const MAX_POOLED_SCRATCH: usize = 8;
 /// Locks a scratch pool, recovering from poisoning by emptying it: pooled
 /// scratches are cheap to re-clone from the template, so dropping them is
 /// always a safe repair. Clears the poison flag — the repair runs once.
-pub(crate) fn lock_scratch_pool<'a>(
-    pool: &'a Mutex<Vec<CoefficientSketch>>,
-) -> MutexGuard<'a, Vec<CoefficientSketch>> {
+pub(crate) fn lock_scratch_pool<T>(pool: &Mutex<Vec<T>>) -> MutexGuard<'_, Vec<T>> {
     match pool.lock() {
         Ok(guard) => guard,
         Err(poisoned) => {
@@ -78,13 +161,18 @@ pub(crate) fn lock_scratch_pool<'a>(
 
 /// N per-shard sketches with round-robin batch placement and scoped-thread
 /// parallel bulk loads.
+///
+/// Generic over the sketch type: the default `S = CoefficientSketch`
+/// ingests scalar rows for marginal synopses, `S = TensorSketch` ingests
+/// `(x, y)` pairs for joint ones — same sharding, same short critical
+/// sections, same poison recovery.
 #[derive(Debug)]
-pub struct ShardedIngest {
-    shards: Vec<Mutex<CoefficientSketch>>,
+pub struct ShardedIngest<S: MergeableSketch = CoefficientSketch> {
+    shards: Vec<Mutex<S>>,
     /// Empty sketch the shards (and pooled scratches) are cloned from.
-    template: CoefficientSketch,
+    template: S,
     /// Cleared scratch sketches for the out-of-lock scatter path.
-    scratch: Mutex<Vec<CoefficientSketch>>,
+    scratch: Mutex<Vec<S>>,
     /// Running total of ingested rows, bumped after each batch lands, so
     /// [`total_count`](Self::total_count) (and the staleness checks built
     /// on it) never has to take the N shard locks.
@@ -92,12 +180,12 @@ pub struct ShardedIngest {
     next: AtomicUsize,
 }
 
-impl ShardedIngest {
+impl<S: MergeableSketch> ShardedIngest<S> {
     /// Creates `shards ≥ 1` shards, each an empty clone of `template`.
     ///
     /// The template carries the basis, interval and resolution levels; it
     /// must be empty so that every shard starts from the same zero state.
-    pub fn new(template: &CoefficientSketch, shards: usize) -> Result<Self, EstimatorError> {
+    pub fn new(template: &S, shards: usize) -> Result<Self, EstimatorError> {
         if !template.is_empty() {
             return Err(EstimatorError::InvalidParameter {
                 message: format!(
@@ -141,7 +229,7 @@ impl ShardedIngest {
     /// poison flag so the repair runs exactly once per crash. Later
     /// ingests and merges then see a structurally sound (merely smaller)
     /// shard instead of a propagated panic.
-    fn lock_shard(&self, index: usize) -> MutexGuard<'_, CoefficientSketch> {
+    fn lock_shard(&self, index: usize) -> MutexGuard<'_, S> {
         match self.shards[index].lock() {
             Ok(guard) => guard,
             Err(poisoned) => {
@@ -170,7 +258,7 @@ impl ShardedIngest {
     /// Batches of `SCATTER_OUTSIDE_LOCK_MIN` rows or more scatter into a
     /// pooled scratch sketch *before* taking the shard lock, which is then
     /// held only for the element-wise add — see the module docs.
-    pub fn ingest(&self, values: &[f64]) {
+    pub fn ingest(&self, values: &[S::Row]) {
         if values.is_empty() {
             return;
         }
@@ -182,16 +270,16 @@ impl ShardedIngest {
     /// Lands one batch in `shard`: long batches scatter into a pooled
     /// scratch sketch first and lock only for the element-wise merge,
     /// short ones push directly under the lock (see the module docs).
-    fn scatter_into_shard(&self, shard: usize, values: &[f64]) {
+    fn scatter_into_shard(&self, shard: usize, values: &[S::Row]) {
         if values.len() >= SCATTER_OUTSIDE_LOCK_MIN {
             let mut local = self.take_scratch();
-            local.push_batch(values);
+            local.push_rows(values);
             self.lock_shard(shard)
                 .merge(&local)
                 .expect("scratch is cloned from the shard template");
             self.return_scratch(local);
         } else {
-            self.lock_shard(shard).push_batch(values);
+            self.lock_shard(shard).push_rows(values);
         }
     }
 
@@ -207,7 +295,7 @@ impl ShardedIngest {
     /// performs the per-level scatter for its chunk only); the estimate
     /// remains equivalent to a single-stream fit because the shards merge
     /// at estimate time.
-    pub fn ingest_parallel(&self, values: &[f64]) {
+    pub fn ingest_parallel(&self, values: &[S::Row]) {
         if values.is_empty() {
             return;
         }
@@ -225,7 +313,7 @@ impl ShardedIngest {
             std::thread::scope(|scope| {
                 for (shard, slice) in (0..self.shards.len()).zip(values.chunks(chunk)) {
                     scope.spawn(move || {
-                        self.lock_shard(shard).push_batch(slice);
+                        self.lock_shard(shard).push_rows(slice);
                     });
                 }
             });
@@ -237,7 +325,7 @@ impl ShardedIngest {
     /// stream over every ingested row would have produced. Shards are
     /// locked one at a time, so concurrent writers are stalled for at most
     /// one shard-clone each.
-    pub fn merged(&self) -> Result<CoefficientSketch, EstimatorError> {
+    pub fn merged(&self) -> Result<S, EstimatorError> {
         let mut merged = self.lock_shard(0).clone();
         for shard in 1..self.shards.len() {
             let snapshot = self.lock_shard(shard).clone();
@@ -251,7 +339,7 @@ impl ShardedIngest {
     /// allocation-free merge path of the engine's incremental refresh.
     /// `target` must be compatible with the shard template (any previous
     /// merge result is); its prior contents are overwritten.
-    pub fn merge_into(&self, target: &mut CoefficientSketch) -> Result<(), EstimatorError> {
+    pub fn merge_into(&self, target: &mut S) -> Result<(), EstimatorError> {
         {
             let first = self.lock_shard(0);
             target.copy_from(&first)?;
@@ -266,7 +354,7 @@ impl ShardedIngest {
     /// Pops a cleared scratch sketch from the pool, cloning the template
     /// when the pool is dry (first use, or more concurrent writers than
     /// pooled scratches).
-    fn take_scratch(&self) -> CoefficientSketch {
+    fn take_scratch(&self) -> S {
         lock_scratch_pool(&self.scratch)
             .pop()
             .unwrap_or_else(|| self.template.clone())
@@ -274,7 +362,7 @@ impl ShardedIngest {
 
     /// Clears a scratch sketch (keeping its allocations) and returns it to
     /// the pool, unless the pool is already full.
-    fn return_scratch(&self, mut sketch: CoefficientSketch) {
+    fn return_scratch(&self, mut sketch: S) {
         sketch.clear();
         let mut pool = lock_scratch_pool(&self.scratch);
         if pool.len() < MAX_POOLED_SCRATCH {
@@ -283,12 +371,12 @@ impl ShardedIngest {
     }
 }
 
-impl Clone for ShardedIngest {
+impl<S: MergeableSketch> Clone for ShardedIngest<S> {
     fn clone(&self) -> Self {
         // Clone the shard contents first so the row counter can be
         // recomputed from exactly the cloned state: the clone is then
         // self-consistent even if writers raced the per-shard locks.
-        let sketches: Vec<CoefficientSketch> = (0..self.shards.len())
+        let sketches: Vec<S> = (0..self.shards.len())
             .map(|shard| self.lock_shard(shard).clone())
             .collect();
         let rows = sketches.iter().map(|sketch| sketch.count()).sum();
@@ -501,6 +589,33 @@ mod tests {
         let data = sample(2 * SCATTER_OUTSIDE_LOCK_MIN, 14);
         sharded.ingest(&data);
         assert_eq!(sharded.merged().unwrap().count(), data.len());
+    }
+
+    /// The generic ingest path serves 2-D tensor sketches identically:
+    /// sharded pair ingestion merges back into the single-stream state.
+    #[test]
+    fn tensor_shards_match_single_stream() {
+        let mut rng = seeded_rng(21);
+        let rows: Vec<(f64, f64)> = (0..1200).map(|_| (rng.gen(), rng.gen())).collect();
+        let template = TensorSketch::sized_for_pairs(1200).unwrap();
+        let sharded: ShardedIngest<TensorSketch> = ShardedIngest::new(&template, 3).unwrap();
+        for chunk in rows.chunks(90) {
+            sharded.ingest(chunk);
+        }
+        sharded.ingest_parallel(&rows[..600]);
+        assert_eq!(sharded.total_count(), 1800);
+        let mut single = template.clone();
+        single.push_pairs(&rows);
+        single.push_pairs(&rows[..600]);
+        let merged = sharded.merged().unwrap();
+        assert_eq!(MergeableSketch::count(&merged), 1800);
+        let a = merged.snapshot_levels().unwrap();
+        let b = single.snapshot_levels().unwrap();
+        for (la, lb) in a.iter().zip(&b) {
+            for (va, vb) in la.values.iter().zip(&lb.values) {
+                assert!((va - vb).abs() < 1e-12 * (1.0 + vb.abs()), "{va} vs {vb}");
+            }
+        }
     }
 
     #[test]

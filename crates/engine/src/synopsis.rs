@@ -11,7 +11,12 @@ use wavedens_core::{
 };
 
 /// Configuration of an [`AttributeSynopsis`].
-#[derive(Debug, Clone)]
+///
+/// Compared with `PartialEq` when an attribute participates in both a
+/// standalone synopsis and a registered pair: the catalog refuses a pair
+/// whose member is already registered with a *different* configuration
+/// (see [`crate::SynopsisCatalog::register_pair`]).
+#[derive(Debug, Clone, PartialEq)]
 pub struct SynopsisConfig {
     /// Thresholding nonlinearity applied at refresh time (default soft,
     /// the paper's STCV).
@@ -237,6 +242,9 @@ impl IngestBackend {
 #[derive(Debug)]
 pub struct AttributeSynopsis {
     backend: IngestBackend,
+    /// The configuration this synopsis was built from (kept verbatim so
+    /// the catalog can detect config conflicts at pair registration).
+    config: SynopsisConfig,
     rule: ThresholdRule,
     cdf_points: usize,
     /// Bumped after every completed ingest batch; the cache is fresh when
@@ -269,6 +277,7 @@ impl AttributeSynopsis {
         };
         Ok(Self {
             backend,
+            config: config.clone(),
             rule: config.rule,
             cdf_points: config.cdf_points.max(2),
             epoch: AtomicU64::new(0),
@@ -276,6 +285,11 @@ impl AttributeSynopsis {
             rebuild_guard: Mutex::new(RefreshState::default()),
             rebuilds: AtomicUsize::new(0),
         })
+    }
+
+    /// The configuration this synopsis was built from, verbatim.
+    pub fn config(&self) -> &SynopsisConfig {
+        &self.config
     }
 
     /// The thresholding rule applied at refresh time.
@@ -572,6 +586,7 @@ impl Clone for AttributeSynopsis {
         let epoch = self.epoch.load(Ordering::Acquire);
         Self {
             backend: self.backend.clone(),
+            config: self.config.clone(),
             rule: self.rule,
             cdf_points: self.cdf_points,
             epoch: AtomicU64::new(epoch),

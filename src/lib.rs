@@ -17,7 +17,8 @@
 //!   DWT, Besov norms;
 //! * [`engine`] (`wavedens-engine`) — the concurrent multi-attribute
 //!   synopsis engine: sharded sketch ingest, atomically swapped synopsis
-//!   caches and a named attribute catalog;
+//!   caches, 2-D joint (attribute-pair) synopses and a named attribute
+//!   catalog;
 //! * [`selectivity`] (`wavedens-selectivity`) — range-query selectivity
 //!   synopses built on the estimator.
 //!
@@ -42,10 +43,11 @@ pub use wavedens_wavelets as wavelets;
 pub mod prelude {
     pub use wavedens_core::{
         CoefficientSketch, CompactionPolicy, CumulativeEstimate, Grid, KernelDensityEstimator,
-        StreamingWaveletEstimator, ThresholdRule, ThresholdSelection, WaveletDensityEstimate,
-        WaveletDensityEstimator, WindowPolicy, WindowedSketch,
+        StreamingWaveletEstimator, TensorCumulative, TensorEstimate, TensorSketch, ThresholdRule,
+        ThresholdSelection, WaveletDensityEstimate, WaveletDensityEstimator, WindowPolicy,
+        WindowedSketch,
     };
-    pub use wavedens_engine::{SynopsisCatalog, SynopsisConfig};
+    pub use wavedens_engine::{JointSynopsis, SynopsisCatalog, SynopsisConfig};
     pub use wavedens_processes::{
         seeded_rng, DependenceCase, GaussianMixture, LsvMapProcess, SineUniformMixture,
         StationaryProcess, TargetDensity,
