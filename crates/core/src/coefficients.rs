@@ -184,24 +184,12 @@ impl EmpiricalCoefficients {
     }
 }
 
-/// The clamped range of translations `k` with `δ_{j,k}(x) ≠ 0`:
-/// `δ_{j,k}(x) ≠ 0` requires `0 < position − k < 2N−1` (with
-/// `position = 2^j x`), i.e. `position − (2N−1) < k < position`,
-/// intersected with the stored window `[k_start, k_start + count)`.
-///
-/// This derivation is shared by the batch coefficient accumulation, the
-/// streaming running sums and the pointwise estimate evaluation so the
-/// three paths cannot drift apart.
-pub(crate) fn active_translations(
-    support: f64,
-    position: f64,
-    k_start: i64,
-    count: usize,
-) -> std::ops::RangeInclusive<i64> {
-    let k_lo = ((position - support).floor() as i64 + 1).max(k_start);
-    let k_hi = (position.ceil() as i64 - 1).min(k_start + count as i64 - 1);
-    k_lo..=k_hi
-}
+/// The clamped range of translations `k` with `δ_{j,k}(x) ≠ 0`; shared by
+/// the batch coefficient accumulation, the streaming running sums, the
+/// pointwise estimate evaluation *and* the whole-chunk scatter driver
+/// inside `wavedens-wavelets` (where the canonical derivation now lives),
+/// so the paths cannot drift apart.
+pub(crate) use wavedens_wavelets::cascade::active_translations;
 
 /// Scatters observations into the running sums (and sums of squares) of
 /// one resolution level — the shared inner loop of
@@ -215,12 +203,15 @@ pub(crate) fn active_translations(
 /// Two scatter paths are provided:
 ///
 /// * [`scatter_chunk`](Self::scatter_chunk) — the production fast path:
-///   per observation one strided table **gather**
-///   ([`wavedens_wavelets::cascade::WaveletTable::gather_phi`]) reads it
-///   at every active translation with a shared interpolation weight, then
-///   value and value² scatter from the gather rows in one sweep. This is
-///   the ingest-side mirror image of the query-side
-///   `accumulate_phi`/`accumulate_psi` dense-evaluation primitive.
+///   per observation one **fused** strided table read
+///   ([`wavedens_wavelets::cascade::WaveletTable::scatter_phi`])
+///   evaluates it at every active translation with a shared interpolation
+///   weight and accumulates value and value² in the same sweep — no
+///   intermediate gather row. Windows the fused kernel declines (table
+///   edge, phase wrap, non-finite position) gather into a one-row scratch
+///   and accumulate from there. This is the ingest-side mirror image of
+///   the query-side `accumulate_phi`/`accumulate_psi` dense-evaluation
+///   primitive.
 /// * [`scatter`](Self::scatter) — the scalar reference implementation
 ///   (one `φ_{j,k}`/`ψ_{j,k}` evaluation per translation, re-deriving the
 ///   dilation constants per call exactly like pointwise evaluation does).
@@ -270,26 +261,28 @@ impl<'a> LevelAccumulator<'a> {
         }
     }
 
-    /// The gather fast path over a whole chunk of observations, in two
-    /// passes:
-    ///
-    /// 1. **Gather** — for each observation, one strided table read
-    ///    evaluates the mother function at every active translation into
-    ///    the observation's scratch row (shared fractional weight,
-    ///    constant stride). The reads of different observations are
-    ///    independent, so the pass runs at full memory-level parallelism
-    ///    instead of serialising one observation's table miss behind the
-    ///    previous one's scatter.
-    /// 2. **Scatter** — each row's `√(2^j)`-normalised values and their
-    ///    squares add into the running sums in one sweep per observation,
-    ///    again with independent read-modify-writes across rows.
+    /// The fused fast path over a whole chunk of observations: per
+    /// observation one strided table read evaluates the mother function
+    /// at every active translation (shared fractional weight, constant
+    /// stride in the polyphase layout) and accumulates the
+    /// `√(2^j)`-normalised value and its square into the running sums in
+    /// the *same* sweep. The earlier two-pass variant materialised each
+    /// observation's window in a scratch row and re-read it to scatter —
+    /// with the tables L2-resident that store + reload round-trip was the
+    /// dominant per-slot cost, so fusing the lerp into the moment update
+    /// is where the ingest speedup comes from. Windows the fused kernel
+    /// declines (table edge, phase `2^J − 1` wrap, non-finite position)
+    /// fall back to a gather into the one-row scratch followed by the
+    /// scaled-accumulate kernel, which owns every boundary convention.
     ///
     /// Matches [`scatter`](Self::scatter) to ≈ 1e-12 relative: the active
     /// range comes from the same [`active_translations`] and the per-slot
     /// accumulation order (observation order) is unchanged; only the
     /// table argument is rounded once per observation (shared weight)
-    /// instead of once per translation. The equivalence suite in
-    /// `tests/ingest_fast_path.rs` pins the two paths against each other
+    /// instead of once per translation. (Fused and gather-then-accumulate
+    /// chains are *bitwise* identical — `WaveletTable::scatter_phi`
+    /// evaluates the same expression per slot.) The equivalence suite in
+    /// `tests/ingest_fast_path.rs` pins the paths against each other
     /// across families, levels and batch slicings.
     pub(crate) fn scatter_chunk(
         &self,
@@ -298,77 +291,47 @@ impl<'a> LevelAccumulator<'a> {
         sums: &mut [f64],
         sum_squares: &mut [f64],
     ) {
-        let width = scratch.width;
-        debug_assert!(xs.len() <= scratch.spans.len());
         let table = self.basis.table();
-        // Pass 1 — gather every observation's active window.
-        for ((&x, span), row) in xs
-            .iter()
-            .zip(scratch.spans.iter_mut())
-            .zip(scratch.values.chunks_mut(width))
-        {
-            let position = self.scale * x;
-            let range = active_translations(self.support, position, self.k_start, sums.len());
-            let (k_lo, k_hi) = (*range.start(), *range.end());
-            if k_lo > k_hi {
-                *span = (0, 0);
-                continue;
-            }
-            let count = (k_hi - k_lo + 1) as usize;
-            *span = ((k_lo - self.k_start) as u32, count as u32);
-            match self.generator {
-                Generator::Scaling => table.gather_phi(position, k_lo, &mut row[..count]),
-                Generator::Wavelet => table.gather_psi(position, k_lo, &mut row[..count]),
-            }
-        }
-        // Pass 2 — scatter value and value² from each row in one sweep.
-        for (&(offset, count), row) in scratch.spans[..xs.len()]
-            .iter()
-            .zip(scratch.values.chunks(width))
-        {
-            if count == 0 {
-                continue;
-            }
-            let (offset, count) = (offset as usize, count as usize);
-            let sums = &mut sums[offset..offset + count];
-            let squares = &mut sum_squares[offset..offset + count];
-            for ((sum, square), &raw) in sums.iter_mut().zip(squares.iter_mut()).zip(&row[..count])
-            {
-                let value = self.sqrt_scale * raw;
-                *sum += value;
-                *square += value * value;
-            }
+        match self.generator {
+            Generator::Scaling => table.scatter_rows_phi(
+                xs,
+                self.scale,
+                self.sqrt_scale,
+                self.k_start,
+                &mut scratch.row,
+                sums,
+                sum_squares,
+            ),
+            Generator::Wavelet => table.scatter_rows_psi(
+                xs,
+                self.scale,
+                self.sqrt_scale,
+                self.k_start,
+                &mut scratch.row,
+                sums,
+                sum_squares,
+            ),
         }
     }
 }
 
-/// Reusable buffers for [`LevelAccumulator::scatter_chunk`]: one gather
-/// row of [`max_active_translations`] slots per observation of a chunk,
-/// plus each observation's `(offset, count)` span within the level's
-/// translation window (`count == 0` marks an observation whose support
-/// misses the stored window entirely).
+/// Reusable fallback buffer for [`LevelAccumulator::scatter_chunk`]: one
+/// gather row of [`max_active_translations`] slots. The fused fast path
+/// needs no scratch at all; the row only serves windows that touch a
+/// table boundary (or carry a non-finite position), which gather here
+/// before the moment accumulation. Chunk-size independent, so one
+/// instance serves batches of any slicing.
 #[derive(Debug)]
 pub(crate) struct ScatterScratch {
-    width: usize,
-    values: Vec<f64>,
-    spans: Vec<(u32, u32)>,
+    row: Vec<f64>,
 }
 
 impl ScatterScratch {
-    /// Allocates scratch for chunks of up to `rows` observations against
-    /// `basis`.
-    pub(crate) fn new(basis: &WaveletBasis, rows: usize) -> Self {
-        let width = max_active_translations(basis);
+    /// Allocates the fallback row for `basis`.
+    pub(crate) fn new(basis: &WaveletBasis) -> Self {
         Self {
-            width,
-            values: vec![0.0; width * rows],
-            spans: vec![(0, 0); rows],
+            row: vec![0.0; max_active_translations(basis)],
         }
-    }
-
-    /// Number of observations a chunk may hold.
-    pub(crate) fn rows(&self) -> usize {
-        self.spans.len()
     }
 }
 

@@ -62,6 +62,7 @@
 
 #![warn(missing_docs)]
 
+pub(crate) mod autotune;
 pub mod coefficients;
 pub mod cv;
 pub mod dense;

@@ -24,6 +24,7 @@
 //! [`from_bytes`](CoefficientSketch::from_bytes)) so synopses can be
 //! shipped between nodes and merged where they land.
 
+use crate::autotune;
 use crate::coefficients::{
     EmpiricalCoefficients, Generator, LevelAccumulator, LevelCoefficients, ScatterScratch,
 };
@@ -384,16 +385,26 @@ impl CoefficientSketch {
         if values.is_empty() {
             return;
         }
-        let rows = values.len().min(INGEST_CHUNK);
-        if self.scratch.as_ref().map_or(true, |s| s.rows() < rows) {
-            self.scratch = Some(ScatterScratch::new(&self.basis, rows));
-        }
-        let scratch = self.scratch.as_mut().expect("scratch just ensured");
-        for chunk in values.chunks(INGEST_CHUNK) {
-            self.scaling.push_chunk(&self.basis, chunk, scratch);
-            for level in &mut self.details {
-                level.push_chunk(&self.basis, chunk, scratch);
+        let scratch = self
+            .scratch
+            .get_or_insert_with(|| ScatterScratch::new(&self.basis));
+        let basis = &self.basis;
+        let scaling = &mut self.scaling;
+        let details = &mut self.details;
+        let key = autotune::ChunkKey {
+            kind: autotune::ChunkKind::OneD,
+            support: basis.support_length() as u32,
+            levels: details.len() as u32 + 1,
+        };
+        let mut scatter = |chunk: &[f64]| {
+            scaling.push_chunk(basis, chunk, scratch);
+            for level in details.iter_mut() {
+                level.push_chunk(basis, chunk, scratch);
             }
+        };
+        let (chunk_size, rest) = autotune::tuned_chunk(key, INGEST_CHUNK, values, &mut scatter);
+        for chunk in rest.chunks(chunk_size) {
+            scatter(chunk);
         }
     }
 
@@ -941,11 +952,14 @@ pub enum CompactionPolicy {
     },
 }
 
-/// Observations per internal ingest chunk of
+/// Untuned default for the observations per internal ingest chunk of
 /// [`CoefficientSketch::push_batch`]: large batches are scattered in
-/// slices this long so the observation chunk (a few KB) stays in L1 while
+/// slices so the observation chunk (a few KB) stays cache-resident while
 /// the scaling level and every detail level sweep it, instead of
-/// streaming the whole batch once per level.
+/// streaming the whole batch once per level. The first large batch per
+/// basis shape races the candidate sizes on real data and caches the
+/// winner (see [`crate::autotune`]); this constant only serves batches
+/// too small to probe.
 pub(crate) const INGEST_CHUNK: usize = 512;
 
 pub(crate) const MAGIC: &[u8] = b"WDSK";

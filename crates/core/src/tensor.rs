@@ -33,6 +33,7 @@
 
 use std::sync::Arc;
 
+use crate::autotune;
 use crate::coefficients::{
     active_translations, max_active_translations, Generator, LevelAccumulator, LevelCoefficients,
     ScatterScratch,
@@ -498,26 +499,33 @@ impl TensorSketch {
         if values.is_empty() {
             return;
         }
-        let rows = values.len().min(INGEST_CHUNK);
-        let need_new = match &self.scratch {
-            Some(Scratch::OneD(s)) => s.rows() < rows,
-            _ => true,
-        };
-        if need_new {
-            self.scratch = Some(Scratch::OneD(ScatterScratch::new(&self.basis, rows)));
+        if !matches!(&self.scratch, Some(Scratch::OneD(_))) {
+            self.scratch = Some(Scratch::OneD(ScatterScratch::new(&self.basis)));
         }
         let Some(Scratch::OneD(scratch)) = self.scratch.as_mut() else {
             unreachable!("1-D scratch just ensured");
         };
-        for chunk in values.chunks(INGEST_CHUNK) {
-            for level in &mut self.levels {
-                let comp = self.axes[0][level.component[0]];
+        let basis = &self.basis;
+        let axes = &self.axes;
+        let levels = &mut self.levels;
+        let key = autotune::ChunkKey {
+            kind: autotune::ChunkKind::OneD,
+            support: basis.support_length() as u32,
+            levels: levels.len() as u32,
+        };
+        let mut scatter = |chunk: &[f64]| {
+            for level in levels.iter_mut() {
+                let comp = axes[0][level.component[0]];
                 level.version += 1;
                 let accumulator =
-                    LevelAccumulator::new(&self.basis, comp.generator, comp.level, comp.k_start);
+                    LevelAccumulator::new(basis, comp.generator, comp.level, comp.k_start);
                 let squares = Arc::make_mut(&mut level.sum_squares);
                 accumulator.scatter_chunk(chunk, scratch, &mut level.sums, squares);
             }
+        };
+        let (chunk_size, rest) = autotune::tuned_chunk(key, INGEST_CHUNK, values, &mut scatter);
+        for chunk in rest.chunks(chunk_size) {
+            scatter(chunk);
         }
     }
 
@@ -536,7 +544,19 @@ impl TensorSketch {
         if rows.is_empty() {
             return;
         }
-        let chunk_rows = rows.len().min(TENSOR_CHUNK);
+        let key = autotune::ChunkKey {
+            kind: autotune::ChunkKind::TwoD,
+            support: self.basis.support_length() as u32,
+            levels: self.levels.len() as u32,
+        };
+        // Size the pooled scratch up front for the largest chunk this
+        // batch can see — the tuned winner when one is cached, else the
+        // largest probe candidate — so probing never reallocates
+        // mid-batch and later batches reuse the same buffers.
+        let largest = autotune::fixed_chunk(&key)
+            .unwrap_or_else(|| autotune::CHUNK_CANDIDATES[autotune::CHUNK_CANDIDATES.len() - 1])
+            .max(TENSOR_CHUNK);
+        let chunk_rows = rows.len().min(largest);
         let components = self.axes[0].len().max(self.axes[1].len());
         let need_new = match &self.scratch {
             Some(Scratch::TwoD(s)) => s.rows < chunk_rows,
@@ -549,8 +569,10 @@ impl TensorSketch {
                 chunk_rows,
             )));
         }
-        for chunk in rows.chunks(TENSOR_CHUNK) {
-            self.scatter_pair_chunk(chunk);
+        let mut scatter = |chunk: &[(f64, f64)]| self.scatter_pair_chunk(chunk);
+        let (chunk_size, rest) = autotune::tuned_chunk(key, TENSOR_CHUNK, rows, &mut scatter);
+        for chunk in rest.chunks(chunk_size.min(chunk_rows.max(1))) {
+            scatter(chunk);
         }
     }
 
@@ -562,6 +584,11 @@ impl TensorSketch {
         };
         let rows_cap = scratch.rows;
         let width = scratch.width;
+        debug_assert!(
+            chunk.len() <= rows_cap,
+            "scatter chunk of {} rows exceeds scratch capacity {rows_cap}",
+            chunk.len()
+        );
         // Pass 1: gather the raw mother values of every (axis, component)
         // factor for every observation in the chunk.
         for axis in 0..2 {

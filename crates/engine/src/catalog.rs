@@ -366,6 +366,28 @@ impl SynopsisCatalog {
         Ok(self.resolve(name)?.try_selectivity(lo, hi)?)
     }
 
+    /// Estimated selectivity from the attribute's latest built snapshot,
+    /// with zero rebuild work on this thread
+    /// ([`AttributeSynopsis::selectivity_cached`]): `None` until a first
+    /// snapshot exists — latency-sensitive readers use this and leave
+    /// rebuilds to the ingesting side
+    /// ([`refresh`](Self::refresh)).
+    pub fn selectivity_cached(
+        &self,
+        name: &str,
+        lo: f64,
+        hi: f64,
+    ) -> Result<Option<f64>, EngineError> {
+        Ok(self.resolve(name)?.selectivity_cached(lo, hi))
+    }
+
+    /// Rebuilds a registered attribute's snapshot now if stale, blocking
+    /// on its rebuild guard ([`AttributeSynopsis::refresh`]) — the
+    /// maintenance entry point for the write side.
+    pub fn refresh(&self, name: &str) -> Result<Option<Arc<RefreshedSynopsis>>, EngineError> {
+        Ok(self.resolve(name)?.refresh()?)
+    }
+
     /// Serializes a registered attribute's merged, `policy`-compacted
     /// sketch to the binary wire frame ([`AttributeSynopsis::ship`]) for
     /// shipping to another node.

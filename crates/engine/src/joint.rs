@@ -178,8 +178,9 @@ impl JointSynopsis {
         self.epoch.fetch_add(1, Ordering::Release);
     }
 
-    /// Ingests a bulk load by fanning the pairs out to every shard with
-    /// scoped threads ([`ShardedIngest::ingest_parallel`]).
+    /// Ingests a bulk load by fanning the pairs out across the shards on
+    /// the global work-stealing pool
+    /// ([`ShardedIngest::ingest_parallel`]).
     pub fn ingest_parallel(&self, rows: &[(f64, f64)]) {
         if rows.is_empty() {
             return;

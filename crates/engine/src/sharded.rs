@@ -133,11 +133,17 @@ impl MergeableSketch for TensorSketch {
 /// shrinking it.
 pub(crate) const SCATTER_OUTSIDE_LOCK_MIN: usize = 256;
 
-/// Minimum rows per scoped-thread chunk of
-/// [`ShardedIngest::ingest_parallel`]: spawning a thread for a handful of
-/// rows costs more than scattering them, so tiny bulk loads run inline (or
-/// on fewer threads than shards).
+/// Minimum rows per pool task of [`ShardedIngest::ingest_parallel`]:
+/// queueing a task for a handful of rows costs more than scattering
+/// them, so tiny bulk loads run inline (or on fewer tasks than shards).
 pub(crate) const MIN_PARALLEL_CHUNK: usize = 256;
+
+/// Target pool tasks per shard in
+/// [`ShardedIngest::ingest_parallel`]: splitting each shard's share into
+/// a few chunks (instead of one monolithic chunk per shard) leaves
+/// surplus tasks in the work-stealing deques, so a worker that finishes
+/// early takes over a queued chunk rather than idling at the join.
+pub(crate) const PARALLEL_CHUNKS_PER_SHARD: usize = 4;
 
 /// Upper bound on pooled scratch sketches kept alive for the
 /// out-of-lock scatter path; more concurrent writers than this simply
@@ -159,8 +165,8 @@ pub(crate) fn lock_scratch_pool<T>(pool: &Mutex<Vec<T>>) -> MutexGuard<'_, Vec<T
     }
 }
 
-/// N per-shard sketches with round-robin batch placement and scoped-thread
-/// parallel bulk loads.
+/// N per-shard sketches with round-robin batch placement and
+/// work-stealing parallel bulk loads.
 ///
 /// Generic over the sketch type: the default `S = CoefficientSketch`
 /// ingests scalar rows for marginal synopses, `S = TensorSketch` ingests
@@ -283,39 +289,47 @@ impl<S: MergeableSketch> ShardedIngest<S> {
         }
     }
 
-    /// Bulk-loads `values` by splitting them into one contiguous chunk per
-    /// shard and filling all shards concurrently with scoped threads.
+    /// Bulk-loads `values` by splitting them into contiguous chunks —
+    /// about `PARALLEL_CHUNKS_PER_SHARD` (4) per shard — assigned to shards
+    /// round-robin and scattered on the global work-stealing pool
+    /// ([`workpool::WorkPool`]), so a worker that finishes its chunk
+    /// early steals a queued one instead of idling while the slowest
+    /// shard finishes.
     ///
     /// Chunks hold at least `MIN_PARALLEL_CHUNK` rows so tiny bulk loads
-    /// do not pay thread startup per handful of rows; with a single shard
-    /// — or when the whole load fits one chunk — the batch is scattered
-    /// inline on the calling thread, no thread spawned at all.
+    /// do not pay task-queue overhead per handful of rows; with a single
+    /// shard — or when the whole load fits one chunk — the batch is
+    /// scattered inline on the calling thread, no pool involved at all.
+    /// Chunks long enough for the out-of-lock path scatter into pooled
+    /// scratch sketches (one in hand per running worker task) and hold
+    /// their shard lock only for the element-wise merge.
     ///
-    /// Wall-clock ingest time scales with the number of cores (each shard
-    /// performs the per-level scatter for its chunk only); the estimate
-    /// remains equivalent to a single-stream fit because the shards merge
-    /// at estimate time.
+    /// Wall-clock ingest time scales with the number of cores; the
+    /// estimate remains equivalent to a single-stream fit because the
+    /// shards merge at estimate time.
     pub fn ingest_parallel(&self, values: &[S::Row]) {
         if values.is_empty() {
             return;
         }
+        let shards = self.shards.len();
         let chunk = values
             .len()
-            .div_ceil(self.shards.len())
+            .div_ceil(shards * PARALLEL_CHUNKS_PER_SHARD)
             .max(MIN_PARALLEL_CHUNK);
-        if self.shards.len() == 1 || values.len() <= chunk {
+        if shards == 1 || values.len() <= chunk {
             // Inline, but still round-robin and still short-critical-
             // section: a large single-shard load scatters outside the
             // lock exactly like an `ingest` batch would.
-            let shard = self.next.fetch_add(1, Ordering::Relaxed) % self.shards.len();
+            let shard = self.next.fetch_add(1, Ordering::Relaxed) % shards;
             self.scatter_into_shard(shard, values);
         } else {
-            std::thread::scope(|scope| {
-                for (shard, slice) in (0..self.shards.len()).zip(values.chunks(chunk)) {
-                    scope.spawn(move || {
-                        self.lock_shard(shard).push_rows(slice);
-                    });
-                }
+            workpool::WorkPool::global().scope(|scope| {
+                scope.spawn_batch(
+                    values
+                        .chunks(chunk)
+                        .enumerate()
+                        .map(|(i, slice)| move || self.scatter_into_shard(i % shards, slice)),
+                );
             });
         }
         self.rows.fetch_add(values.len(), Ordering::Release);

@@ -369,8 +369,9 @@ impl AttributeSynopsis {
         }
     }
 
-    /// Ingests a bulk load by fanning the rows out to every shard with
-    /// scoped threads ([`ShardedIngest::ingest_parallel`]).
+    /// Ingests a bulk load by fanning the rows out across the shards on
+    /// the global work-stealing pool
+    /// ([`ShardedIngest::ingest_parallel`]).
     pub fn ingest_parallel(&self, values: &[f64]) {
         if values.is_empty() {
             return;
@@ -421,13 +422,51 @@ impl AttributeSynopsis {
         self.epoch.load(Ordering::Acquire)
     }
 
+    /// The latest built snapshot without any rebuild work — the
+    /// never-blocking read path. `None` until the first
+    /// [`refreshed`](Self::refreshed) / [`refresh`](Self::refresh) builds
+    /// one; possibly stale by the batches ingested since the last
+    /// refresh. Use this from latency-sensitive readers and leave the
+    /// rebuilds to whoever ingests (or to a maintenance task calling
+    /// [`refresh`](Self::refresh)): a reader on this path never pays a
+    /// merge or cross-validation, so rebuild cost cannot masquerade as
+    /// query latency.
+    pub fn cached(&self) -> Option<Arc<RefreshedSynopsis>> {
+        self.read_cache()
+            .as_ref()
+            .map(|cached| Arc::clone(&cached.synopsis))
+    }
+
+    /// Estimated selectivity from the latest built snapshot, with zero
+    /// rebuild work on this thread ([`cached`](Self::cached)): `None`
+    /// until a first snapshot exists, `Some(0.0)` for NaN or reversed
+    /// bounds (mirroring [`selectivity`](Self::selectivity)).
+    pub fn selectivity_cached(&self, lo: f64, hi: f64) -> Option<f64> {
+        if lo.is_nan() || hi.is_nan() {
+            return Some(0.0);
+        }
+        self.cached().map(|synopsis| synopsis.selectivity(lo, hi))
+    }
+
+    /// Rebuilds the snapshot now if the cache is stale, blocking on the
+    /// rebuild guard — the explicit maintenance entry point for whoever
+    /// owns the write side (the mixed-load benchmark's writers call and
+    /// time this, so rebuild latency is reported as its own series).
+    /// Returns the fresh snapshot, `None` when no rows are ingested.
+    pub fn refresh(&self) -> Result<Option<Arc<RefreshedSynopsis>>, EstimatorError> {
+        let mut state = self.lock_rebuild_guard();
+        self.rebuild_locked(&mut state)
+    }
+
     /// The current refreshed synopsis, rebuilding at most once if the
     /// cache is stale; `None` when no rows have been ingested yet.
     ///
     /// Readers arriving while another thread rebuilds are served the
     /// previous snapshot (stale by exactly the in-flight batch), so the
     /// read path never waits on a cross-validation run once a first
-    /// snapshot exists.
+    /// snapshot exists. Readers that must never pay (or wait on the
+    /// first build of) a rebuild use [`cached`](Self::cached) /
+    /// [`selectivity_cached`](Self::selectivity_cached) instead.
     pub fn refreshed(&self) -> Result<Option<Arc<RefreshedSynopsis>>, EstimatorError> {
         let epoch = self.epoch.load(Ordering::Acquire);
         {
@@ -621,6 +660,37 @@ mod tests {
         assert_eq!(synopsis.rows(), 0);
         assert_eq!(synopsis.rebuild_count(), 0);
         assert!(synopsis.refreshed().unwrap().is_none());
+    }
+
+    /// The cached read path must cost readers zero rebuild work: no
+    /// first build, no staleness-triggered rebuild — those belong to
+    /// [`AttributeSynopsis::refresh`] on the write side.
+    #[test]
+    fn cached_read_path_never_rebuilds() {
+        let synopsis = AttributeSynopsis::new(&config(2)).unwrap();
+        assert!(synopsis.cached().is_none());
+        assert_eq!(synopsis.selectivity_cached(0.2, 0.8), None);
+        synopsis.ingest(&sample(2048, 31));
+        // Still no snapshot: the cached path does not trigger the first
+        // build either.
+        assert!(synopsis.cached().is_none());
+        assert_eq!(synopsis.rebuild_count(), 0);
+        let built = synopsis.refresh().unwrap().unwrap();
+        assert_eq!(synopsis.rebuild_count(), 1);
+        // New rows make the snapshot stale; the cached path serves the
+        // previous snapshot without rebuilding.
+        synopsis.ingest(&sample(512, 32));
+        let cached = synopsis.cached().unwrap();
+        assert!(Arc::ptr_eq(&cached, &built));
+        let sel = synopsis.selectivity_cached(0.25, 0.75).unwrap();
+        assert!((0.0..=1.0).contains(&sel));
+        assert_eq!(synopsis.rebuild_count(), 1);
+        // NaN bounds answer the empty-range mass, not a panic or a miss.
+        assert_eq!(synopsis.selectivity_cached(f64::NAN, 0.5), Some(0.0));
+        // An explicit refresh catches the snapshot up.
+        let fresh = synopsis.refresh().unwrap().unwrap();
+        assert!(!Arc::ptr_eq(&fresh, &built));
+        assert_eq!(synopsis.rebuild_count(), 2);
     }
 
     #[test]

@@ -27,7 +27,8 @@
 //! kill the attribute.
 
 use crate::sharded::{
-    lock_scratch_pool, MAX_POOLED_SCRATCH, MIN_PARALLEL_CHUNK, SCATTER_OUTSIDE_LOCK_MIN,
+    lock_scratch_pool, MAX_POOLED_SCRATCH, MIN_PARALLEL_CHUNK, PARALLEL_CHUNKS_PER_SHARD,
+    SCATTER_OUTSIDE_LOCK_MIN,
 };
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Mutex, MutexGuard};
@@ -153,27 +154,30 @@ impl WindowedIngest {
     }
 
     /// Bulk-loads `values` into the current time slice by splitting them
-    /// into one contiguous chunk per shard and filling all shards
-    /// concurrently with scoped threads (same chunking policy as
+    /// into contiguous chunks assigned to shards round-robin and
+    /// scattered on the global work-stealing pool (same chunking policy
+    /// as
     /// [`ShardedIngest::ingest_parallel`](crate::sharded::ShardedIngest::ingest_parallel)).
     pub fn ingest_parallel(&self, values: &[f64]) {
         if values.is_empty() {
             return;
         }
+        let shards = self.shards.len();
         let chunk = values
             .len()
-            .div_ceil(self.shards.len())
+            .div_ceil(shards * PARALLEL_CHUNKS_PER_SHARD)
             .max(MIN_PARALLEL_CHUNK);
-        if self.shards.len() == 1 || values.len() <= chunk {
-            let shard = self.next.fetch_add(1, Ordering::Relaxed) % self.shards.len();
+        if shards == 1 || values.len() <= chunk {
+            let shard = self.next.fetch_add(1, Ordering::Relaxed) % shards;
             self.scatter_into_shard(shard, values);
         } else {
-            std::thread::scope(|scope| {
-                for (shard, slice) in (0..self.shards.len()).zip(values.chunks(chunk)) {
-                    scope.spawn(move || {
-                        self.lock_shard(shard).push_batch(slice);
-                    });
-                }
+            workpool::WorkPool::global().scope(|scope| {
+                scope.spawn_batch(
+                    values
+                        .chunks(chunk)
+                        .enumerate()
+                        .map(|(i, slice)| move || self.scatter_into_shard(i % shards, slice)),
+                );
             });
         }
         self.rows.fetch_add(values.len(), Ordering::Release);

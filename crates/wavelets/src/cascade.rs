@@ -209,6 +209,308 @@ impl WaveletTable {
             out,
         );
     }
+
+    /// Fused gather → moment-accumulate over the interior fast path: for
+    /// every slot `m` computes `v = scale · φ(position − (k_first + m))`
+    /// and accumulates `sums[m] += v`, `squares[m] += v²` — bitwise the
+    /// same chain as [`gather_phi`](Self::gather_phi) into a scratch row
+    /// followed by the scaled-accumulate kernel, but without materialising
+    /// the row. Returns `false` (touching nothing) when the window is not
+    /// interior to the table — the caller keeps the gather-then-accumulate
+    /// fallback, which handles every boundary case.
+    /// The `kernel` token is resolved by the caller (once per chunk) so
+    /// the per-row call does not re-read the global backend state; use
+    /// [`crate::kernels::FusedKernel::resolve`].
+    #[inline]
+    #[allow(clippy::too_many_arguments)]
+    pub fn scatter_phi(
+        &self,
+        kernel: crate::kernels::FusedKernel,
+        position: f64,
+        k_first: i64,
+        scale: f64,
+        sums: &mut [f64],
+        squares: &mut [f64],
+    ) -> bool {
+        scatter_strided(
+            &|lo: &[f64], hi: &[f64], w0, w1, s, sums: &mut [f64], squares: &mut [f64]| {
+                kernel.lerp_scaled_accumulate(lo, hi, w0, w1, s, sums, squares)
+            },
+            &self.phi,
+            &self.phi_poly,
+            self.poly_row,
+            self.levels,
+            position,
+            k_first,
+            scale,
+            sums,
+            squares,
+        )
+    }
+
+    /// Fused gather → moment-accumulate for `ψ`; the `ψ` counterpart of
+    /// [`WaveletTable::scatter_phi`].
+    #[inline]
+    #[allow(clippy::too_many_arguments)]
+    pub fn scatter_psi(
+        &self,
+        kernel: crate::kernels::FusedKernel,
+        position: f64,
+        k_first: i64,
+        scale: f64,
+        sums: &mut [f64],
+        squares: &mut [f64],
+    ) -> bool {
+        scatter_strided(
+            &|lo: &[f64], hi: &[f64], w0, w1, s, sums: &mut [f64], squares: &mut [f64]| {
+                kernel.lerp_scaled_accumulate(lo, hi, w0, w1, s, sums, squares)
+            },
+            &self.psi,
+            &self.psi_poly,
+            self.poly_row,
+            self.levels,
+            position,
+            k_first,
+            scale,
+            sums,
+            squares,
+        )
+    }
+
+    /// Scatters a whole chunk of observations into one level's running
+    /// sums through the fused fast path — the whole-chunk driver over
+    /// [`scatter_phi`](Self::scatter_phi): per observation the active
+    /// translation window is derived ([`active_translations`]), the fused
+    /// kernel accumulates `norm_scale`-normalised values and squares over
+    /// the interior window, and boundary windows gather into
+    /// `fallback_row` first. The backend is resolved **once per chunk**
+    /// and the row loop is compiled per backend, so on the AVX2 path the
+    /// vector kernel inlines straight into the loop.
+    ///
+    /// `level_scale` is `2^j` (observation → position), `norm_scale` the
+    /// `2^{j/2}` normalisation; `fallback_row` must hold at least
+    /// `⌈support⌉ + 1` slots.
+    #[inline]
+    #[allow(clippy::too_many_arguments)]
+    pub fn scatter_rows_phi(
+        &self,
+        xs: &[f64],
+        level_scale: f64,
+        norm_scale: f64,
+        k_start: i64,
+        fallback_row: &mut [f64],
+        sums: &mut [f64],
+        squares: &mut [f64],
+    ) {
+        scatter_rows_dispatch(
+            &self.phi,
+            &self.phi_poly,
+            self.poly_row,
+            self.levels,
+            xs,
+            level_scale,
+            norm_scale,
+            self.support_end(),
+            k_start,
+            fallback_row,
+            sums,
+            squares,
+        );
+    }
+
+    /// The `ψ` counterpart of [`WaveletTable::scatter_rows_phi`].
+    #[inline]
+    #[allow(clippy::too_many_arguments)]
+    pub fn scatter_rows_psi(
+        &self,
+        xs: &[f64],
+        level_scale: f64,
+        norm_scale: f64,
+        k_start: i64,
+        fallback_row: &mut [f64],
+        sums: &mut [f64],
+        squares: &mut [f64],
+    ) {
+        scatter_rows_dispatch(
+            &self.psi,
+            &self.psi_poly,
+            self.poly_row,
+            self.levels,
+            xs,
+            level_scale,
+            norm_scale,
+            self.support_end(),
+            k_start,
+            fallback_row,
+            sums,
+            squares,
+        );
+    }
+}
+
+/// The clamped range of translations `k` with `δ_{j,k}(x) ≠ 0`:
+/// `δ_{j,k}(x) ≠ 0` requires `0 < position − k < support` (with
+/// `position = 2^j x`), i.e. `position − support < k < position`,
+/// intersected with the stored window `[k_start, k_start + count)`.
+///
+/// This derivation is shared by the whole-chunk scatter driver here, the
+/// batch coefficient accumulation, the streaming running sums and the
+/// pointwise estimate evaluation downstream (re-exported through
+/// `wavedens-core`), so the paths cannot drift apart.
+pub fn active_translations(
+    support: f64,
+    position: f64,
+    k_start: i64,
+    count: usize,
+) -> std::ops::RangeInclusive<i64> {
+    let k_lo = ((position - support).floor() as i64 + 1).max(k_start);
+    let k_hi = (position.ceil() as i64 - 1).min(k_start + count as i64 - 1);
+    k_lo..=k_hi
+}
+
+/// Resolves the backend once for a whole chunk and hands the row loop a
+/// fused op the compiler can inline into it. The AVX2 arm re-enters
+/// through a `#[target_feature(enable = "avx2")]` wrapper in
+/// [`crate::kernels`] so the intrinsics body fuses into the loop instead
+/// of costing an opaque call per `(observation, level)` pair.
+#[allow(clippy::too_many_arguments)]
+fn scatter_rows_dispatch(
+    values: &[f64],
+    poly: &[f64],
+    poly_row: usize,
+    levels: u32,
+    xs: &[f64],
+    level_scale: f64,
+    norm_scale: f64,
+    support: f64,
+    k_start: i64,
+    fallback_row: &mut [f64],
+    sums: &mut [f64],
+    squares: &mut [f64],
+) {
+    use crate::kernels::{self, Backend};
+    match kernels::active_backend() {
+        Backend::Scalar => scatter_rows_impl(
+            &kernels::lerp_scaled_accumulate_scalar,
+            values,
+            poly,
+            poly_row,
+            levels,
+            xs,
+            level_scale,
+            norm_scale,
+            support,
+            k_start,
+            fallback_row,
+            sums,
+            squares,
+        ),
+        Backend::Lanes => scatter_rows_impl(
+            &kernels::lerp_scaled_accumulate_lanes,
+            values,
+            poly,
+            poly_row,
+            levels,
+            xs,
+            level_scale,
+            norm_scale,
+            support,
+            k_start,
+            fallback_row,
+            sums,
+            squares,
+        ),
+        Backend::Intrinsics => kernels::scatter_rows_intrinsics(
+            values,
+            poly,
+            poly_row,
+            levels,
+            xs,
+            level_scale,
+            norm_scale,
+            support,
+            k_start,
+            fallback_row,
+            sums,
+            squares,
+        ),
+    }
+}
+
+/// The backend-generic row loop of the whole-chunk scatter driver; see
+/// [`WaveletTable::scatter_rows_phi`]. Per-slot accumulation order is
+/// observation order, identical to scattering the rows one at a time.
+#[inline]
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn scatter_rows_impl(
+    fused: &impl FusedOp,
+    values: &[f64],
+    poly: &[f64],
+    poly_row: usize,
+    levels: u32,
+    xs: &[f64],
+    level_scale: f64,
+    norm_scale: f64,
+    support: f64,
+    k_start: i64,
+    fallback_row: &mut [f64],
+    sums: &mut [f64],
+    squares: &mut [f64],
+) {
+    let window = sums.len();
+    let stride = 1_i64 << levels;
+    let scale = stride as f64;
+    // `φ`/`ψ` supports are `[0, L−1]` with integer length, so the window
+    // bounds reduce to integer arithmetic on `⌊position·2^J⌋` (see below).
+    let support_i = support as i64;
+    debug_assert_eq!(support_i as f64, support);
+    let k_last = k_start + window as i64 - 1;
+    for &x in xs {
+        let position = level_scale * x;
+        // One floor of the exact power-of-two scaling `position·2^J`
+        // replaces the floor/ceil pair of [`active_translations`]:
+        // `⌊position⌋ = pbf_i >> J` (arithmetic shift = floor division),
+        // `⌈position⌉ − 1` differs from it only when `position` is an
+        // integer (no sub-node fraction and a phase-0 node), and
+        // `⌊position − support⌋ = ⌊position⌋ − support` because the
+        // support length is an integer. Identical to the shared
+        // derivation wherever `position − support` is exact (always for
+        // |position| < 2^49; beyond that every touched slot value is 0,
+        // so the accumulators cannot differ). Non-finite positions fall
+        // out through the saturating cast: the clamps empty the window.
+        let pb = position * scale;
+        if !pb.is_finite() {
+            continue;
+        }
+        let pbf = pb.floor();
+        let pbf_i = pbf as i64;
+        let fp = pbf_i >> levels;
+        let is_integer = pb == pbf && (pbf_i & (stride - 1)) == 0;
+        let k_hi = (fp - is_integer as i64).min(k_last);
+        let k_lo = (fp - support_i + 1).max(k_start);
+        if k_lo > k_hi {
+            continue;
+        }
+        debug_assert!(
+            position.abs() >= 2f64.powi(48) || {
+                let r = active_translations(support, position, k_start, window);
+                (k_lo, k_hi) == (*r.start(), *r.end())
+            },
+            "integer window derivation drifted from active_translations \
+             (position = {position}, got {k_lo}..={k_hi})"
+        );
+        let count = (k_hi - k_lo + 1) as usize;
+        let offset = (k_lo - k_start) as usize;
+        let sums = &mut sums[offset..offset + count];
+        let squares = &mut squares[offset..offset + count];
+        if !scatter_strided(
+            fused, values, poly, poly_row, levels, position, k_lo, norm_scale, sums, squares,
+        ) {
+            let row = &mut fallback_row[..count];
+            gather_strided(values, poly, poly_row, levels, position, k_lo, row);
+            crate::kernels::scaled_accumulate(norm_scale, row, sums, squares);
+        }
+    }
 }
 
 /// Reorders a dyadic table into the phase-major, node-reversed polyphase
@@ -262,16 +564,20 @@ fn gather_strided(
 ) {
     let stride = 1_i64 << levels;
     let scale = stride as f64;
-    let base = (position - k_first as f64) * scale;
-    if !base.is_finite() {
+    // `position · 2^J` is a power-of-two multiply — exact unless it
+    // overflows — so flooring it *before* subtracting the (integer)
+    // translation offset yields the identical fractional weight while
+    // keeping the floor off the critical path of the window derivation.
+    let pb = position * scale;
+    if !pb.is_finite() {
         out.fill(0.0);
         return;
     }
-    let floor = base.floor();
-    let frac = base - floor;
+    let pbf = pb.floor();
+    let frac = pb - pbf;
     let w0 = 1.0 - frac;
     let w1 = frac;
-    let idx0 = floor as i64;
+    let idx0 = (pbf as i64).saturating_sub(k_first.saturating_mul(stride));
     let count = out.len();
     let last = idx0.saturating_sub((count as i64 - 1).max(0) * stride);
     let phase = idx0 & (stride - 1);
@@ -284,11 +590,9 @@ fn gather_strided(
         let q0 = (idx0 >> levels) as usize;
         let support = poly_row - 1;
         let start = phase as usize * poly_row + (support - q0);
-        let lo_run = poly[start..start + count].iter();
-        let hi_run = poly[start + poly_row..start + poly_row + count].iter();
-        for ((slot, &a), &b) in out.iter_mut().zip(lo_run).zip(hi_run) {
-            *slot = a * w0 + b * w1;
-        }
+        let lo_run = &poly[start..start + count];
+        let hi_run = &poly[start + poly_row..start + poly_row + count];
+        crate::kernels::lerp_runs(lo_run, hi_run, w0, w1, out);
         return;
     }
     let mut idx = idx0;
@@ -305,10 +609,72 @@ fn gather_strided(
     }
 }
 
+/// Fused strided gather + moment accumulation over the interior fast
+/// path of [`gather_strided`]: slot `m` accumulates
+/// `v = scale · table(position − k_first − m)` into `sums[m]` and `v²`
+/// into `squares[m]`. Interior-window detection, index arithmetic and the
+/// per-slot lerp are *identical* to [`gather_strided`] — the only change
+/// is that the lerped value feeds the moment update directly instead of a
+/// scratch row, skipping one store + reload per slot. Returns `false`
+/// without touching the accumulators when any slot could leave the table
+/// (edge, phase wrap, non-finite base); the caller falls back to
+/// gather-into-scratch, which owns every boundary convention.
+/// Signature of the fused per-window op: `(lo, hi, w0, w1, scale, sums,
+/// squares)` with [`crate::kernels::lerp_scaled_accumulate`] semantics.
+/// Passed as a closure so whole-chunk drivers can substitute a
+/// backend-specific body that inlines into the row loop (the AVX2 driver
+/// defines it inside a `#[target_feature]` function, which the closure
+/// inherits).
+pub(crate) trait FusedOp: Fn(&[f64], &[f64], f64, f64, f64, &mut [f64], &mut [f64]) {}
+impl<F: Fn(&[f64], &[f64], f64, f64, f64, &mut [f64], &mut [f64])> FusedOp for F {}
+
+#[allow(clippy::too_many_arguments)]
+#[inline]
+fn scatter_strided(
+    fused: &impl FusedOp,
+    values: &[f64],
+    poly: &[f64],
+    poly_row: usize,
+    levels: u32,
+    position: f64,
+    k_first: i64,
+    scale: f64,
+    sums: &mut [f64],
+    squares: &mut [f64],
+) -> bool {
+    let stride = 1_i64 << levels;
+    // Same exact-scaling index derivation as [`gather_strided`]; the two
+    // must stay identical for the fused/unfused bitwise equivalence.
+    let pb = position * stride as f64;
+    if !pb.is_finite() {
+        return false;
+    }
+    let pbf = pb.floor();
+    let frac = pb - pbf;
+    let idx0 = (pbf as i64).saturating_sub(k_first.saturating_mul(stride));
+    let count = sums.len();
+    debug_assert_eq!(count, squares.len());
+    let last = idx0.saturating_sub((count as i64 - 1).max(0) * stride);
+    let phase = idx0 & (stride - 1);
+    if last >= 0 && idx0 + 1 < values.len() as i64 && phase + 1 < stride {
+        let q0 = (idx0 >> levels) as usize;
+        let support = poly_row - 1;
+        let start = phase as usize * poly_row + (support - q0);
+        let lo_run = &poly[start..start + count];
+        let hi_run = &poly[start + poly_row..start + poly_row + count];
+        fused(lo_run, hi_run, 1.0 - frac, frac, scale, sums, squares);
+        return true;
+    }
+    false
+}
+
 /// Strided linear interpolation: `out[i] += coeff · table(start + i·stride)`.
 ///
 /// The table position is recomputed multiplicatively per slot (not by
 /// repeated addition), so there is no cumulative drift over long grids.
+/// The per-slot sweep is the dense-eval kernel of [`crate::kernels`]:
+/// interior blocks run branch-free in micro-vector lanes, boundary slots
+/// keep the pointwise conventions of [`interpolate`].
 fn accumulate_strided(
     values: &[f64],
     step: f64,
@@ -320,21 +686,7 @@ fn accumulate_strided(
     let inv_step = 1.0 / step;
     let pos0 = start * inv_step;
     let dpos = stride * inv_step;
-    for (i, slot) in out.iter_mut().enumerate() {
-        let pos = pos0 + dpos * i as f64;
-        if pos < 0.0 {
-            continue;
-        }
-        let idx = pos as usize;
-        if idx + 1 >= values.len() {
-            if idx + 1 == values.len() {
-                *slot += coeff * values[idx];
-            }
-            continue;
-        }
-        let frac = pos - idx as f64;
-        *slot += coeff * (values[idx] * (1.0 - frac) + values[idx + 1] * frac);
-    }
+    crate::kernels::accumulate_lerp(values, pos0, dpos, coeff, out);
 }
 
 fn trapezoid(values: &[f64], step: f64) -> f64 {
@@ -641,6 +993,55 @@ mod tests {
             let x = 3.5 - (-2 + m as i64) as f64;
             let node = (x * 1024.0) as usize;
             assert_eq!(*v, t.phi_values()[node], "slot {m} (x = {x})");
+        }
+    }
+
+    /// The fused scatter must be bitwise the gather-into-scratch chain on
+    /// interior windows, and must decline (returning `false`, accumulators
+    /// untouched) exactly when the gather would take its boundary path.
+    #[test]
+    fn fused_scatter_matches_gather_then_accumulate() {
+        for fam in [
+            WaveletFamily::Haar,
+            WaveletFamily::Daubechies(4),
+            WaveletFamily::Symmlet(8),
+        ] {
+            let t = table(fam);
+            for &(position, k_first) in &[
+                (0.37_f64, -14_i64),
+                (5.9, 0),
+                (3.0, -2),
+                (t.support_end(), 0),
+                (-4.2, -20),
+                (f64::NAN, 0),
+            ] {
+                let scale = 1.75_f64;
+                let kernel = crate::kernels::FusedKernel::resolve();
+                let mut row = vec![0.0_f64; 12];
+                t.gather_phi(position, k_first, &mut row);
+                let mut sums = vec![0.5_f64; 12];
+                let mut squares = vec![0.25_f64; 12];
+                let fused =
+                    t.scatter_phi(kernel, position, k_first, scale, &mut sums, &mut squares);
+                if fused {
+                    for m in 0..12 {
+                        let v = scale * row[m];
+                        assert_eq!(sums[m], 0.5 + v, "{}: sums slot {m}", fam.name());
+                        assert_eq!(squares[m], 0.25 + v * v, "{}: squares slot {m}", fam.name());
+                    }
+                } else {
+                    assert!(
+                        sums.iter().all(|v| *v == 0.5),
+                        "{}: sums touched",
+                        fam.name()
+                    );
+                    assert!(
+                        squares.iter().all(|v| *v == 0.25),
+                        "{}: squares touched",
+                        fam.name()
+                    );
+                }
+            }
         }
     }
 

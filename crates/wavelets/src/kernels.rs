@@ -1,0 +1,1023 @@
+//! Lane-width micro-vector kernels for the three ingest/query hot loops.
+//!
+//! # The two-run polyphase invariant
+//!
+//! The gather fast path of [`crate::cascade::WaveletTable`] relies on one
+//! structural fact, established by the phase-major, node-reversed
+//! polyphase layout (`poly[p·(support+1) + (support−q)] = values[q·2^J +
+//! p]`): reading one observation at a window of **consecutive
+//! translations** touches exactly **two contiguous forward runs** of the
+//! polyphase table — the run of row `p` (the observation's fractional
+//! phase) and the run of row `p + 1` (its interpolation neighbour) — and
+//! every slot of the window shares the same pair of interpolation weights
+//! `(1 − frac, frac)`. Slot `m` of the window is therefore the pure
+//! element-wise expression
+//!
+//! ```text
+//! out[m] = lo[m]·w0 + hi[m]·w1
+//! ```
+//!
+//! with `lo`/`hi` the two runs: no per-slot index arithmetic, no
+//! per-slot rounding, no branches. That is exactly the shape SIMD wants,
+//! and it is the contract every kernel in this module is written against.
+//! The fallback windows (table edge, or a phase-`2^J − 1` base whose
+//! interpolation neighbour wraps to the next phase-0 node) never reach
+//! these kernels — [`crate::cascade`] routes them through the per-slot
+//! walk of the dense table.
+//!
+//! # Backends
+//!
+//! Three implementations are provided per kernel, all computing the same
+//! per-slot scalar expression so they agree **bitwise** (each lane
+//! performs the identical sequence of f64 multiplies and adds — the
+//! intrinsics path deliberately avoids FMA contraction for this reason;
+//! the ≤1e-12 proptest pin in `tests/kernel_equivalence.rs` is therefore
+//! satisfied with margin):
+//!
+//! * [`Backend::Scalar`] — the plain `zip` loop, kept as the reference.
+//! * [`Backend::Lanes`] — stable-Rust micro-vectors: fixed `[f64; 8]` /
+//!   `[f64; 4]` blocks with a scalar remainder, which the auto-vectoriser
+//!   compiles to packed SSE2/AVX without any unsafe code.
+//! * [`Backend::Intrinsics`] — explicit AVX2 256-bit vectors behind the
+//!   `simd-intrinsics` cargo feature, selected at runtime only when the
+//!   CPU reports AVX2 (off-x86 builds with the feature enabled simply
+//!   fall back to [`Backend::Lanes`]).
+//!
+//! The active backend is process-global: detection runs once, and
+//! [`set_backend_override`] lets benchmarks and equivalence tests pin a
+//! specific backend (requests for an unavailable backend clamp to the
+//! best available one, so the override can never select dead code).
+
+use std::sync::atomic::{AtomicU8, Ordering};
+
+/// Kernel implementation selector; see the module docs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Backend {
+    /// Plain per-slot loop (the reference implementation).
+    Scalar,
+    /// Stable-Rust fixed-width lane blocks (`[f64; 8]`/`[f64; 4]`).
+    Lanes,
+    /// Runtime-detected AVX2 vectors (`simd-intrinsics` feature, x86-64).
+    Intrinsics,
+}
+
+impl Backend {
+    /// Stable label for logs and bench series.
+    pub fn name(self) -> &'static str {
+        match self {
+            Backend::Scalar => "scalar",
+            Backend::Lanes => "lanes",
+            Backend::Intrinsics => "intrinsics",
+        }
+    }
+}
+
+/// `0` = not yet detected; otherwise `encode(backend)`.
+static DETECTED: AtomicU8 = AtomicU8::new(0);
+/// `0` = no override; otherwise `encode(backend)`.
+static OVERRIDE: AtomicU8 = AtomicU8::new(0);
+
+fn encode(backend: Backend) -> u8 {
+    match backend {
+        Backend::Scalar => 1,
+        Backend::Lanes => 2,
+        Backend::Intrinsics => 3,
+    }
+}
+
+fn decode(value: u8) -> Option<Backend> {
+    match value {
+        1 => Some(Backend::Scalar),
+        2 => Some(Backend::Lanes),
+        3 => Some(Backend::Intrinsics),
+        _ => None,
+    }
+}
+
+/// Whether the AVX2 intrinsics backend is compiled in *and* the CPU
+/// supports it. Always `false` without the `simd-intrinsics` feature.
+pub fn intrinsics_available() -> bool {
+    #[cfg(all(feature = "simd-intrinsics", target_arch = "x86_64"))]
+    {
+        std::arch::is_x86_feature_detected!("avx2")
+    }
+    #[cfg(not(all(feature = "simd-intrinsics", target_arch = "x86_64")))]
+    {
+        false
+    }
+}
+
+/// The best backend the build and the CPU support (detection cached after
+/// the first call).
+fn detected() -> Backend {
+    if let Some(backend) = decode(DETECTED.load(Ordering::Relaxed)) {
+        return backend;
+    }
+    let backend = if intrinsics_available() {
+        Backend::Intrinsics
+    } else {
+        Backend::Lanes
+    };
+    DETECTED.store(encode(backend), Ordering::Relaxed);
+    backend
+}
+
+/// The backend the kernels currently dispatch to: the override if one is
+/// set (clamped to what is available), the detected best otherwise.
+pub fn active_backend() -> Backend {
+    let requested = match decode(OVERRIDE.load(Ordering::Relaxed)) {
+        Some(backend) => backend,
+        None => return detected(),
+    };
+    if requested == Backend::Intrinsics && !intrinsics_available() {
+        return Backend::Lanes;
+    }
+    requested
+}
+
+/// Pins the dispatch to a specific backend (`None` restores runtime
+/// detection). Used by the equivalence tests and the `simd` bench series;
+/// process-global, so concurrent tests pinning different backends should
+/// serialise themselves.
+pub fn set_backend_override(backend: Option<Backend>) {
+    OVERRIDE.store(backend.map_or(0, encode), Ordering::Relaxed);
+}
+
+// ---------------------------------------------------------------------------
+// Kernel 1 — two-run gather lerp: out[m] = lo[m]·w0 + hi[m]·w1.
+// ---------------------------------------------------------------------------
+
+/// The gather kernel: interpolates the two contiguous polyphase runs into
+/// the output window, `out[m] = lo[m]·w0 + hi[m]·w1`.
+///
+/// `lo` and `hi` must be at least as long as `out`; the (checked) slicing
+/// happens here so the callers stay branch-free.
+#[inline]
+pub fn lerp_runs(lo: &[f64], hi: &[f64], w0: f64, w1: f64, out: &mut [f64]) {
+    let n = out.len();
+    let (lo, hi) = (&lo[..n], &hi[..n]);
+    match active_backend() {
+        Backend::Scalar => lerp_runs_scalar(lo, hi, w0, w1, out),
+        Backend::Lanes => lerp_runs_lanes(lo, hi, w0, w1, out),
+        Backend::Intrinsics => {
+            #[cfg(all(feature = "simd-intrinsics", target_arch = "x86_64"))]
+            {
+                avx::lerp_runs(lo, hi, w0, w1, out);
+            }
+            #[cfg(not(all(feature = "simd-intrinsics", target_arch = "x86_64")))]
+            lerp_runs_lanes(lo, hi, w0, w1, out);
+        }
+    }
+}
+
+#[inline]
+fn lerp_runs_scalar(lo: &[f64], hi: &[f64], w0: f64, w1: f64, out: &mut [f64]) {
+    for ((slot, &a), &b) in out.iter_mut().zip(lo).zip(hi) {
+        *slot = a * w0 + b * w1;
+    }
+}
+
+#[inline]
+fn lerp_runs_lanes(lo: &[f64], hi: &[f64], w0: f64, w1: f64, out: &mut [f64]) {
+    let n = out.len();
+    let mut i = 0;
+    while i + 8 <= n {
+        let a: [f64; 8] = lo[i..i + 8].try_into().expect("8-lane block");
+        let b: [f64; 8] = hi[i..i + 8].try_into().expect("8-lane block");
+        let mut acc = [0.0_f64; 8];
+        for l in 0..8 {
+            acc[l] = a[l] * w0 + b[l] * w1;
+        }
+        out[i..i + 8].copy_from_slice(&acc);
+        i += 8;
+    }
+    if i + 4 <= n {
+        let a: [f64; 4] = lo[i..i + 4].try_into().expect("4-lane block");
+        let b: [f64; 4] = hi[i..i + 4].try_into().expect("4-lane block");
+        let mut acc = [0.0_f64; 4];
+        for l in 0..4 {
+            acc[l] = a[l] * w0 + b[l] * w1;
+        }
+        out[i..i + 4].copy_from_slice(&acc);
+        i += 4;
+    }
+    lerp_runs_scalar(&lo[i..], &hi[i..], w0, w1, &mut out[i..]);
+}
+
+// ---------------------------------------------------------------------------
+// Kernel 2 — scatter accumulation: v = scale·raw[m]; sums[m] += v;
+// squares[m] += v·v.
+// ---------------------------------------------------------------------------
+
+/// The scatter kernel: scales a gather row and accumulates value and
+/// value² into the running sums, `v = scale·raw[m]; sums[m] += v;
+/// squares[m] += v·v`.
+///
+/// Accumulates over the shortest of the three slices.
+#[inline]
+pub fn scaled_accumulate(scale: f64, raw: &[f64], sums: &mut [f64], squares: &mut [f64]) {
+    let n = raw.len().min(sums.len()).min(squares.len());
+    let (raw, sums, squares) = (&raw[..n], &mut sums[..n], &mut squares[..n]);
+    match active_backend() {
+        Backend::Scalar => scaled_accumulate_scalar(scale, raw, sums, squares),
+        Backend::Lanes => scaled_accumulate_lanes(scale, raw, sums, squares),
+        Backend::Intrinsics => {
+            #[cfg(all(feature = "simd-intrinsics", target_arch = "x86_64"))]
+            {
+                avx::scaled_accumulate(scale, raw, sums, squares);
+            }
+            #[cfg(not(all(feature = "simd-intrinsics", target_arch = "x86_64")))]
+            scaled_accumulate_lanes(scale, raw, sums, squares);
+        }
+    }
+}
+
+#[inline]
+fn scaled_accumulate_scalar(scale: f64, raw: &[f64], sums: &mut [f64], squares: &mut [f64]) {
+    for ((sum, square), &r) in sums.iter_mut().zip(squares.iter_mut()).zip(raw) {
+        let value = scale * r;
+        *sum += value;
+        *square += value * value;
+    }
+}
+
+#[inline]
+fn scaled_accumulate_lanes(scale: f64, raw: &[f64], sums: &mut [f64], squares: &mut [f64]) {
+    let n = raw.len();
+    let mut i = 0;
+    while i + 4 <= n {
+        let r: [f64; 4] = raw[i..i + 4].try_into().expect("4-lane block");
+        let mut s: [f64; 4] = sums[i..i + 4].try_into().expect("4-lane block");
+        let mut q: [f64; 4] = squares[i..i + 4].try_into().expect("4-lane block");
+        for l in 0..4 {
+            let value = scale * r[l];
+            s[l] += value;
+            q[l] += value * value;
+        }
+        sums[i..i + 4].copy_from_slice(&s);
+        squares[i..i + 4].copy_from_slice(&q);
+        i += 4;
+    }
+    scaled_accumulate_scalar(scale, &raw[i..], &mut sums[i..], &mut squares[i..]);
+}
+
+// ---------------------------------------------------------------------------
+// Kernel 2b — fused gather→scatter: v = scale·(lo[m]·w0 + hi[m]·w1);
+// sums[m] += v; squares[m] += v·v.
+// ---------------------------------------------------------------------------
+
+/// The fused ingest kernel: interpolates the two polyphase runs and
+/// scatters the `scale`-normalised value and its square straight into the
+/// running sums, without materialising the gather row:
+///
+/// ```text
+/// v = scale · (lo[m]·w0 + hi[m]·w1);   sums[m] += v;   squares[m] += v²
+/// ```
+///
+/// Per slot this is exactly [`lerp_runs`] followed by
+/// [`scaled_accumulate`] — the same f64 expression sequence, so fusing is
+/// bitwise neutral — but it saves the round-trip of the gather row
+/// through a scratch buffer (one store plus one reload per slot), which
+/// on an L2-resident table is most of the remaining per-slot cost.
+///
+/// `lo` and `hi` must be at least as long as `sums`; `squares` must match
+/// `sums`.
+#[inline]
+pub fn lerp_scaled_accumulate(
+    lo: &[f64],
+    hi: &[f64],
+    w0: f64,
+    w1: f64,
+    scale: f64,
+    sums: &mut [f64],
+    squares: &mut [f64],
+) {
+    FusedKernel::resolve().lerp_scaled_accumulate(lo, hi, w0, w1, scale, sums, squares);
+}
+
+/// Pre-resolved dispatch token for the fused ingest kernel.
+///
+/// [`lerp_scaled_accumulate`] re-reads the (atomic) backend state on every
+/// call, which is once per `(observation, level)` pair on the ingest hot
+/// path. A `FusedKernel` hoists that lookup: resolve it once per chunk and
+/// the per-row call reduces to a register-held match plus a direct call.
+#[derive(Debug, Clone, Copy)]
+pub struct FusedKernel {
+    backend: Backend,
+}
+
+impl FusedKernel {
+    /// Snapshots the active backend (override honoured, clamped to what
+    /// the build/CPU supports).
+    #[inline]
+    pub fn resolve() -> Self {
+        Self {
+            backend: active_backend(),
+        }
+    }
+
+    /// The fused kernel under the snapshotted backend; semantics of
+    /// [`lerp_scaled_accumulate`].
+    #[inline]
+    #[allow(clippy::too_many_arguments)]
+    pub fn lerp_scaled_accumulate(
+        self,
+        lo: &[f64],
+        hi: &[f64],
+        w0: f64,
+        w1: f64,
+        scale: f64,
+        sums: &mut [f64],
+        squares: &mut [f64],
+    ) {
+        let n = sums.len();
+        let (lo, hi, squares) = (&lo[..n], &hi[..n], &mut squares[..n]);
+        match self.backend {
+            Backend::Scalar => lerp_scaled_accumulate_scalar(lo, hi, w0, w1, scale, sums, squares),
+            Backend::Lanes => lerp_scaled_accumulate_lanes(lo, hi, w0, w1, scale, sums, squares),
+            Backend::Intrinsics => {
+                #[cfg(all(feature = "simd-intrinsics", target_arch = "x86_64"))]
+                {
+                    avx::lerp_scaled_accumulate(lo, hi, w0, w1, scale, sums, squares);
+                }
+                #[cfg(not(all(feature = "simd-intrinsics", target_arch = "x86_64")))]
+                lerp_scaled_accumulate_lanes(lo, hi, w0, w1, scale, sums, squares);
+            }
+        }
+    }
+}
+
+#[inline]
+pub(crate) fn lerp_scaled_accumulate_scalar(
+    lo: &[f64],
+    hi: &[f64],
+    w0: f64,
+    w1: f64,
+    scale: f64,
+    sums: &mut [f64],
+    squares: &mut [f64],
+) {
+    for (((sum, square), &a), &b) in sums.iter_mut().zip(squares.iter_mut()).zip(lo).zip(hi) {
+        let value = scale * (a * w0 + b * w1);
+        *sum += value;
+        *square += value * value;
+    }
+}
+
+#[inline]
+pub(crate) fn lerp_scaled_accumulate_lanes(
+    lo: &[f64],
+    hi: &[f64],
+    w0: f64,
+    w1: f64,
+    scale: f64,
+    sums: &mut [f64],
+    squares: &mut [f64],
+) {
+    let n = sums.len();
+    let mut i = 0;
+    while i + 4 <= n {
+        let a: [f64; 4] = lo[i..i + 4].try_into().expect("4-lane block");
+        let b: [f64; 4] = hi[i..i + 4].try_into().expect("4-lane block");
+        let mut s: [f64; 4] = sums[i..i + 4].try_into().expect("4-lane block");
+        let mut q: [f64; 4] = squares[i..i + 4].try_into().expect("4-lane block");
+        for l in 0..4 {
+            let value = scale * (a[l] * w0 + b[l] * w1);
+            s[l] += value;
+            q[l] += value * value;
+        }
+        sums[i..i + 4].copy_from_slice(&s);
+        squares[i..i + 4].copy_from_slice(&q);
+        i += 4;
+    }
+    lerp_scaled_accumulate_scalar(
+        &lo[i..],
+        &hi[i..],
+        w0,
+        w1,
+        scale,
+        &mut sums[i..],
+        &mut squares[i..],
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Kernel 3 — dense-eval strided lerp: out[i] += coeff · lerp(values,
+// pos0 + dpos·i), with full boundary handling.
+// ---------------------------------------------------------------------------
+
+/// The dense-evaluation kernel: strided linear interpolation of the table,
+/// `out[i] += coeff · table(pos0 + dpos·i)` in table-index units, with the
+/// boundary conventions of pointwise lookup (0 before index 0 and past the
+/// last node, the last node itself included).
+///
+/// The position of slot `i` is recomputed multiplicatively (`pos0 +
+/// dpos·i`, never by repeated addition), so there is no cumulative drift
+/// over long grids and every backend computes the identical per-slot
+/// expression. The vector backends process blocks of slots whose entire
+/// position range is interior to the table (positions are monotonic in
+/// `i`, so checking a block's endpoints suffices); boundary blocks take
+/// the scalar per-slot path.
+#[inline]
+pub fn accumulate_lerp(values: &[f64], pos0: f64, dpos: f64, coeff: f64, out: &mut [f64]) {
+    match active_backend() {
+        Backend::Scalar => accumulate_lerp_scalar(values, pos0, dpos, coeff, out, 0),
+        Backend::Lanes => accumulate_lerp_blocked(values, pos0, dpos, coeff, out, false),
+        Backend::Intrinsics => accumulate_lerp_blocked(values, pos0, dpos, coeff, out, true),
+    }
+}
+
+/// The reference per-slot loop, starting at slot `first` (so the blocked
+/// path can delegate remainders without re-deriving positions).
+#[inline]
+fn accumulate_lerp_scalar(
+    values: &[f64],
+    pos0: f64,
+    dpos: f64,
+    coeff: f64,
+    out: &mut [f64],
+    first: usize,
+) {
+    for (i, slot) in out.iter_mut().enumerate() {
+        let pos = pos0 + dpos * (first + i) as f64;
+        if pos < 0.0 {
+            continue;
+        }
+        let idx = pos as usize;
+        if idx + 1 >= values.len() {
+            if idx + 1 == values.len() {
+                *slot += coeff * values[idx];
+            }
+            continue;
+        }
+        let frac = pos - idx as f64;
+        *slot += coeff * (values[idx] * (1.0 - frac) + values[idx + 1] * frac);
+    }
+}
+
+/// Blocked dense-eval sweep: interior 4-slot blocks run branch-free (via
+/// lanes or AVX2), everything else delegates to the scalar loop.
+fn accumulate_lerp_blocked(
+    values: &[f64],
+    pos0: f64,
+    dpos: f64,
+    coeff: f64,
+    out: &mut [f64],
+    use_intrinsics: bool,
+) {
+    // Positions must be monotonic for the endpoint check to cover a
+    // block; a non-positive stride is not worth blocking anyway.
+    if dpos <= 0.0 || !dpos.is_finite() || !pos0.is_finite() || values.len() < 2 {
+        return accumulate_lerp_scalar(values, pos0, dpos, coeff, out, 0);
+    }
+    let interior = (values.len() - 1) as f64;
+    let n = out.len();
+    let mut i = 0;
+    while i + 4 <= n {
+        let lo_pos = pos0 + dpos * i as f64;
+        let hi_pos = pos0 + dpos * (i + 3) as f64;
+        if lo_pos >= 0.0 && hi_pos < interior {
+            if use_intrinsics {
+                #[cfg(all(feature = "simd-intrinsics", target_arch = "x86_64"))]
+                {
+                    avx::accumulate_lerp_block(values, pos0, dpos, coeff, &mut out[i..i + 4], i);
+                    i += 4;
+                    continue;
+                }
+            }
+            accumulate_lerp_block_lanes(values, pos0, dpos, coeff, &mut out[i..i + 4], i);
+            i += 4;
+        } else {
+            // Boundary block: per-slot path, then re-enter blocking (the
+            // grid may cross into the support later, or leave it).
+            accumulate_lerp_scalar(values, pos0, dpos, coeff, &mut out[i..i + 4], i);
+            i += 4;
+        }
+    }
+    accumulate_lerp_scalar(values, pos0, dpos, coeff, &mut out[i..], i);
+}
+
+/// One interior 4-slot block of the dense-eval sweep: every position is
+/// known to lie in `[0, len−1)`, so indexing and interpolation run
+/// branch-free. Table reads stay per-lane (the indices are not
+/// contiguous), but the position arithmetic and the lerp vectorise.
+#[inline]
+fn accumulate_lerp_block_lanes(
+    values: &[f64],
+    pos0: f64,
+    dpos: f64,
+    coeff: f64,
+    out: &mut [f64],
+    first: usize,
+) {
+    let mut pos = [0.0_f64; 4];
+    for (l, p) in pos.iter_mut().enumerate() {
+        *p = pos0 + dpos * (first + l) as f64;
+    }
+    let mut lo = [0.0_f64; 4];
+    let mut hi = [0.0_f64; 4];
+    let mut frac = [0.0_f64; 4];
+    for l in 0..4 {
+        let idx = pos[l] as usize;
+        frac[l] = pos[l] - idx as f64;
+        lo[l] = values[idx];
+        hi[l] = values[idx + 1];
+    }
+    let mut acc: [f64; 4] = out[..4].try_into().expect("4-slot block");
+    for l in 0..4 {
+        acc[l] += coeff * (lo[l] * (1.0 - frac[l]) + hi[l] * frac[l]);
+    }
+    out[..4].copy_from_slice(&acc);
+}
+
+/// Whole-chunk scatter row loop on the intrinsics backend: enters a
+/// `#[target_feature(enable = "avx2")]` function *once per chunk* and runs
+/// [`crate::cascade::scatter_rows_impl`] inside it, so the AVX2 fused
+/// kernel inlines into the row loop instead of costing an opaque call per
+/// `(observation, level)` pair. Falls back to the lanes row loop when the
+/// intrinsics are compiled out or the CPU lacks AVX2.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn scatter_rows_intrinsics(
+    values: &[f64],
+    poly: &[f64],
+    poly_row: usize,
+    levels: u32,
+    xs: &[f64],
+    level_scale: f64,
+    norm_scale: f64,
+    support: f64,
+    k_start: i64,
+    fallback_row: &mut [f64],
+    sums: &mut [f64],
+    squares: &mut [f64],
+) {
+    #[cfg(all(feature = "simd-intrinsics", target_arch = "x86_64"))]
+    {
+        avx::scatter_rows(
+            values,
+            poly,
+            poly_row,
+            levels,
+            xs,
+            level_scale,
+            norm_scale,
+            support,
+            k_start,
+            fallback_row,
+            sums,
+            squares,
+        );
+    }
+    #[cfg(not(all(feature = "simd-intrinsics", target_arch = "x86_64")))]
+    crate::cascade::scatter_rows_impl(
+        &lerp_scaled_accumulate_lanes,
+        values,
+        poly,
+        poly_row,
+        levels,
+        xs,
+        level_scale,
+        norm_scale,
+        support,
+        k_start,
+        fallback_row,
+        sums,
+        squares,
+    );
+}
+
+// ---------------------------------------------------------------------------
+// AVX2 backend (feature-gated, runtime-detected).
+// ---------------------------------------------------------------------------
+
+#[cfg(all(feature = "simd-intrinsics", target_arch = "x86_64"))]
+mod avx {
+    //! Explicit AVX2 implementations. Every lane computes the same f64
+    //! multiply/add sequence as the scalar reference (no FMA contraction),
+    //! so the results are bitwise identical; the speedup comes from the
+    //! 4-wide registers, not from fused rounding.
+    #![allow(unsafe_code)]
+
+    use std::arch::x86_64::{
+        __m256i, _mm256_add_pd, _mm256_loadu_pd, _mm256_maskload_pd, _mm256_maskstore_pd,
+        _mm256_mul_pd, _mm256_set1_pd, _mm256_setr_epi64x, _mm256_storeu_pd,
+    };
+
+    /// Lane mask with the first `rem` (< 4) lanes active. Masked lanes of
+    /// `maskload`/`maskstore` neither fault nor write, so a short tail can
+    /// run as one masked vector op instead of a per-slot scalar loop —
+    /// bitwise identical per active lane.
+    #[inline]
+    #[target_feature(enable = "avx2")]
+    unsafe fn tail_mask(rem: usize) -> __m256i {
+        let lane = |l: usize| if l < rem { -1_i64 } else { 0 };
+        _mm256_setr_epi64x(lane(0), lane(1), lane(2), lane(3))
+    }
+
+    /// Caller guarantees `lo.len() == hi.len() == out.len()` and that the
+    /// CPU supports AVX2 (checked by [`super::active_backend`]).
+    #[inline]
+    pub(super) fn lerp_runs(lo: &[f64], hi: &[f64], w0: f64, w1: f64, out: &mut [f64]) {
+        // SAFETY: dispatch reaches this module only after
+        // `is_x86_feature_detected!("avx2")` returned true.
+        unsafe { lerp_runs_avx2(lo, hi, w0, w1, out) }
+    }
+
+    #[target_feature(enable = "avx2")]
+    unsafe fn lerp_runs_avx2(lo: &[f64], hi: &[f64], w0: f64, w1: f64, out: &mut [f64]) {
+        let n = out.len();
+        let vw0 = _mm256_set1_pd(w0);
+        let vw1 = _mm256_set1_pd(w1);
+        let mut i = 0;
+        while i + 4 <= n {
+            // SAFETY: `i + 4 <= n` and the caller sliced all three
+            // buffers to the same length `n`.
+            unsafe {
+                let a = _mm256_loadu_pd(lo.as_ptr().add(i));
+                let b = _mm256_loadu_pd(hi.as_ptr().add(i));
+                let acc = _mm256_add_pd(_mm256_mul_pd(a, vw0), _mm256_mul_pd(b, vw1));
+                _mm256_storeu_pd(out.as_mut_ptr().add(i), acc);
+            }
+            i += 4;
+        }
+        if i < n {
+            // SAFETY: the mask keeps every lane ≥ `n − i` inactive, and
+            // masked lanes neither fault nor store.
+            unsafe {
+                let mask = tail_mask(n - i);
+                let a = _mm256_maskload_pd(lo.as_ptr().add(i), mask);
+                let b = _mm256_maskload_pd(hi.as_ptr().add(i), mask);
+                let acc = _mm256_add_pd(_mm256_mul_pd(a, vw0), _mm256_mul_pd(b, vw1));
+                _mm256_maskstore_pd(out.as_mut_ptr().add(i), mask, acc);
+            }
+        }
+    }
+
+    /// Caller guarantees equal lengths and AVX2 support.
+    #[inline]
+    pub(super) fn scaled_accumulate(
+        scale: f64,
+        raw: &[f64],
+        sums: &mut [f64],
+        squares: &mut [f64],
+    ) {
+        // SAFETY: dispatch reaches this module only after
+        // `is_x86_feature_detected!("avx2")` returned true.
+        unsafe { scaled_accumulate_avx2(scale, raw, sums, squares) }
+    }
+
+    #[target_feature(enable = "avx2")]
+    unsafe fn scaled_accumulate_avx2(
+        scale: f64,
+        raw: &[f64],
+        sums: &mut [f64],
+        squares: &mut [f64],
+    ) {
+        let n = raw.len();
+        let vscale = _mm256_set1_pd(scale);
+        let mut i = 0;
+        while i + 4 <= n {
+            // SAFETY: `i + 4 <= n` and the caller sliced all three
+            // buffers to the same length `n`.
+            unsafe {
+                let r = _mm256_loadu_pd(raw.as_ptr().add(i));
+                let value = _mm256_mul_pd(vscale, r);
+                let s = _mm256_loadu_pd(sums.as_ptr().add(i));
+                let q = _mm256_loadu_pd(squares.as_ptr().add(i));
+                _mm256_storeu_pd(sums.as_mut_ptr().add(i), _mm256_add_pd(s, value));
+                _mm256_storeu_pd(
+                    squares.as_mut_ptr().add(i),
+                    _mm256_add_pd(q, _mm256_mul_pd(value, value)),
+                );
+            }
+            i += 4;
+        }
+        super::scaled_accumulate_scalar(scale, &raw[i..], &mut sums[i..], &mut squares[i..]);
+    }
+
+    /// The whole-chunk scatter row loop compiled with AVX2 enabled; see
+    /// [`super::scatter_rows_intrinsics`].
+    #[allow(clippy::too_many_arguments)]
+    pub(super) fn scatter_rows(
+        values: &[f64],
+        poly: &[f64],
+        poly_row: usize,
+        levels: u32,
+        xs: &[f64],
+        level_scale: f64,
+        norm_scale: f64,
+        support: f64,
+        k_start: i64,
+        fallback_row: &mut [f64],
+        sums: &mut [f64],
+        squares: &mut [f64],
+    ) {
+        // SAFETY: dispatch reaches this module only after
+        // `is_x86_feature_detected!("avx2")` returned true.
+        unsafe {
+            scatter_rows_avx2(
+                values,
+                poly,
+                poly_row,
+                levels,
+                xs,
+                level_scale,
+                norm_scale,
+                support,
+                k_start,
+                fallback_row,
+                sums,
+                squares,
+            )
+        }
+    }
+
+    #[target_feature(enable = "avx2")]
+    #[allow(clippy::too_many_arguments)]
+    unsafe fn scatter_rows_avx2(
+        values: &[f64],
+        poly: &[f64],
+        poly_row: usize,
+        levels: u32,
+        xs: &[f64],
+        level_scale: f64,
+        norm_scale: f64,
+        support: f64,
+        k_start: i64,
+        fallback_row: &mut [f64],
+        sums: &mut [f64],
+        squares: &mut [f64],
+    ) {
+        crate::cascade::scatter_rows_impl(
+            // The closure inherits this function's AVX2 target feature, so
+            // the intrinsics body inlines into the row loop.
+            &|lo: &[f64], hi: &[f64], w0, w1, scale, sums: &mut [f64], squares: &mut [f64]| {
+                // SAFETY: enclosing function runs only after runtime AVX2
+                // detection.
+                unsafe { lerp_scaled_accumulate_avx2(lo, hi, w0, w1, scale, sums, squares) }
+            },
+            values,
+            poly,
+            poly_row,
+            levels,
+            xs,
+            level_scale,
+            norm_scale,
+            support,
+            k_start,
+            fallback_row,
+            sums,
+            squares,
+        );
+    }
+
+    /// Caller guarantees equal lengths and AVX2 support.
+    #[inline]
+    #[allow(clippy::too_many_arguments)]
+    pub(super) fn lerp_scaled_accumulate(
+        lo: &[f64],
+        hi: &[f64],
+        w0: f64,
+        w1: f64,
+        scale: f64,
+        sums: &mut [f64],
+        squares: &mut [f64],
+    ) {
+        // SAFETY: dispatch reaches this module only after
+        // `is_x86_feature_detected!("avx2")` returned true.
+        unsafe { lerp_scaled_accumulate_avx2(lo, hi, w0, w1, scale, sums, squares) }
+    }
+
+    #[target_feature(enable = "avx2")]
+    #[allow(clippy::too_many_arguments)]
+    unsafe fn lerp_scaled_accumulate_avx2(
+        lo: &[f64],
+        hi: &[f64],
+        w0: f64,
+        w1: f64,
+        scale: f64,
+        sums: &mut [f64],
+        squares: &mut [f64],
+    ) {
+        let n = sums.len();
+        let vw0 = _mm256_set1_pd(w0);
+        let vw1 = _mm256_set1_pd(w1);
+        let vscale = _mm256_set1_pd(scale);
+        let mut i = 0;
+        while i + 4 <= n {
+            // SAFETY: `i + 4 <= n` and the caller sliced all four
+            // buffers to the same length `n`.
+            unsafe {
+                let a = _mm256_loadu_pd(lo.as_ptr().add(i));
+                let b = _mm256_loadu_pd(hi.as_ptr().add(i));
+                let raw = _mm256_add_pd(_mm256_mul_pd(a, vw0), _mm256_mul_pd(b, vw1));
+                let value = _mm256_mul_pd(vscale, raw);
+                let s = _mm256_loadu_pd(sums.as_ptr().add(i));
+                let q = _mm256_loadu_pd(squares.as_ptr().add(i));
+                _mm256_storeu_pd(sums.as_mut_ptr().add(i), _mm256_add_pd(s, value));
+                _mm256_storeu_pd(
+                    squares.as_mut_ptr().add(i),
+                    _mm256_add_pd(q, _mm256_mul_pd(value, value)),
+                );
+            }
+            i += 4;
+        }
+        if i < n {
+            // SAFETY: the mask keeps every lane ≥ `n − i` inactive, and
+            // masked lanes neither fault nor store.
+            unsafe {
+                let mask = tail_mask(n - i);
+                let a = _mm256_maskload_pd(lo.as_ptr().add(i), mask);
+                let b = _mm256_maskload_pd(hi.as_ptr().add(i), mask);
+                let raw = _mm256_add_pd(_mm256_mul_pd(a, vw0), _mm256_mul_pd(b, vw1));
+                let value = _mm256_mul_pd(vscale, raw);
+                let s = _mm256_maskload_pd(sums.as_ptr().add(i), mask);
+                let q = _mm256_maskload_pd(squares.as_ptr().add(i), mask);
+                _mm256_maskstore_pd(sums.as_mut_ptr().add(i), mask, _mm256_add_pd(s, value));
+                _mm256_maskstore_pd(
+                    squares.as_mut_ptr().add(i),
+                    mask,
+                    _mm256_add_pd(q, _mm256_mul_pd(value, value)),
+                );
+            }
+        }
+    }
+
+    /// One interior 4-slot dense-eval block; caller guarantees every
+    /// position lies in `[0, values.len()−1)` and `out.len() == 4`.
+    /// The per-lane table reads stay scalar (the indices are not
+    /// contiguous); the position arithmetic and the lerp use AVX2.
+    #[inline]
+    pub(super) fn accumulate_lerp_block(
+        values: &[f64],
+        pos0: f64,
+        dpos: f64,
+        coeff: f64,
+        out: &mut [f64],
+        first: usize,
+    ) {
+        // SAFETY: dispatch reaches this module only after
+        // `is_x86_feature_detected!("avx2")` returned true.
+        unsafe { accumulate_lerp_block_avx2(values, pos0, dpos, coeff, out, first) }
+    }
+
+    #[target_feature(enable = "avx2")]
+    unsafe fn accumulate_lerp_block_avx2(
+        values: &[f64],
+        pos0: f64,
+        dpos: f64,
+        coeff: f64,
+        out: &mut [f64],
+        first: usize,
+    ) {
+        let mut lo = [0.0_f64; 4];
+        let mut hi = [0.0_f64; 4];
+        let mut frac = [0.0_f64; 4];
+        for l in 0..4 {
+            let pos = pos0 + dpos * (first + l) as f64;
+            let idx = pos as usize;
+            frac[l] = pos - idx as f64;
+            lo[l] = values[idx];
+            hi[l] = values[idx + 1];
+        }
+        // SAFETY: the stack arrays are 4 lanes and `out.len() == 4`.
+        unsafe {
+            let vone = _mm256_set1_pd(1.0);
+            let vcoeff = _mm256_set1_pd(coeff);
+            let vfrac = _mm256_loadu_pd(frac.as_ptr());
+            let vlo = _mm256_loadu_pd(lo.as_ptr());
+            let vhi = _mm256_loadu_pd(hi.as_ptr());
+            let w0 = _mm256_add_pd(vone, _mm256_mul_pd(_mm256_set1_pd(-1.0), vfrac));
+            let lerp = _mm256_add_pd(_mm256_mul_pd(vlo, w0), _mm256_mul_pd(vhi, vfrac));
+            let prev = _mm256_loadu_pd(out.as_ptr());
+            _mm256_storeu_pd(
+                out.as_mut_ptr(),
+                _mm256_add_pd(prev, _mm256_mul_pd(vcoeff, lerp)),
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::{Mutex, MutexGuard};
+
+    /// The backend override is process-global; tests that touch it hold
+    /// this lock so the parallel test harness cannot interleave them.
+    fn override_lock() -> MutexGuard<'static, ()> {
+        static LOCK: Mutex<()> = Mutex::new(());
+        LOCK.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+
+    fn backends() -> Vec<Backend> {
+        let mut all = vec![Backend::Scalar, Backend::Lanes];
+        if intrinsics_available() {
+            all.push(Backend::Intrinsics);
+        }
+        all
+    }
+
+    #[test]
+    fn lerp_runs_matches_scalar_on_every_backend() {
+        let _guard = override_lock();
+        let lo: Vec<f64> = (0..23).map(|i| (i as f64 * 0.37).sin()).collect();
+        let hi: Vec<f64> = (0..23).map(|i| (i as f64 * 0.91).cos()).collect();
+        for n in [0, 1, 3, 4, 5, 7, 8, 9, 15, 16, 23] {
+            let mut reference = vec![0.0; n];
+            lerp_runs_scalar(&lo[..n], &hi[..n], 0.625, 0.375, &mut reference);
+            for backend in backends() {
+                set_backend_override(Some(backend));
+                let mut out = vec![f64::NAN; n];
+                lerp_runs(&lo, &hi, 0.625, 0.375, &mut out);
+                assert_eq!(out, reference, "{} n={n}", backend.name());
+            }
+            set_backend_override(None);
+        }
+    }
+
+    #[test]
+    fn scaled_accumulate_matches_scalar_on_every_backend() {
+        let _guard = override_lock();
+        let raw: Vec<f64> = (0..19).map(|i| (i as f64 * 0.53).sin()).collect();
+        for n in [0, 1, 3, 4, 6, 8, 11, 16, 19] {
+            let mut sums_ref = vec![0.25; n];
+            let mut squares_ref = vec![0.125; n];
+            scaled_accumulate_scalar(1.75, &raw[..n], &mut sums_ref, &mut squares_ref);
+            for backend in backends() {
+                set_backend_override(Some(backend));
+                let mut sums = vec![0.25; n];
+                let mut squares = vec![0.125; n];
+                scaled_accumulate(1.75, &raw, &mut sums, &mut squares);
+                assert_eq!(sums, sums_ref, "{} sums n={n}", backend.name());
+                assert_eq!(squares, squares_ref, "{} squares n={n}", backend.name());
+            }
+            set_backend_override(None);
+        }
+    }
+
+    #[test]
+    fn fused_kernel_equals_gather_then_scatter() {
+        let _guard = override_lock();
+        let lo: Vec<f64> = (0..21).map(|i| (i as f64 * 0.41).sin()).collect();
+        let hi: Vec<f64> = (0..21).map(|i| (i as f64 * 0.77).cos()).collect();
+        for n in [0, 1, 3, 4, 5, 8, 13, 16, 21] {
+            // Reference: the unfused pair of kernels on the scalar backend.
+            let mut row = vec![0.0; n];
+            lerp_runs_scalar(&lo[..n], &hi[..n], 0.375, 0.625, &mut row);
+            let mut sums_ref = vec![0.5; n];
+            let mut squares_ref = vec![0.25; n];
+            scaled_accumulate_scalar(2.5, &row, &mut sums_ref, &mut squares_ref);
+            for backend in backends() {
+                set_backend_override(Some(backend));
+                let mut sums = vec![0.5; n];
+                let mut squares = vec![0.25; n];
+                lerp_scaled_accumulate(&lo, &hi, 0.375, 0.625, 2.5, &mut sums, &mut squares);
+                assert_eq!(sums, sums_ref, "{} sums n={n}", backend.name());
+                assert_eq!(squares, squares_ref, "{} squares n={n}", backend.name());
+            }
+            set_backend_override(None);
+        }
+    }
+
+    #[test]
+    fn accumulate_lerp_matches_scalar_incl_boundaries() {
+        let _guard = override_lock();
+        let values: Vec<f64> = (0..64).map(|i| (i as f64 * 0.11).sin()).collect();
+        // Sweeps that start before the table, cross it, and run past the
+        // end; plus a non-positive stride (scalar-only path).
+        for &(pos0, dpos) in &[
+            (-3.7, 0.9),
+            (0.0, 0.26),
+            (58.3, 1.7),
+            (10.0, -0.5),
+            (2.5, 0.0),
+        ] {
+            let mut reference = vec![0.5; 37];
+            accumulate_lerp_scalar(&values, pos0, dpos, 2.25, &mut reference, 0);
+            for backend in backends() {
+                set_backend_override(Some(backend));
+                let mut out = vec![0.5; 37];
+                accumulate_lerp(&values, pos0, dpos, 2.25, &mut out);
+                assert_eq!(out, reference, "{} pos0={pos0} dpos={dpos}", backend.name());
+            }
+            set_backend_override(None);
+        }
+    }
+
+    #[test]
+    fn override_clamps_to_available_backends() {
+        let _guard = override_lock();
+        set_backend_override(Some(Backend::Intrinsics));
+        let active = active_backend();
+        if intrinsics_available() {
+            assert_eq!(active, Backend::Intrinsics);
+        } else {
+            assert_eq!(active, Backend::Lanes);
+        }
+        set_backend_override(Some(Backend::Scalar));
+        assert_eq!(active_backend(), Backend::Scalar);
+        set_backend_override(None);
+        assert_ne!(active_backend(), Backend::Scalar);
+    }
+}

@@ -46,6 +46,7 @@ pub mod cascade;
 pub mod daubechies_lagarias;
 pub mod dwt;
 pub mod filters;
+pub mod kernels;
 pub mod numerics;
 pub mod tensor;
 

@@ -1,0 +1,428 @@
+//! Minimal scoped work-stealing executor (vendored shim).
+//!
+//! A rayon-style fork-join pool pared down to what sharded sketch ingest
+//! needs: a **global injector** for externally submitted tasks,
+//! **per-worker deques** for pre-distributed batch work, and workers that
+//! **steal** from each other when their own deque runs dry — so a worker
+//! finishing a cheap chunk takes over a neighbour's queued chunk instead
+//! of idling until the join.
+//!
+//! Two deliberate simplifications versus a full rayon:
+//!
+//! - **Scoped, not persistent.** Worker threads are launched per
+//!   [`WorkPool::scope`] call on top of [`std::thread::scope`] and join
+//!   before it returns. That keeps every task borrow-checked against the
+//!   caller's environment in entirely safe Rust (the workspace denies
+//!   `unsafe_code`); the spawn cost is one OS thread per worker per
+//!   scope, negligible against the multi-millisecond bulk loads the pool
+//!   exists for.
+//! - **No nested spawn.** Tasks are plain `FnOnce()` closures; they
+//!   cannot enqueue further tasks. Batch work is distributed up front
+//!   with [`Scope::spawn_batch`], and imbalance is handled by stealing
+//!   rather than by subdivision.
+//!
+//! # Join and panic semantics
+//!
+//! `scope` returns only after every spawned task has finished (the
+//! deterministic join the ingest tests pin). The calling thread is
+//! worker 0: after the scope closure returns it drains tasks like any
+//! other worker instead of blocking. If any task panics, the panic is
+//! caught, every remaining task still runs, and the **first** payload is
+//! re-raised on the calling thread after the join — one crashed chunk
+//! cannot silently vanish, and the pool stays usable for later scopes.
+
+use std::collections::VecDeque;
+use std::num::NonZeroUsize;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::{Condvar, Mutex, OnceLock};
+
+type Task<'env> = Box<dyn FnOnce() + Send + 'env>;
+
+/// Executor configuration: how many workers a [`scope`](Self::scope)
+/// runs (the calling thread counts as one of them).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WorkPool {
+    threads: usize,
+}
+
+impl WorkPool {
+    /// A pool of exactly `threads` workers (clamped to at least 1).
+    pub fn new(threads: usize) -> Self {
+        Self {
+            threads: threads.max(1),
+        }
+    }
+
+    /// The process-wide default pool, sized to
+    /// [`std::thread::available_parallelism`] (1 when unknown).
+    pub fn global() -> &'static WorkPool {
+        static GLOBAL: OnceLock<WorkPool> = OnceLock::new();
+        GLOBAL.get_or_init(|| {
+            WorkPool::new(
+                std::thread::available_parallelism()
+                    .map(NonZeroUsize::get)
+                    .unwrap_or(1),
+            )
+        })
+    }
+
+    /// Number of workers a scope runs, including the calling thread.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Runs `f` with a [`Scope`] handle for spawning tasks, joins every
+    /// spawned task, then returns `f`'s result. Re-raises the first task
+    /// panic after the join (see the module docs).
+    pub fn scope<'env, T>(&self, f: impl FnOnce(&Scope<'_, 'env>) -> T) -> T {
+        let shared = Shared::new(self.threads);
+        let result = std::thread::scope(|threads| {
+            // Helper workers 1..N; the calling thread is worker 0.
+            for worker in 1..self.threads {
+                let shared = &shared;
+                threads.spawn(move || shared.worker_loop(worker));
+            }
+            let scope = Scope {
+                shared: &shared,
+                next_deque: Mutex::new(0),
+            };
+            let result = f(&scope);
+            shared.drain(0);
+            shared.join_and_shutdown();
+            result
+        });
+        if let Some(payload) = shared
+            .panic
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .take()
+        {
+            resume_unwind(payload);
+        }
+        result
+    }
+}
+
+/// Spawn handle passed to the [`WorkPool::scope`] closure.
+pub struct Scope<'pool, 'env> {
+    shared: &'pool Shared<'env>,
+    /// Round-robin cursor of [`spawn_batch`](Self::spawn_batch).
+    next_deque: Mutex<usize>,
+}
+
+impl<'pool, 'env> Scope<'pool, 'env> {
+    /// Submits one task through the global injector; any idle worker
+    /// picks it up in FIFO order.
+    pub fn spawn(&self, task: impl FnOnce() + Send + 'env) {
+        self.shared.push_injector(Box::new(task));
+    }
+
+    /// Pre-distributes a batch of tasks round-robin across the
+    /// per-worker deques, so each worker starts on its own share and
+    /// falls back to stealing only when it runs dry.
+    pub fn spawn_batch<F>(&self, tasks: impl IntoIterator<Item = F>)
+    where
+        F: FnOnce() + Send + 'env,
+    {
+        let mut cursor = self.next_deque.lock().unwrap_or_else(|e| e.into_inner());
+        for task in tasks {
+            self.shared.push_deque(*cursor, Box::new(task));
+            *cursor = (*cursor + 1) % self.shared.deques.len();
+        }
+    }
+}
+
+/// Counters guarded by the one lock both condvars wait on, so wakeups
+/// cannot be lost between a queue push and a worker going to sleep.
+#[derive(Default)]
+struct Counters {
+    /// Tasks pushed but not yet claimed by a worker.
+    queued: usize,
+    /// Tasks pushed but not yet finished (claimed ones included).
+    in_flight: usize,
+    /// Set once the join is complete; sleeping workers exit.
+    shutdown: bool,
+}
+
+struct Shared<'env> {
+    injector: Mutex<VecDeque<Task<'env>>>,
+    deques: Vec<Mutex<VecDeque<Task<'env>>>>,
+    counters: Mutex<Counters>,
+    /// Signalled on push (one waiter) and on shutdown (all waiters).
+    work: Condvar,
+    /// Signalled when `in_flight` reaches zero.
+    done: Condvar,
+    /// First caught task panic, re-raised after the join.
+    panic: Mutex<Option<Box<dyn std::any::Any + Send>>>,
+}
+
+impl<'env> Shared<'env> {
+    fn new(threads: usize) -> Self {
+        Self {
+            injector: Mutex::new(VecDeque::new()),
+            deques: (0..threads).map(|_| Mutex::new(VecDeque::new())).collect(),
+            counters: Mutex::new(Counters::default()),
+            work: Condvar::new(),
+            done: Condvar::new(),
+            panic: Mutex::new(None),
+        }
+    }
+
+    fn lock<'a, T>(&self, mutex: &'a Mutex<T>) -> std::sync::MutexGuard<'a, T> {
+        // Task panics are caught before they can poison anything; queue
+        // state is consistent at every unlock, so recovery is plain.
+        mutex
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+
+    fn push_injector(&self, task: Task<'env>) {
+        self.lock(&self.injector).push_back(task);
+        self.announce();
+    }
+
+    fn push_deque(&self, worker: usize, task: Task<'env>) {
+        self.lock(&self.deques[worker]).push_back(task);
+        self.announce();
+    }
+
+    fn announce(&self) {
+        let mut counters = self.lock(&self.counters);
+        counters.queued += 1;
+        counters.in_flight += 1;
+        drop(counters);
+        self.work.notify_one();
+    }
+
+    /// Claims one queued task: own deque from the back (latest, still
+    /// cache-warm), then the injector from the front (submission order),
+    /// then the front of every other worker's deque (stealing the
+    /// oldest, as rayon does). The claim ticket taken from `queued`
+    /// guarantees a task is resident somewhere, but a concurrent claimer
+    /// may pop the one this scan was heading for while a fresh push
+    /// lands behind the scan — hence the retry loop.
+    fn claim(&self, worker: usize) -> Task<'env> {
+        loop {
+            if let Some(task) = self.lock(&self.deques[worker]).pop_back() {
+                return task;
+            }
+            if let Some(task) = self.lock(&self.injector).pop_front() {
+                return task;
+            }
+            for victim in 0..self.deques.len() {
+                if victim == worker {
+                    continue;
+                }
+                if let Some(task) = self.lock(&self.deques[victim]).pop_front() {
+                    return task;
+                }
+            }
+            std::thread::yield_now();
+        }
+    }
+
+    /// Runs one claimed task, trapping its panic so the queues keep
+    /// draining; the first payload wins and is re-raised at the join.
+    fn run(&self, task: Task<'env>) {
+        if let Err(payload) = catch_unwind(AssertUnwindSafe(task)) {
+            self.lock(&self.panic).get_or_insert(payload);
+        }
+        let mut counters = self.lock(&self.counters);
+        counters.in_flight -= 1;
+        if counters.in_flight == 0 {
+            drop(counters);
+            self.done.notify_all();
+        }
+    }
+
+    /// Helper-worker body: claim and run until shutdown.
+    fn worker_loop(&self, worker: usize) {
+        loop {
+            let mut counters = self.lock(&self.counters);
+            loop {
+                if counters.queued > 0 {
+                    counters.queued -= 1;
+                    break;
+                }
+                if counters.shutdown {
+                    return;
+                }
+                counters = self.work.wait(counters).unwrap_or_else(|e| e.into_inner());
+            }
+            drop(counters);
+            let task = self.claim(worker);
+            self.run(task);
+        }
+    }
+
+    /// Non-blocking drain for the calling thread: runs queued tasks
+    /// until none are claimable, without ever sleeping.
+    fn drain(&self, worker: usize) {
+        loop {
+            let mut counters = self.lock(&self.counters);
+            if counters.queued == 0 {
+                return;
+            }
+            counters.queued -= 1;
+            drop(counters);
+            let task = self.claim(worker);
+            self.run(task);
+        }
+    }
+
+    /// Blocks until every task has finished, then wakes all sleeping
+    /// workers into shutdown.
+    fn join_and_shutdown(&self) {
+        let mut counters = self.lock(&self.counters);
+        while counters.in_flight > 0 {
+            counters = self.done.wait(counters).unwrap_or_else(|e| e.into_inner());
+        }
+        counters.shutdown = true;
+        drop(counters);
+        self.work.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn scope_joins_every_task_before_returning() {
+        let pool = WorkPool::new(4);
+        let done = AtomicUsize::new(0);
+        let result = pool.scope(|scope| {
+            for _ in 0..64 {
+                scope.spawn(|| {
+                    done.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+            "scope result"
+        });
+        assert_eq!(result, "scope result");
+        assert_eq!(done.load(Ordering::Relaxed), 64);
+    }
+
+    #[test]
+    fn batch_tasks_run_exactly_once_each() {
+        let pool = WorkPool::new(3);
+        let hits: Vec<AtomicUsize> = (0..40).map(|_| AtomicUsize::new(0)).collect();
+        pool.scope(|scope| {
+            scope.spawn_batch((0..hits.len()).map(|i| {
+                let hits = &hits;
+                move || {
+                    hits[i].fetch_add(1, Ordering::Relaxed);
+                }
+            }));
+        });
+        for (i, hit) in hits.iter().enumerate() {
+            assert_eq!(hit.load(Ordering::Relaxed), 1, "task {i}");
+        }
+    }
+
+    #[test]
+    fn single_thread_pool_runs_injected_tasks_in_submission_order() {
+        let pool = WorkPool::new(1);
+        let order = Mutex::new(Vec::new());
+        let order_ref = &order;
+        pool.scope(|scope| {
+            for i in 0..10 {
+                scope.spawn(move || order_ref.lock().unwrap().push(i));
+            }
+        });
+        assert_eq!(*order.lock().unwrap(), (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn tasks_borrow_the_caller_environment_mutably_via_disjoint_slices() {
+        let pool = WorkPool::new(2);
+        let mut cells = vec![0_usize; 8];
+        pool.scope(|scope| {
+            scope.spawn_batch(
+                cells
+                    .chunks_mut(2)
+                    .enumerate()
+                    .map(|(i, chunk)| move || chunk.fill(i + 1)),
+            );
+        });
+        assert_eq!(cells, [1, 1, 2, 2, 3, 3, 4, 4]);
+    }
+
+    #[test]
+    fn panic_propagates_after_all_tasks_ran() {
+        let pool = WorkPool::new(2);
+        let survivors = AtomicUsize::new(0);
+        let caught = catch_unwind(AssertUnwindSafe(|| {
+            pool.scope(|scope| {
+                scope.spawn(|| panic!("chunk exploded"));
+                for _ in 0..16 {
+                    scope.spawn(|| {
+                        survivors.fetch_add(1, Ordering::Relaxed);
+                    });
+                }
+            });
+        }));
+        let payload = caught.expect_err("task panic must reach the caller");
+        let message = payload
+            .downcast_ref::<&str>()
+            .copied()
+            .expect("panic payload");
+        assert_eq!(message, "chunk exploded");
+        // The join is deterministic even around a crash: every other
+        // task still ran before the panic was re-raised.
+        assert_eq!(survivors.load(Ordering::Relaxed), 16);
+        // And the pool stays usable afterwards.
+        let after = pool.scope(|_| 7);
+        assert_eq!(after, 7);
+    }
+
+    /// While the caller spins inside the scope closure it claims no
+    /// tasks (its drain runs only after the closure returns), so on a
+    /// 2-worker pool the single helper must empty *both* per-worker
+    /// deques — completion of all four tasks proves it stole the two
+    /// parked on worker 0's deque. Broken stealing hangs the test.
+    #[test]
+    fn helper_worker_steals_from_the_callers_deque() {
+        let pool = WorkPool::new(2);
+        let done = AtomicUsize::new(0);
+        pool.scope(|scope| {
+            let done_ref = &done;
+            scope.spawn_batch((0..4).map(|_| {
+                move || {
+                    done_ref.fetch_add(1, Ordering::Relaxed);
+                }
+            }));
+            let mut spins = 0_u64;
+            while done.load(Ordering::Relaxed) < 4 {
+                std::thread::yield_now();
+                spins += 1;
+                if spins > 200_000_000 {
+                    panic!("helper never stole the caller-deque tasks");
+                }
+            }
+        });
+        assert_eq!(done.load(Ordering::Relaxed), 4);
+    }
+
+    #[test]
+    fn global_pool_matches_available_parallelism() {
+        let threads = WorkPool::global().threads();
+        assert!(threads >= 1);
+        let total = AtomicUsize::new(0);
+        let total_ref = &total;
+        WorkPool::global().scope(|scope| {
+            scope.spawn_batch((1..=10).map(|i| {
+                move || {
+                    total_ref.fetch_add(i, Ordering::Relaxed);
+                }
+            }));
+        });
+        assert_eq!(total.load(Ordering::Relaxed), 55);
+    }
+
+    #[test]
+    fn zero_threads_clamps_to_one() {
+        assert_eq!(WorkPool::new(0).threads(), 1);
+    }
+}
