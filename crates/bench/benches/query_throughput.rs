@@ -91,8 +91,13 @@ fn query_throughput(c: &mut Criterion) {
         QUERIES as f64 / integration_seconds,
     );
 
+    // Throughput numbers from hosts with different core counts are not
+    // comparable; record the host's parallelism next to them.
+    let host_threads = std::thread::available_parallelism().map_or(0, |n| n.get());
+
     let json = format!(
-        "{{\n  \"bench\": \"query_throughput\",\n  \"rows\": {ROWS},\n  \"queries\": {QUERIES},\n  \
+        "{{\n  \"bench\": \"query_throughput\",\n  \"available_parallelism\": {host_threads},\n  \
+         \"rows\": {ROWS},\n  \"queries\": {QUERIES},\n  \
          \"insert_seconds\": {insert_seconds:.6},\n  \"rebuild_seconds\": {rebuild_seconds:.6},\n  \
          \"cdf_path\": {{ \"total_seconds\": {cdf_seconds:.6}, \"queries_per_second\": {:.0} }},\n  \
          \"integration_path\": {{ \"total_seconds\": {integration_seconds:.6}, \"queries_per_second\": {:.0} }},\n  \

@@ -7,6 +7,8 @@
 //! computation. The full-scale reproductions live in the
 //! `wavedens-experiments` binaries.
 
+#![forbid(unsafe_code)]
+
 use wavedens_experiments::ExperimentConfig;
 
 /// The reduced-scale configuration used inside benchmark loops: few

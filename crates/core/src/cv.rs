@@ -424,8 +424,12 @@ fn scan_level(
     while m < total {
         let lambda = level.values[order[m] as usize].abs();
         // Absorb the whole tie group so the active set is well defined.
+        // Ties are bitwise (consistent with the `total_cmp` sort order):
+        // `==` would never match a NaN magnitude against itself, leaving
+        // `end == m` and this scan spinning forever on a poisoned
+        // coefficient.
         let mut end = m;
-        while end < total && level.values[order[end] as usize].abs() == lambda {
+        while end < total && level.values[order[end] as usize].abs().to_bits() == lambda.to_bits() {
             prefix += contribution(order[end] as usize);
             end += 1;
         }
@@ -534,6 +538,31 @@ mod tests {
                 assert!(selected.criterion <= best_grid + 1e-12);
             }
         }
+    }
+
+    #[test]
+    fn threshold_order_is_total_and_pinned_under_nan() {
+        // `compare_rank` must be a total order even when coefficients are
+        // NaN (a single poisoned update must not panic the sort or make
+        // it nondeterministic). Under IEEE 754 totalOrder, |NaN| ranks
+        // above +∞, so the pinned decreasing-magnitude permutation is:
+        // NaN(1), ∞(5), -1.0(2), then the 0.5 tie broken by index (0, 3),
+        // then 0.0(4).
+        let values = vec![0.5, f64::NAN, -1.0, 0.5, 0.0, f64::INFINITY];
+        let sum_squares = vec![1.0; 6];
+        let level = synthetic_level(values, sum_squares, 4);
+        assert_eq!(sorted_order(&level, Vec::new()), vec![1, 5, 2, 0, 3, 4]);
+
+        // The candidate scan survives the NaN and stays deterministic.
+        let first = cross_validate_level(&level, 100, CvCriterion::Unpenalized);
+        let second = cross_validate_level(&level, 100, CvCriterion::Unpenalized);
+        assert_eq!(first.kept, second.kept);
+        assert_eq!(first.lambda.to_bits(), second.lambda.to_bits());
+
+        // Dropping the NaN must not reshuffle the finite coefficients'
+        // relative order.
+        let finite = synthetic_level(vec![0.5, -1.0, 0.5, 0.0, f64::INFINITY], vec![1.0; 5], 4);
+        assert_eq!(sorted_order(&finite, Vec::new()), vec![4, 1, 0, 2, 3]);
     }
 
     #[test]

@@ -60,6 +60,7 @@
 //! assert_eq!(values.len(), grid.len());
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub(crate) mod autotune;

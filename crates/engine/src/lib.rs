@@ -55,6 +55,7 @@
 //! assert!((s - 0.3).abs() < 0.05);
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod catalog;

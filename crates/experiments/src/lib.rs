@@ -10,6 +10,7 @@
 //! scenario functions that the paper's tables and figures are built from
 //! ([`scenarios`]).
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod config;

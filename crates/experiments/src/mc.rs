@@ -2,6 +2,7 @@
 
 use rand::rngs::StdRng;
 use wavedens_processes::child_rng;
+use workpool::WorkPool;
 
 /// Runs `replications` independent replications of `body`, each with its
 /// own deterministic random stream derived from `base_seed`, distributing
@@ -20,34 +21,22 @@ where
     let threads = threads.clamp(1, replications.max(1));
     let body = &body;
 
-    // Each worker handles the replication indices congruent to its id
-    // modulo the thread count and returns (index, value) pairs; results are
-    // then reassembled in replication order, so the output never depends on
-    // scheduling.
-    let mut chunks: Vec<Vec<(usize, T)>> = std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..threads)
-            .map(|worker| {
-                scope.spawn(move || {
-                    let mut out = Vec::new();
-                    let mut index = worker;
-                    while index < replications {
-                        let mut rng = child_rng(base_seed, index as u64);
-                        out.push((index, body(index, &mut rng)));
-                        index += threads;
-                    }
-                    out
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("worker thread must not panic"))
-            .collect()
+    // One task per replication, each writing into its own pre-allocated
+    // slot (disjoint `iter_mut` borrows), so the output order never
+    // depends on scheduling and each replication keeps its own seed.
+    let mut results: Vec<Option<T>> = (0..replications).map(|_| None).collect();
+    WorkPool::new(threads).scope(|scope| {
+        scope.spawn_batch(results.iter_mut().enumerate().map(|(index, slot)| {
+            move || {
+                let mut rng = child_rng(base_seed, index as u64);
+                *slot = Some(body(index, &mut rng));
+            }
+        }));
     });
-
-    let mut indexed: Vec<(usize, T)> = chunks.drain(..).flatten().collect();
-    indexed.sort_by_key(|(i, _)| *i);
-    indexed.into_iter().map(|(_, v)| v).collect()
+    results
+        .into_iter()
+        .map(|slot| slot.expect("every replication task ran"))
+        .collect()
 }
 
 /// Mean of a slice (0 for an empty slice).

@@ -1,0 +1,123 @@
+//! The checked-in violation baseline.
+//!
+//! The baseline makes the pass adoptable incrementally: pre-existing
+//! violations are listed in `lint-baseline.txt` and tolerated (reported
+//! as "baselined", exit code 0), while anything *not* listed fails the
+//! run — so the set can only shrink. `--write-baseline` regenerates the
+//! file; `--deny-baseline-growth` additionally fails on *stale* entries
+//! (listed violations that no longer fire), forcing the burn-down to be
+//! recorded. The tree's baseline is empty and must stay that way.
+
+use crate::report::Violation;
+use std::collections::BTreeSet;
+use std::io;
+use std::path::Path;
+
+/// The parsed baseline: a set of `rule path:line` keys.
+#[derive(Debug, Default)]
+pub struct Baseline {
+    entries: BTreeSet<String>,
+}
+
+impl Baseline {
+    /// Loads the baseline file; a missing file is an empty baseline.
+    pub fn load(path: &Path) -> io::Result<Baseline> {
+        let text = match std::fs::read_to_string(path) {
+            Ok(text) => text,
+            Err(err) if err.kind() == io::ErrorKind::NotFound => String::new(),
+            Err(err) => return Err(err),
+        };
+        Ok(Self::parse(&text))
+    }
+
+    /// Parses baseline text: one `rule path:line` key per line, `#`
+    /// comments and blank lines ignored.
+    pub fn parse(text: &str) -> Baseline {
+        let entries = text
+            .lines()
+            .map(str::trim)
+            .filter(|line| !line.is_empty() && !line.starts_with('#'))
+            .map(str::to_string)
+            .collect();
+        Baseline { entries }
+    }
+
+    /// Whether a violation is tolerated by the baseline.
+    pub fn contains(&self, violation: &Violation) -> bool {
+        self.entries.contains(&violation.baseline_key())
+    }
+
+    /// Number of baselined entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the baseline is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Entries that no longer correspond to any current violation —
+    /// fixed findings whose baseline lines should be deleted.
+    pub fn stale_entries(&self, current: &[Violation]) -> Vec<String> {
+        let live: BTreeSet<String> = current.iter().map(Violation::baseline_key).collect();
+        self.entries.difference(&live).cloned().collect()
+    }
+
+    /// Serializes a violation set as a fresh baseline file.
+    pub fn render(violations: &[Violation]) -> String {
+        let mut out = String::from(
+            "# wavedens-lint baseline — tolerated pre-existing violations.\n\
+             # One `rule path:line` key per line. Regenerate with\n\
+             # `cargo run -p wavedens-lint -- --write-baseline`; the goal is an\n\
+             # empty file (see docs/LINTS.md).\n",
+        );
+        let keys: BTreeSet<String> = violations.iter().map(Violation::baseline_key).collect();
+        for key in keys {
+            out.push_str(&key);
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn violation(rule: &'static str, path: &str, line: usize) -> Violation {
+        Violation {
+            rule,
+            path: path.to_string(),
+            line,
+            message: String::new(),
+            suggestion: String::new(),
+        }
+    }
+
+    #[test]
+    fn parse_tolerates_comments_and_blanks() {
+        let baseline = Baseline::parse("# header\n\nfloat-total-cmp a.rs:3\n");
+        assert_eq!(baseline.len(), 1);
+        assert!(baseline.contains(&violation("float-total-cmp", "a.rs", 3)));
+        assert!(!baseline.contains(&violation("float-total-cmp", "a.rs", 4)));
+    }
+
+    #[test]
+    fn stale_entries_are_the_fixed_ones() {
+        let baseline = Baseline::parse("r a.rs:1\nr b.rs:2\n");
+        let current = vec![violation("r", "a.rs", 1)];
+        assert_eq!(
+            baseline.stale_entries(&current),
+            vec!["r b.rs:2".to_string()]
+        );
+    }
+
+    #[test]
+    fn render_roundtrips() {
+        let violations = vec![violation("r", "a.rs", 1), violation("q", "b.rs", 9)];
+        let reparsed = Baseline::parse(&Baseline::render(&violations));
+        assert!(violations.iter().all(|v| reparsed.contains(v)));
+        assert_eq!(reparsed.len(), 2);
+    }
+}

@@ -1,0 +1,40 @@
+//! `wavedens-lint` — dependency-free workspace invariant checks.
+//!
+//! The workspace carries a handful of invariants that `rustc` and
+//! clippy cannot express: NaN-total float ordering, lock-poison
+//! recovery, `unsafe` confinement, capped decode allocations, pooled
+//! (not raw) threading, wall-clock confinement, panic-free decoders,
+//! documented error enums, and honest bench artifacts. This crate is a
+//! small comment/string-aware scanner plus one pass per invariant,
+//! runnable three ways: `cargo run -p wavedens-lint`, the root
+//! integration test `tests/workspace_lints.rs`, and the CI `lint` leg.
+//! See `docs/LINTS.md` for the catalogue and waiver syntax.
+
+#![forbid(unsafe_code)]
+
+pub mod baseline;
+pub mod report;
+pub mod rules;
+pub mod scan;
+pub mod walk;
+
+pub use baseline::Baseline;
+pub use report::Violation;
+pub use scan::SourceFile;
+
+use std::io;
+use std::path::Path;
+
+/// Scans every workspace source file and returns all violations, sorted
+/// by (path, line, rule). Waivers are already applied.
+pub fn analyze_workspace(root: &Path) -> io::Result<Vec<Violation>> {
+    let mut violations = Vec::new();
+    for (relative, absolute) in walk::workspace_sources(root)? {
+        let raw = std::fs::read_to_string(&absolute)?;
+        let file = SourceFile::scan(&relative, &raw);
+        violations.extend(rules::check_file(&file));
+    }
+    violations
+        .sort_by(|a, b| (a.path.as_str(), a.line, a.rule).cmp(&(b.path.as_str(), b.line, b.rule)));
+    Ok(violations)
+}

@@ -1,0 +1,175 @@
+//! CLI for the workspace lint pass.
+//!
+//! ```text
+//! cargo run -p wavedens-lint                       # report, exit 1 on new violations
+//! cargo run -p wavedens-lint -- --write-baseline   # regenerate lint-baseline.txt
+//! cargo run -p wavedens-lint -- --deny-baseline-growth  # CI mode: stale entries also fail
+//! cargo run -p wavedens-lint -- --list-rules       # one line per rule
+//! cargo run -p wavedens-lint -- --explain RULE     # full rationale for one rule
+//! ```
+//!
+//! Exit codes: 0 clean (or fully baselined), 1 new violations (or stale
+//! baseline under `--deny-baseline-growth`), 2 usage / IO error.
+
+#![forbid(unsafe_code)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use wavedens_lint::{analyze_workspace, baseline::Baseline, report, rules};
+
+struct Options {
+    root: PathBuf,
+    write_baseline: bool,
+    deny_baseline_growth: bool,
+    list_rules: bool,
+    explain: Option<String>,
+}
+
+fn usage() -> &'static str {
+    "usage: wavedens-lint [--root DIR] [--write-baseline] [--deny-baseline-growth]\n\
+     \u{20}                    [--list-rules] [--explain RULE]"
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut options = Options {
+        // The binary lives at crates/lint; the workspace root is two up.
+        root: PathBuf::from(concat!(env!("CARGO_MANIFEST_DIR"), "/../..")),
+        write_baseline: false,
+        deny_baseline_growth: false,
+        list_rules: false,
+        explain: None,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => {
+                let dir = args.next().ok_or("--root requires a directory")?;
+                options.root = PathBuf::from(dir);
+            }
+            "--write-baseline" => options.write_baseline = true,
+            "--deny-baseline-growth" => options.deny_baseline_growth = true,
+            "--list-rules" => options.list_rules = true,
+            "--explain" => {
+                let rule = args.next().ok_or("--explain requires a rule name")?;
+                options.explain = Some(rule);
+            }
+            "--help" | "-h" => {
+                println!("{}", usage());
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument `{other}`\n{}", usage())),
+        }
+    }
+    Ok(options)
+}
+
+fn main() -> ExitCode {
+    let options = match parse_args() {
+        Ok(options) => options,
+        Err(message) => {
+            eprintln!("{message}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if options.list_rules {
+        for rule in rules::all_rules() {
+            println!("{:<22} {}", rule.name, rule.summary);
+        }
+        return ExitCode::SUCCESS;
+    }
+    if let Some(name) = &options.explain {
+        return match rules::rule_by_name(name) {
+            Some(rule) => {
+                println!("{} — {}\n\n{}", rule.name, rule.summary, rule.rationale);
+                ExitCode::SUCCESS
+            }
+            None => {
+                eprintln!("unknown rule `{name}`; try --list-rules");
+                ExitCode::from(2)
+            }
+        };
+    }
+
+    let violations = match analyze_workspace(&options.root) {
+        Ok(violations) => violations,
+        Err(err) => {
+            eprintln!(
+                "wavedens-lint: failed to scan {}: {err}",
+                options.root.display()
+            );
+            return ExitCode::from(2);
+        }
+    };
+    let baseline_path = options.root.join("lint-baseline.txt");
+
+    if options.write_baseline {
+        let rendered = Baseline::render(&violations);
+        if let Err(err) = std::fs::write(&baseline_path, rendered) {
+            eprintln!(
+                "wavedens-lint: cannot write {}: {err}",
+                baseline_path.display()
+            );
+            return ExitCode::from(2);
+        }
+        println!(
+            "wrote {} with {} entr{}",
+            baseline_path.display(),
+            violations.len(),
+            if violations.len() == 1 { "y" } else { "ies" }
+        );
+        return ExitCode::SUCCESS;
+    }
+
+    let baseline = match Baseline::load(&baseline_path) {
+        Ok(baseline) => baseline,
+        Err(err) => {
+            eprintln!(
+                "wavedens-lint: cannot read {}: {err}",
+                baseline_path.display()
+            );
+            return ExitCode::from(2);
+        }
+    };
+
+    let (baselined, fresh): (Vec<_>, Vec<_>) = violations
+        .iter()
+        .cloned()
+        .partition(|v| baseline.contains(v));
+
+    if !fresh.is_empty() {
+        print!("{}", report::render(&fresh, true));
+        println!(
+            "\nwavedens-lint: {} violation{} ({} baselined). Run `cargo run -p \
+             wavedens-lint -- --explain RULE` for rationale, or waive a line with \
+             `// lint:allow(RULE) justification`.",
+            fresh.len(),
+            if fresh.len() == 1 { "" } else { "s" },
+            baselined.len()
+        );
+        return ExitCode::FAILURE;
+    }
+
+    let stale = baseline.stale_entries(&violations);
+    if options.deny_baseline_growth && !stale.is_empty() {
+        for entry in &stale {
+            println!("stale baseline entry (violation fixed): {entry}");
+        }
+        println!(
+            "\nwavedens-lint: baseline has {} stale entr{} — rerun with --write-baseline \
+             to record the burn-down.",
+            stale.len(),
+            if stale.len() == 1 { "y" } else { "ies" }
+        );
+        return ExitCode::FAILURE;
+    }
+
+    println!(
+        "wavedens-lint: clean ({} baselined, {} rules, {} stale)",
+        baselined.len(),
+        rules::all_rules().len(),
+        stale.len()
+    );
+    ExitCode::SUCCESS
+}

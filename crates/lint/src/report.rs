@@ -1,0 +1,50 @@
+//! Violation type and rendering.
+
+use std::fmt;
+
+/// One finding of one rule.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// The rule that fired.
+    pub rule: &'static str,
+    /// Workspace-relative path with `/` separators.
+    pub path: String,
+    /// 1-based line.
+    pub line: usize,
+    /// What is wrong, concretely.
+    pub message: String,
+    /// The `--fix`-style suggestion: what to write instead.
+    pub suggestion: String,
+}
+
+impl Violation {
+    /// The stable `rule path:line` key used by the baseline file.
+    pub fn baseline_key(&self) -> String {
+        format!("{} {}:{}", self.rule, self.path, self.line)
+    }
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{} [{}] {}",
+            self.path, self.line, self.rule, self.message
+        )
+    }
+}
+
+/// Renders a report: one line per violation plus its suggestion.
+pub fn render(violations: &[Violation], suggestions: bool) -> String {
+    let mut out = String::new();
+    for violation in violations {
+        out.push_str(&violation.to_string());
+        out.push('\n');
+        if suggestions && !violation.suggestion.is_empty() {
+            out.push_str("    fix: ");
+            out.push_str(&violation.suggestion);
+            out.push('\n');
+        }
+    }
+    out
+}

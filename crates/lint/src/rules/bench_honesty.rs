@@ -1,0 +1,37 @@
+//! `bench-honesty`: bench JSON artifacts record the host's parallelism.
+//!
+//! The `BENCH_*.json` files at the repo root are the performance
+//! trajectory compared across PRs — which run on hosts with different
+//! core counts. A throughput series that doesn't say how many cores
+//! produced it invites bogus comparisons (the 1-core CI container
+//! cannot show shard scaling, and must say so). Any bench that writes
+//! such a file must call `std::thread::available_parallelism` and
+//! record the result.
+
+use crate::report::Violation;
+use crate::scan::SourceFile;
+
+pub fn check(file: &SourceFile) -> Vec<Violation> {
+    if !file.is_bench_path() {
+        return Vec::new();
+    }
+    // Writers are identified on the raw text: the artifact name lives
+    // inside string literals (masked out of `masked`).
+    let writes_bench_json = file.raw.contains("BENCH_")
+        && (!file.find_ident("write").is_empty() || file.raw.contains("fs::write"));
+    if !writes_bench_json {
+        return Vec::new();
+    }
+    if !file.find_ident("available_parallelism").is_empty() {
+        return Vec::new();
+    }
+    vec![Violation {
+        rule: "bench-honesty",
+        path: file.path.clone(),
+        line: 1,
+        message: "bench writes a BENCH_*.json without recording available_parallelism".to_string(),
+        suggestion: "record `std::thread::available_parallelism()` in the JSON so \
+                     cross-host comparisons can be discounted honestly"
+            .to_string(),
+    }]
+}

@@ -1,0 +1,160 @@
+//! `decode-alloc-cap`: wire-decode paths must cap before they allocate.
+//!
+//! A decoder function sizes buffers off header fields it has just read
+//! from untrusted bytes. The contract (established by
+//! `CoefficientSketch::from_bytes` and `TensorSketch::from_bytes`) is
+//! that every such allocation happens only after the geometry has been
+//! validated against an explicit `MAX_*` cap — so a hostile frame is
+//! rejected while it is still just bytes, instead of reaching the
+//! allocator with a 2^60 length.
+//!
+//! The pass is deliberately syntactic: inside every decode function
+//! (`from_bytes*`, `decode*`, `read_*`), any `with_capacity(..)` or
+//! `vec![..]` whose size argument is not a compile-time constant
+//! requires a `MAX_`-prefixed cap identifier somewhere in the same
+//! function body. That catches the dangerous shape — "allocation sized
+//! by a variable in a function that never mentions a cap" — without
+//! needing dataflow.
+
+use crate::report::Violation;
+use crate::scan::{is_ident_byte, matching_brace, SourceFile};
+
+/// Whether a function name marks a wire-decode path.
+pub fn is_decoder_name(name: &str) -> bool {
+    name.contains("from_bytes") || name.contains("decode") || name.starts_with("read_")
+}
+
+pub fn check(file: &SourceFile) -> Vec<Violation> {
+    let mut violations = Vec::new();
+    let masked = file.masked.as_bytes();
+    for span in &file.fns {
+        if !is_decoder_name(&span.name) || span.body.is_empty() {
+            continue;
+        }
+        let line = file.line_of(span.header);
+        if file.is_test_line(line) || file.is_test_path() {
+            continue;
+        }
+        let body = &file.masked[span.body.clone()];
+        let has_cap = !crate::scan::find_ident_in(body, "MAX_SERIALIZED_LEVEL").is_empty()
+            || !crate::scan::find_ident_in(body, "MAX_TENSOR_SLOTS").is_empty()
+            || body_mentions_max(body);
+        for (offset, argument) in allocation_arguments(masked, span.body.clone(), file) {
+            if is_constant_size(&argument) || has_cap {
+                continue;
+            }
+            violations.push(Violation {
+                rule: "decode-alloc-cap",
+                path: file.path.clone(),
+                line: file.line_of(offset),
+                message: format!(
+                    "decode path `{}` sizes an allocation from `{}` with no MAX_* cap check \
+                     in sight",
+                    span.name,
+                    argument.trim()
+                ),
+                suggestion: "validate the wire-read geometry against an explicit cap \
+                             (MAX_SERIALIZED_LEVEL / MAX_TENSOR_SLOTS style) before sizing \
+                             any buffer off it"
+                    .to_string(),
+            });
+        }
+    }
+    violations
+}
+
+/// Whether the body references any `MAX_`-prefixed identifier.
+fn body_mentions_max(body: &str) -> bool {
+    let bytes = body.as_bytes();
+    let mut from = 0;
+    while let Some(pos) = body[from..].find("MAX_") {
+        let start = from + pos;
+        if start == 0 || !is_ident_byte(bytes[start - 1]) {
+            return true;
+        }
+        from = start + 1;
+    }
+    false
+}
+
+/// Finds `with_capacity(arg)` and `vec![arg]` allocation sites inside
+/// `body`, yielding `(offset, size-argument-text)`.
+fn allocation_arguments(
+    masked: &[u8],
+    body: std::ops::Range<usize>,
+    file: &SourceFile,
+) -> Vec<(usize, String)> {
+    let text = &file.masked;
+    let mut sites = Vec::new();
+    for offset in crate::scan::find_ident_in(text, "with_capacity") {
+        if !body.contains(&offset) {
+            continue;
+        }
+        let open = offset + "with_capacity".len();
+        if masked.get(open) != Some(&b'(') {
+            continue;
+        }
+        if let Some(close) = matching_delim(masked, open, b'(', b')') {
+            sites.push((offset, text[open + 1..close].to_string()));
+        }
+    }
+    for offset in crate::scan::find_ident_in(text, "vec") {
+        if !body.contains(&offset) {
+            continue;
+        }
+        if masked.get(offset + 3) != Some(&b'!') || masked.get(offset + 4) != Some(&b'[') {
+            continue;
+        }
+        if let Some(close) = matching_delim(masked, offset + 4, b'[', b']') {
+            let inner = &text[offset + 5..close];
+            // `vec![elem; len]` — the length is what gets allocated.
+            let size = inner.rsplit(';').next().unwrap_or(inner);
+            sites.push((offset, size.to_string()));
+        }
+    }
+    sites
+}
+
+/// Matches an arbitrary delimiter pair (reusing the brace matcher shape).
+fn matching_delim(masked: &[u8], open: usize, open_byte: u8, close_byte: u8) -> Option<usize> {
+    if open_byte == b'{' {
+        return matching_brace(masked, open);
+    }
+    let mut depth = 0;
+    for (i, &b) in masked.iter().enumerate().skip(open) {
+        if b == open_byte {
+            depth += 1;
+        } else if b == close_byte {
+            depth -= 1;
+            if depth == 0 {
+                return Some(i);
+            }
+        }
+    }
+    None
+}
+
+/// Whether a size argument is a compile-time constant: every identifier
+/// in it is an ALL_CAPS const (or it is all literals/operators).
+fn is_constant_size(argument: &str) -> bool {
+    let bytes = argument.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i].is_ascii_alphabetic() || bytes[i] == b'_' {
+            let start = i;
+            while i < bytes.len() && is_ident_byte(bytes[i]) {
+                i += 1;
+            }
+            let word = &argument[start..i];
+            let all_caps = word
+                .chars()
+                .all(|c| c.is_ascii_uppercase() || c.is_ascii_digit() || c == '_');
+            if !all_caps {
+                return false;
+            }
+        } else {
+            i += 1;
+        }
+    }
+    true
+}

@@ -1,0 +1,120 @@
+//! `error-enum-doc`: every variant of a public `*Error` enum is
+//! documented.
+//!
+//! Error enums are the contract of every fallible path in the API; a
+//! variant with no doc comment forces callers to read the raising code
+//! to learn what they matched. The pass finds `pub enum FooError {`
+//! items and requires each variant to be introduced by a `///` doc
+//! comment (attributes may sit between the doc and the variant).
+
+use crate::report::Violation;
+use crate::scan::{is_ident_byte, matching_brace, SourceFile};
+
+pub fn check(file: &SourceFile) -> Vec<Violation> {
+    let mut violations = Vec::new();
+    let masked = file.masked.as_bytes();
+    for offset in file.find_ident("enum") {
+        // Enum name: next identifier.
+        let mut i = offset + 4;
+        while i < masked.len() && !is_ident_byte(masked[i]) {
+            i += 1;
+        }
+        let name_start = i;
+        while i < masked.len() && is_ident_byte(masked[i]) {
+            i += 1;
+        }
+        let name = &file.masked[name_start..i];
+        if !name.ends_with("Error") {
+            continue;
+        }
+        let enum_line = file.line_of(offset);
+        if file.is_test_line(enum_line) || file.is_test_path() {
+            continue;
+        }
+        // Body braces.
+        while i < masked.len() && masked[i] != b'{' {
+            i += 1;
+        }
+        let Some(close) = matching_brace(masked, i) else {
+            continue;
+        };
+        for variant_line in variant_lines(file, i + 1, close) {
+            if !has_doc_above(file, variant_line) {
+                violations.push(Violation {
+                    rule: "error-enum-doc",
+                    path: file.path.clone(),
+                    line: variant_line,
+                    message: format!("undocumented variant of `{name}`"),
+                    suggestion: "add a `///` doc comment stating when the variant is raised \
+                                 and what its fields mean"
+                        .to_string(),
+                });
+            }
+        }
+    }
+    violations
+}
+
+/// Lines on which a variant starts: depth-0 (relative to the enum
+/// body) lines whose first code character begins an identifier.
+fn variant_lines(file: &SourceFile, body_start: usize, body_end: usize) -> Vec<usize> {
+    let masked = file.masked.as_bytes();
+    let mut lines = Vec::new();
+    let mut depth = 0_i32;
+    let mut i = body_start;
+    let mut at_line_start = true;
+    while i < body_end {
+        match masked[i] {
+            b'{' | b'(' | b'[' => {
+                depth += 1;
+                at_line_start = false;
+            }
+            b'}' | b')' | b']' => depth -= 1,
+            b'\n' => at_line_start = true,
+            b'#' => at_line_start = false,
+            b if b.is_ascii_whitespace() => {}
+            b if is_ident_byte(b) => {
+                if at_line_start && depth == 0 {
+                    lines.push(file.line_of(i));
+                }
+                at_line_start = false;
+                // Skip the whole identifier so its tail doesn't re-test.
+                while i + 1 < body_end && is_ident_byte(masked[i + 1]) {
+                    i += 1;
+                }
+            }
+            _ => at_line_start = false,
+        }
+        i += 1;
+    }
+    lines
+}
+
+/// Whether the variant on `line` has a `///` doc comment directly above
+/// it (skipping attribute lines).
+fn has_doc_above(file: &SourceFile, line: usize) -> bool {
+    let mut probe = line - 1;
+    while probe > 0 {
+        let doc_here = file
+            .comments
+            .iter()
+            .any(|c| c.first_line <= probe && c.last_line >= probe && c.text.starts_with("///"));
+        if doc_here {
+            return true;
+        }
+        // Attribute lines (`#[derive..]`, `#[non_exhaustive]`) may sit
+        // between the doc and the variant; anything else ends the walk.
+        let raw_line = raw_line(file, probe);
+        if raw_line.trim_start().starts_with("#[") {
+            probe -= 1;
+            continue;
+        }
+        return false;
+    }
+    false
+}
+
+/// The raw text of a 1-based line.
+fn raw_line(file: &SourceFile, line: usize) -> &str {
+    file.raw.lines().nth(line - 1).unwrap_or("")
+}

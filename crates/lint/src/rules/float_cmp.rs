@@ -1,0 +1,30 @@
+//! `float-total-cmp`: no `partial_cmp` in workspace code.
+//!
+//! The workspace sorts f64 keys in several load-bearing places — the CV
+//! candidate order, quantile pivots, latency histograms — and a partial
+//! order corrupts all of them the moment a NaN appears. `partial_cmp`
+//! has no legitimate use here: keys that are provably NaN-free still
+//! sort correctly (and faster) under `total_cmp`, and keys that aren't
+//! provably NaN-free must not go through a partial order at all.
+
+use crate::report::Violation;
+use crate::scan::SourceFile;
+
+pub fn check(file: &SourceFile) -> Vec<Violation> {
+    file.find_ident("partial_cmp")
+        .into_iter()
+        .map(|offset| {
+            let line = file.line_of(offset);
+            Violation {
+                rule: "float-total-cmp",
+                path: file.path.clone(),
+                line,
+                message: "`partial_cmp` on a float key is not a total order (NaN breaks it)"
+                    .to_string(),
+                suggestion: "replace `a.partial_cmp(&b)…` with `a.total_cmp(&b)` (or sort \
+                             with `f64::total_cmp`)"
+                    .to_string(),
+            }
+        })
+        .collect()
+}

@@ -1,0 +1,76 @@
+//! `lock-poison-recovery`: no `.lock().unwrap()` (or `.expect`) outside
+//! test code.
+//!
+//! The engine's hardening contract (PR 6) is that a panicked writer
+//! never takes the read path down with it: every lock access recovers
+//! from poisoning with `unwrap_or_else(|poisoned| poisoned.into_inner())`,
+//! which is sound because every critical section leaves the guarded
+//! state consistent at unlock. A bare `unwrap`/`expect` on a lock
+//! reintroduces the cascade.
+
+use crate::report::Violation;
+use crate::scan::{is_ident_byte, SourceFile};
+
+/// Zero-argument guard acquisitions whose result must not be unwrapped.
+const ACQUIRERS: [&str; 3] = ["lock", "read", "write"];
+
+pub fn check(file: &SourceFile) -> Vec<Violation> {
+    if file.is_test_path() {
+        return Vec::new();
+    }
+    let bytes = file.masked.as_bytes();
+    let mut violations = Vec::new();
+    for acquirer in ACQUIRERS {
+        for offset in file.find_ident(acquirer) {
+            // Must be a zero-arg method call: `.lock()`.
+            if offset == 0 || bytes[offset - 1] != b'.' {
+                continue;
+            }
+            let mut i = offset + acquirer.len();
+            if bytes.get(i) != Some(&b'(') || bytes.get(i + 1) != Some(&b')') {
+                continue;
+            }
+            i += 2;
+            // Skip whitespace (the chain may wrap to the next line).
+            while i < bytes.len() && bytes[i].is_ascii_whitespace() {
+                i += 1;
+            }
+            if bytes.get(i) != Some(&b'.') {
+                continue;
+            }
+            let rest = &file.masked[i + 1..];
+            let fatal = rest.starts_with("unwrap()")
+                || (rest.starts_with("expect")
+                    && rest[6..].trim_start().starts_with('(')
+                    && !rest.starts_with("expect_err"));
+            if !fatal {
+                continue;
+            }
+            // `unwrap()` must itself be a full method name, not a prefix
+            // of `unwrap_or_else`.
+            if rest.starts_with("unwrap()") {
+                let after = i + 1 + "unwrap".len();
+                if after < bytes.len() && is_ident_byte(bytes[after]) {
+                    continue;
+                }
+            }
+            let line = file.line_of(offset);
+            if file.is_test_line(line) {
+                continue;
+            }
+            violations.push(Violation {
+                rule: "lock-poison-recovery",
+                path: file.path.clone(),
+                line,
+                message: format!(
+                    "`.{acquirer}()` followed by unwrap/expect panics forever once a writer \
+                     has poisoned the lock"
+                ),
+                suggestion: "recover instead: `.lock().unwrap_or_else(|poisoned| \
+                             poisoned.into_inner())` (see crates/engine/src/sharded.rs)"
+                    .to_string(),
+            });
+        }
+    }
+    violations
+}

@@ -1,0 +1,131 @@
+//! `panic-free-decode`: decoder functions parse hostile bytes without a
+//! reachable panic.
+//!
+//! Every `from_bytes*` / `decode*` / `read_*` function is on the wire
+//! path: once synopsis gossip ships frames between nodes, a panic in a
+//! decoder is a remote crash. The decoder mini-fuzz (every single-bit
+//! flip and truncation of valid frames) enforces this dynamically; this
+//! pass enforces it statically, so a new `unwrap` cannot land and wait
+//! for the fuzz corpus to reach it. Indexing by wire-derived offset
+//! arithmetic (`bytes[base + 4]`) is flagged too — checked cursor reads
+//! (`Reader::take`) are the sanctioned shape.
+
+use crate::report::Violation;
+use crate::rules::decode_alloc::is_decoder_name;
+use crate::scan::{is_ident_byte, SourceFile};
+
+/// Panicking constructs forbidden in decoder bodies. Each needle is an
+/// identifier; `!`-macros are matched with their bang.
+const PANICKY: [&str; 5] = ["unwrap", "expect", "panic", "unreachable", "todo"];
+
+pub fn check(file: &SourceFile) -> Vec<Violation> {
+    if file.is_test_path() {
+        return Vec::new();
+    }
+    let mut violations = Vec::new();
+    let masked = file.masked.as_bytes();
+    for span in &file.fns {
+        if !is_decoder_name(&span.name) || span.body.is_empty() {
+            continue;
+        }
+        let header_line = file.line_of(span.header);
+        if file.is_test_line(header_line) {
+            continue;
+        }
+        for needle in PANICKY {
+            for offset in crate::scan::find_ident_in(&file.masked, needle) {
+                if !span.body.contains(&offset) {
+                    continue;
+                }
+                let after = offset + needle.len();
+                let is_macro = masked.get(after) == Some(&b'!');
+                let is_method =
+                    masked.get(after) == Some(&b'(') && offset > 0 && masked[offset - 1] == b'.';
+                // `debug_assert!`-style names don't match the ident
+                // search (word boundaries), and `expect_err` etc. are
+                // excluded by the exact-length boundary already.
+                let firing = match needle {
+                    "unwrap" | "expect" => is_method,
+                    _ => is_macro,
+                };
+                if !firing {
+                    continue;
+                }
+                violations.push(Violation {
+                    rule: "panic-free-decode",
+                    path: file.path.clone(),
+                    line: file.line_of(offset),
+                    message: format!(
+                        "decoder `{}` contains `{}{}` — a reachable panic on hostile bytes",
+                        span.name,
+                        needle,
+                        if is_macro { "!" } else { "()" }
+                    ),
+                    suggestion: "return Err(EstimatorError::InvalidSerialization { .. }) \
+                                 instead; decoders must fail closed, never panic"
+                        .to_string(),
+                });
+            }
+        }
+        violations.extend(offset_indexing(file, span));
+    }
+    violations
+}
+
+/// Flags `ident[a + b]`-style indexing inside a decoder body: indexing
+/// by offset arithmetic panics out of range, where a checked cursor
+/// read returns `Err`.
+fn offset_indexing(file: &SourceFile, span: &crate::scan::FnSpan) -> Vec<Violation> {
+    let masked = file.masked.as_bytes();
+    let mut violations = Vec::new();
+    let mut i = span.body.start;
+    while i < span.body.end {
+        if masked[i] != b'[' {
+            i += 1;
+            continue;
+        }
+        // Must be indexing (preceded by an identifier or `]`/`)`), not
+        // an array literal or attribute.
+        let prev = (0..i).rev().find(|&p| !masked[p].is_ascii_whitespace());
+        let indexing = matches!(prev.map(|p| masked[p]),
+            Some(b) if is_ident_byte(b) || b == b']' || b == b')');
+        if !indexing {
+            i += 1;
+            continue;
+        }
+        let mut depth = 0;
+        let mut j = i;
+        let mut has_arithmetic = false;
+        while j < span.body.end {
+            match masked[j] {
+                b'[' => depth += 1,
+                b']' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                b'+' if depth == 1 => has_arithmetic = true,
+                _ => {}
+            }
+            j += 1;
+        }
+        if has_arithmetic {
+            violations.push(Violation {
+                rule: "panic-free-decode",
+                path: file.path.clone(),
+                line: file.line_of(i),
+                message: format!(
+                    "decoder `{}` indexes a buffer by offset arithmetic — out-of-range \
+                     panics on truncated frames",
+                    span.name
+                ),
+                suggestion: "read through a checked cursor (`Reader::take`-style) that \
+                             returns Err on short buffers"
+                    .to_string(),
+            });
+        }
+        i = j.max(i + 1);
+    }
+    violations
+}

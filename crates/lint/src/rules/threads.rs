@@ -1,0 +1,40 @@
+//! `pool-not-raw-threads`: parallelism goes through `vendor/workpool`.
+//!
+//! PR 8 built the scoped work-stealing pool precisely so fan-outs share
+//! one host-sized pool, join deterministically, and re-raise the first
+//! task panic instead of losing it. A raw `std::thread::spawn` or
+//! `thread::scope` in library/example code bypasses all of that.
+//! Benches and tests are exempt (they orchestrate threads to *measure*
+//! or to *provoke* races), as is the pool's own implementation.
+
+use crate::report::Violation;
+use crate::scan::SourceFile;
+
+const NEEDLES: [&str; 2] = ["thread::spawn", "thread::scope"];
+
+pub fn check(file: &SourceFile) -> Vec<Violation> {
+    if file.path.starts_with("vendor/workpool/") || file.is_bench_path() || file.is_test_path() {
+        return Vec::new();
+    }
+    let mut violations = Vec::new();
+    for needle in NEEDLES {
+        for offset in file.find_exact(needle) {
+            let line = file.line_of(offset);
+            if file.is_test_line(line) {
+                continue;
+            }
+            violations.push(Violation {
+                rule: "pool-not-raw-threads",
+                path: file.path.clone(),
+                line,
+                message: format!("raw `{needle}` bypasses the vendor/workpool executor"),
+                suggestion: "route the fan-out through `workpool::WorkPool::global().scope(|s| \
+                             s.spawn(..))` (or spawn_batch), or waive with a written \
+                             justification if scoped-borrow semantics genuinely require \
+                             `thread::scope`"
+                    .to_string(),
+            });
+        }
+    }
+    violations
+}

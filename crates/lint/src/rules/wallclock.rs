@@ -1,0 +1,41 @@
+//! `no-wallclock-in-core`: determinism contract for the pipeline.
+//!
+//! The same rows must produce bitwise the same sketch — the equivalence
+//! tests, the incremental-refresh proofs and the replication protocol
+//! all lean on it. Wall-clock reads are allowed exactly where timing
+//! *is* the job: `core::autotune` (probes chunk-size candidates on real
+//! ingest work) and bench code. Everything else takes time as data
+//! (logical ticks, like `WindowedSketch::advance`).
+
+use crate::report::Violation;
+use crate::scan::SourceFile;
+
+/// Non-bench files allowed to read the clock.
+const ALLOWED: [&str; 1] = ["crates/core/src/autotune.rs"];
+
+pub fn check(file: &SourceFile) -> Vec<Violation> {
+    if ALLOWED.contains(&file.path.as_str()) || file.is_bench_path() || file.is_test_path() {
+        return Vec::new();
+    }
+    let mut violations = Vec::new();
+    let mut offsets = file.find_exact("Instant::now");
+    offsets.extend(file.find_ident("SystemTime"));
+    for offset in offsets {
+        let line = file.line_of(offset);
+        if file.is_test_line(line) {
+            continue;
+        }
+        violations.push(Violation {
+            rule: "no-wallclock-in-core",
+            path: file.path.clone(),
+            line,
+            message: "wall-clock read outside core::autotune and bench code breaks the \
+                      determinism contract"
+                .to_string(),
+            suggestion: "take time as a parameter (logical ticks / caller-supplied \
+                         timestamps); only core::autotune and benches may read the clock"
+                .to_string(),
+        });
+    }
+    violations
+}

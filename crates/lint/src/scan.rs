@@ -1,0 +1,636 @@
+//! Comment/string-aware source scanning.
+//!
+//! The rule passes do not parse Rust — they match small, well-defined
+//! token patterns. What makes that sound is the *mask*: a copy of the
+//! source in which every comment and every string/char-literal body has
+//! been blanked to spaces, byte for byte. Matching on the mask can never
+//! fire on prose ("the old `partial_cmp` sort…" in a doc comment) or on
+//! string payloads (a lint rule's own needle), while byte offsets — and
+//! therefore line numbers — stay identical to the raw source.
+//!
+//! Alongside the mask the scanner records the things that only comments
+//! can carry: `// SAFETY:` justifications and `// lint:allow(rule)`
+//! waivers; and two structural indexes the rules need: the line ranges
+//! of `#[cfg(test)]` / `#[test]` items, and the body span of every `fn`.
+
+use std::ops::Range;
+
+/// One scanned source file, ready for the rule passes.
+#[derive(Debug)]
+pub struct SourceFile {
+    /// Workspace-relative path with `/` separators (stable across OSes,
+    /// used verbatim in reports and baselines).
+    pub path: String,
+    /// The raw text, untouched.
+    pub raw: String,
+    /// Same length as `raw`; comments and literal bodies blanked.
+    pub masked: String,
+    /// Byte offset of the start of each line (line numbers are 1-based).
+    line_starts: Vec<usize>,
+    /// Every comment, with its (1-based, inclusive) line range.
+    pub comments: Vec<Comment>,
+    /// Parsed `lint:allow` waivers.
+    pub waivers: Vec<Waiver>,
+    /// `true` for each 1-based line inside a `#[cfg(test)]`/`#[test]`
+    /// item (index 0 unused).
+    test_lines: Vec<bool>,
+    /// Body spans of every `fn` in the file.
+    pub fns: Vec<FnSpan>,
+}
+
+/// A comment (line, block or doc) with its raw text.
+#[derive(Debug)]
+pub struct Comment {
+    /// First line of the comment (1-based).
+    pub first_line: usize,
+    /// Last line of the comment (1-based, inclusive).
+    pub last_line: usize,
+    /// Raw text including the `//` / `/*` markers.
+    pub text: String,
+}
+
+/// An inline `// lint:allow(rule) justification` waiver.
+#[derive(Debug)]
+pub struct Waiver {
+    /// Line the waiver comment sits on (1-based). It covers findings on
+    /// this line and on the line directly below, so it can trail the
+    /// offending expression or sit on its own line above it.
+    pub line: usize,
+    /// The waived rule name.
+    pub rule: String,
+    /// The written justification (may be empty — the waiver-syntax
+    /// check rejects that).
+    pub justification: String,
+}
+
+/// The span of one `fn` item.
+#[derive(Debug)]
+pub struct FnSpan {
+    /// The function's name.
+    pub name: String,
+    /// Byte offset of the `fn` keyword in `masked`.
+    pub header: usize,
+    /// Byte range of the body, *excluding* the outer braces. Empty for
+    /// bodyless declarations (trait methods).
+    pub body: Range<usize>,
+}
+
+impl SourceFile {
+    /// Scans `raw` into a [`SourceFile`]. `path` should be
+    /// workspace-relative with `/` separators.
+    pub fn scan(path: &str, raw: &str) -> SourceFile {
+        let (masked, comments) = mask_source(raw);
+        let line_starts = line_starts(raw);
+        let mut file = SourceFile {
+            path: path.to_string(),
+            raw: raw.to_string(),
+            masked,
+            line_starts,
+            comments,
+            waivers: Vec::new(),
+            test_lines: Vec::new(),
+            fns: Vec::new(),
+        };
+        file.waivers = parse_waivers(&file.comments);
+        file.test_lines = mark_test_lines(&file);
+        file.fns = find_fns(&file.masked);
+        file
+    }
+
+    /// 1-based line number of a byte offset.
+    pub fn line_of(&self, offset: usize) -> usize {
+        match self.line_starts.binary_search(&offset) {
+            Ok(i) => i + 1,
+            Err(i) => i,
+        }
+    }
+
+    /// Number of lines in the file.
+    pub fn line_count(&self) -> usize {
+        self.line_starts.len()
+    }
+
+    /// Whether a (1-based) line sits inside a `#[cfg(test)]`/`#[test]`
+    /// item.
+    pub fn is_test_line(&self, line: usize) -> bool {
+        self.test_lines.get(line).copied().unwrap_or(false)
+    }
+
+    /// Whether the file as a whole is test code: an integration-test
+    /// file under a `tests/` directory.
+    pub fn is_test_path(&self) -> bool {
+        self.path.starts_with("tests/") || self.path.contains("/tests/")
+    }
+
+    /// Whether the file is bench code: under a `benches/` directory or
+    /// anywhere in the bench crate.
+    pub fn is_bench_path(&self) -> bool {
+        self.path.contains("/benches/") || self.path.starts_with("crates/bench/")
+    }
+
+    /// Whether a comment whose line range intersects
+    /// `[line.saturating_sub(back), line]` contains `needle`. Consecutive
+    /// `//` lines form one logical block: if any line of the block lands
+    /// in the window, the whole block's text counts — so a multi-line
+    /// `// SAFETY:` paragraph is found even when only its tail is within
+    /// `back` lines.
+    pub fn comment_near(&self, line: usize, back: usize, needle: &str) -> bool {
+        let first = line.saturating_sub(back);
+        for (idx, comment) in self.comments.iter().enumerate() {
+            if comment.last_line < first || comment.first_line > line {
+                continue;
+            }
+            if comment.text.contains(needle) {
+                return true;
+            }
+            // Walk up through directly adjacent comment lines (the rest
+            // of this block, above the window).
+            let mut j = idx;
+            while j > 0 && self.comments[j - 1].last_line + 1 == self.comments[j].first_line {
+                j -= 1;
+                if self.comments[j].text.contains(needle) {
+                    return true;
+                }
+            }
+        }
+        false
+    }
+
+    /// All byte offsets in `masked` at which `ident` occurs as a whole
+    /// identifier (not as a prefix/suffix of a longer one).
+    pub fn find_ident(&self, ident: &str) -> Vec<usize> {
+        find_ident_in(&self.masked, ident)
+    }
+
+    /// All byte offsets in `masked` at which the exact substring occurs
+    /// (no word-boundary requirement — for qualified paths like
+    /// `thread::spawn`).
+    pub fn find_exact(&self, needle: &str) -> Vec<usize> {
+        let mut out = Vec::new();
+        let mut from = 0;
+        while let Some(pos) = self.masked[from..].find(needle) {
+            out.push(from + pos);
+            from += pos + needle.len();
+        }
+        out
+    }
+}
+
+/// Whether `byte` can be part of an identifier.
+pub fn is_ident_byte(byte: u8) -> bool {
+    byte.is_ascii_alphanumeric() || byte == b'_'
+}
+
+/// Word-boundary substring search in arbitrary text.
+pub fn find_ident_in(text: &str, ident: &str) -> Vec<usize> {
+    let bytes = text.as_bytes();
+    let mut out = Vec::new();
+    let mut from = 0;
+    while let Some(pos) = text[from..].find(ident) {
+        let start = from + pos;
+        let end = start + ident.len();
+        let left_ok = start == 0 || !is_ident_byte(bytes[start - 1]);
+        let right_ok = end == bytes.len() || !is_ident_byte(bytes[end]);
+        if left_ok && right_ok {
+            out.push(start);
+        }
+        from = start + 1;
+    }
+    out
+}
+
+/// Byte offsets of every line start.
+fn line_starts(raw: &str) -> Vec<usize> {
+    let mut starts = vec![0];
+    for (i, b) in raw.bytes().enumerate() {
+        if b == b'\n' && i + 1 < raw.len() {
+            starts.push(i + 1);
+        }
+    }
+    starts
+}
+
+/// Blanks comments and literal bodies to spaces (newlines kept, so byte
+/// offsets and line numbers survive), collecting the comments.
+fn mask_source(raw: &str) -> (String, Vec<Comment>) {
+    let bytes = raw.as_bytes();
+    let mut masked = bytes.to_vec();
+    let mut comments = Vec::new();
+    let mut line = 1_usize;
+    let mut i = 0;
+
+    // Blanks `range` in the mask, preserving newlines; counts the
+    // newlines crossed so the caller can keep its line counter.
+    fn blank(masked: &mut [u8], range: Range<usize>) -> usize {
+        let mut newlines = 0;
+        for slot in &mut masked[range] {
+            if *slot == b'\n' {
+                newlines += 1;
+            } else {
+                *slot = b' ';
+            }
+        }
+        newlines
+    }
+
+    while i < bytes.len() {
+        let b = bytes[i];
+        // Fast path: consume a whole identifier/number run, then check
+        // whether it was a raw/byte string prefix. Jumping over the run
+        // prevents the `r` inside `for` (say) from being mistaken for a
+        // raw-string sigil.
+        if is_ident_byte(b) {
+            let start = i;
+            while i < bytes.len() && is_ident_byte(bytes[i]) {
+                i += 1;
+            }
+            let word = &raw[start..i];
+            let next = bytes.get(i).copied();
+            let raw_prefix =
+                (word == "r" || word == "br") && (next == Some(b'"') || next == Some(b'#'));
+            if raw_prefix {
+                if let Some(end) = raw_string_end(bytes, i) {
+                    line += blank(&mut masked, i..end);
+                    i = end;
+                }
+                continue;
+            }
+            if word == "b" && next == Some(b'"') {
+                let end = cooked_string_end(bytes, i);
+                line += blank(&mut masked, i + 1..end.saturating_sub(1).max(i + 1));
+                i = end;
+                continue;
+            }
+            if word == "b" && next == Some(b'\'') {
+                if let Some(end) = char_literal_end(bytes, i + 1) {
+                    line += blank(&mut masked, i + 2..end - 1);
+                    i = end;
+                }
+                continue;
+            }
+            continue;
+        }
+        match b {
+            b'/' if bytes.get(i + 1) == Some(&b'/') => {
+                let start = i;
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+                comments.push(Comment {
+                    first_line: line,
+                    last_line: line,
+                    text: raw[start..i].to_string(),
+                });
+                blank(&mut masked, start..i);
+            }
+            b'/' if bytes.get(i + 1) == Some(&b'*') => {
+                let start = i;
+                let first_line = line;
+                let mut depth = 1;
+                i += 2;
+                while i < bytes.len() && depth > 0 {
+                    if bytes[i] == b'/' && bytes.get(i + 1) == Some(&b'*') {
+                        depth += 1;
+                        i += 2;
+                    } else if bytes[i] == b'*' && bytes.get(i + 1) == Some(&b'/') {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        if bytes[i] == b'\n' {
+                            line += 1;
+                        }
+                        i += 1;
+                    }
+                }
+                comments.push(Comment {
+                    first_line,
+                    last_line: line,
+                    text: raw[start..i].to_string(),
+                });
+                blank(&mut masked, start..i);
+            }
+            b'"' => {
+                let end = cooked_string_end(bytes, i);
+                line += blank(&mut masked, i + 1..end.saturating_sub(1).max(i + 1));
+                i = end;
+            }
+            b'\'' => {
+                // Char literal or lifetime. A char literal closes with a
+                // `'` within a few bytes; a lifetime (`'env`, `'static`)
+                // does not.
+                if let Some(end) = char_literal_end(bytes, i) {
+                    blank(&mut masked, i + 1..end - 1);
+                    i = end;
+                } else {
+                    i += 1;
+                }
+            }
+            b'\n' => {
+                line += 1;
+                i += 1;
+            }
+            _ => i += 1,
+        }
+    }
+    // The mask only ever rewrites ASCII bytes to spaces, so it is still
+    // valid UTF-8.
+    let masked = String::from_utf8(masked).expect("mask preserves UTF-8");
+    (masked, comments)
+}
+
+/// End (exclusive) of a cooked string whose opening `"` is at `open`.
+fn cooked_string_end(bytes: &[u8], open: usize) -> usize {
+    let mut i = open + 1;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'\\' => i += 2,
+            b'"' => return i + 1,
+            _ => i += 1,
+        }
+    }
+    bytes.len()
+}
+
+/// End (exclusive) of a raw string whose hashes start at `from` (the
+/// byte right after the `r`/`br` sigil). Returns `None` if `from` does
+/// not actually open a raw string.
+fn raw_string_end(bytes: &[u8], from: usize) -> Option<usize> {
+    let mut hashes = 0;
+    let mut i = from;
+    while bytes.get(i) == Some(&b'#') {
+        hashes += 1;
+        i += 1;
+    }
+    if bytes.get(i) != Some(&b'"') {
+        return None;
+    }
+    i += 1;
+    while i < bytes.len() {
+        if bytes[i] == b'"' {
+            let tail = &bytes[i + 1..];
+            if tail.len() >= hashes && tail[..hashes].iter().all(|&h| h == b'#') {
+                return Some(i + 1 + hashes);
+            }
+        }
+        i += 1;
+    }
+    Some(bytes.len())
+}
+
+/// End (exclusive) of a char literal whose opening `'` is at `open`, or
+/// `None` when the quote starts a lifetime instead.
+fn char_literal_end(bytes: &[u8], open: usize) -> Option<usize> {
+    match bytes.get(open + 1)? {
+        b'\\' => {
+            // Escape: scan to the closing quote (handles `'\n'`, `'\''`,
+            // `'\u{1F600}'`).
+            let mut i = open + 2;
+            while i < bytes.len() && i < open + 12 {
+                if bytes[i] == b'\'' {
+                    return Some(i + 1);
+                }
+                i += 1;
+            }
+            None
+        }
+        _ => {
+            // `'x'` (possibly multi-byte): a closing quote within the
+            // next 5 bytes makes it a literal; otherwise it's a
+            // lifetime.
+            let mut i = open + 2;
+            while i < bytes.len() && i <= open + 5 {
+                if bytes[i] == b'\'' {
+                    return Some(i + 1);
+                }
+                if !(128..=255).contains(&bytes[i]) && i > open + 2 {
+                    break;
+                }
+                i += 1;
+            }
+            None
+        }
+    }
+}
+
+/// Parses `lint:allow(rule) justification` waivers out of the comments.
+fn parse_waivers(comments: &[Comment]) -> Vec<Waiver> {
+    let mut waivers = Vec::new();
+    for comment in comments {
+        let text = comment
+            .text
+            .trim_start_matches('/')
+            .trim_start_matches('!')
+            .trim_start();
+        let Some(rest) = text.strip_prefix("lint:allow(") else {
+            continue;
+        };
+        let Some(close) = rest.find(')') else {
+            waivers.push(Waiver {
+                line: comment.first_line,
+                rule: String::new(),
+                justification: String::new(),
+            });
+            continue;
+        };
+        let rules = &rest[..close];
+        let justification = rest[close + 1..].trim().to_string();
+        for rule in rules.split(',') {
+            waivers.push(Waiver {
+                line: comment.first_line,
+                rule: rule.trim().to_string(),
+                justification: justification.clone(),
+            });
+        }
+    }
+    waivers
+}
+
+/// Marks every line covered by a `#[cfg(test)]` or `#[test]` item.
+fn mark_test_lines(file: &SourceFile) -> Vec<bool> {
+    let mut test = vec![false; file.line_count() + 1];
+    let masked = file.masked.as_bytes();
+    for needle in ["#[cfg(test)]", "#[test]"] {
+        for start in file.find_exact(needle) {
+            let attr_end = start + needle.len();
+            // The attribute covers the item that follows: everything up
+            // to the matching `}` of the item's first block, or the
+            // first `;` for a bodyless item (`mod tests;`).
+            let mut i = attr_end;
+            let mut open = None;
+            while i < masked.len() {
+                match masked[i] {
+                    b'{' => {
+                        open = Some(i);
+                        break;
+                    }
+                    b';' => break,
+                    _ => i += 1,
+                }
+            }
+            let end = match open {
+                Some(brace) => matching_brace(masked, brace).unwrap_or(masked.len() - 1),
+                None => i.min(masked.len().saturating_sub(1)),
+            };
+            let first = file.line_of(start);
+            let last = file.line_of(end);
+            for flag in test
+                .iter_mut()
+                .take(last.min(file.line_count()) + 1)
+                .skip(first)
+            {
+                *flag = true;
+            }
+        }
+    }
+    test
+}
+
+/// Offset of the `}` matching the `{` at `open` (in masked text, so
+/// braces in strings/comments don't confuse the count).
+pub fn matching_brace(masked: &[u8], open: usize) -> Option<usize> {
+    let mut depth = 0;
+    for (i, &b) in masked.iter().enumerate().skip(open) {
+        match b {
+            b'{' => depth += 1,
+            b'}' => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(i);
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+/// Finds every `fn` item and its body span.
+fn find_fns(masked: &str) -> Vec<FnSpan> {
+    let bytes = masked.as_bytes();
+    let mut fns = Vec::new();
+    for header in find_ident_in(masked, "fn") {
+        // Function name: the next identifier run.
+        let mut i = header + 2;
+        while i < bytes.len() && !is_ident_byte(bytes[i]) {
+            // Anonymous `fn(..)` pointer types have `(` before any
+            // identifier — not an item.
+            if bytes[i] == b'(' {
+                break;
+            }
+            i += 1;
+        }
+        let name_start = i;
+        while i < bytes.len() && is_ident_byte(bytes[i]) {
+            i += 1;
+        }
+        if i == name_start {
+            continue;
+        }
+        let name = masked[name_start..i].to_string();
+        // Body: first `{` before any top-level `;` (a `;` first means a
+        // bodyless declaration).
+        let mut body = 0..0;
+        while i < bytes.len() {
+            match bytes[i] {
+                b'{' => {
+                    if let Some(close) = matching_brace(bytes, i) {
+                        body = i + 1..close;
+                    }
+                    break;
+                }
+                b';' => break,
+                _ => i += 1,
+            }
+        }
+        fns.push(FnSpan { name, header, body });
+    }
+    fns
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn masking_blanks_comments_and_strings_but_keeps_offsets() {
+        let src = "let x = \"partial_cmp\"; // partial_cmp here\nlet y = 1;\n";
+        let file = SourceFile::scan("demo.rs", src);
+        assert_eq!(file.raw.len(), file.masked.len());
+        assert!(file.find_ident("partial_cmp").is_empty());
+        assert_eq!(file.find_ident("x").len(), 1);
+        assert_eq!(file.comments.len(), 1);
+        assert!(file.comments[0].text.contains("partial_cmp"));
+    }
+
+    #[test]
+    fn raw_strings_and_char_literals_are_masked_lifetimes_are_not() {
+        let src = "let s = r#\"unsafe { } \"#; let c = '{'; fn f<'a>(x: &'a str) {}\n";
+        let file = SourceFile::scan("demo.rs", src);
+        assert!(file.find_ident("unsafe").is_empty());
+        // The masked `{` of the char literal must not unbalance braces:
+        // the fn body is still found.
+        assert_eq!(file.fns.len(), 1);
+        assert_eq!(file.fns[0].name, "f");
+    }
+
+    #[test]
+    fn nested_block_comments_mask_fully() {
+        let src = "/* outer /* inner unsafe */ still comment */ let a = 1;\n";
+        let file = SourceFile::scan("demo.rs", src);
+        assert!(file.find_ident("unsafe").is_empty());
+        assert_eq!(file.find_ident("a").len(), 1);
+    }
+
+    #[test]
+    fn test_regions_cover_cfg_test_modules_and_test_fns() {
+        let src = "fn prod() { lock(); }\n\
+                   #[cfg(test)]\nmod tests {\n    fn helper() { lock(); }\n}\n";
+        let file = SourceFile::scan("demo.rs", src);
+        assert!(!file.is_test_line(1));
+        assert!(file.is_test_line(2));
+        assert!(file.is_test_line(4));
+    }
+
+    #[test]
+    fn waivers_parse_rule_and_justification() {
+        let src = "// lint:allow(pool-not-raw-threads) scoped borrows need it\nlet x = 1;\n";
+        let file = SourceFile::scan("demo.rs", src);
+        assert_eq!(file.waivers.len(), 1);
+        assert_eq!(file.waivers[0].rule, "pool-not-raw-threads");
+        assert_eq!(file.waivers[0].justification, "scoped borrows need it");
+        assert_eq!(file.waivers[0].line, 1);
+    }
+
+    #[test]
+    fn fn_spans_have_names_and_bodies() {
+        let src = "pub fn from_bytes(b: &[u8]) -> R {\n    inner();\n}\nfn decl();\n";
+        let file = SourceFile::scan("demo.rs", src);
+        assert_eq!(file.fns.len(), 2);
+        assert_eq!(file.fns[0].name, "from_bytes");
+        assert!(file.masked[file.fns[0].body.clone()].contains("inner"));
+        assert_eq!(file.fns[1].name, "decl");
+        assert!(file.fns[1].body.is_empty());
+    }
+
+    #[test]
+    fn line_of_maps_offsets() {
+        let src = "a\nbb\nccc\n";
+        let file = SourceFile::scan("demo.rs", src);
+        assert_eq!(file.line_of(0), 1);
+        assert_eq!(file.line_of(2), 2);
+        assert_eq!(file.line_of(5), 3);
+        assert_eq!(file.line_count(), 3);
+    }
+
+    #[test]
+    fn comment_near_sees_whole_comment_blocks() {
+        // "SAFETY" sits on line 1, but the comment block's tail (line 3)
+        // is within 4 lines of the item on line 6.
+        let src = "// SAFETY: three\n// lines of\n// justification.\n\
+                   #[attr_one]\n#[attr_two]\nfn item() {}\n\nfn far() {}\n";
+        let file = SourceFile::scan("demo.rs", src);
+        assert!(file.comment_near(6, 4, "SAFETY"));
+        // A block entirely outside the window still doesn't count.
+        assert!(!file.comment_near(8, 4, "SAFETY"));
+    }
+}

@@ -1,0 +1,58 @@
+//! Workspace file discovery (std-only, no `walkdir`).
+
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// The directories the pass walks, relative to the workspace root. The
+/// other `vendor/` shims (rand/proptest/criterion) mimic external
+/// crates' APIs and are deliberately out of scope; `vendor/workpool` is
+/// first-party concurrency code and is held to the same bar as
+/// `crates/`.
+pub const WALK_ROOTS: [&str; 5] = ["crates", "src", "tests", "examples", "vendor/workpool"];
+
+/// Collects every `.rs` file under the walk roots, returned as
+/// `(workspace-relative path with / separators, absolute path)` pairs
+/// in sorted order (deterministic reports).
+pub fn workspace_sources(root: &Path) -> io::Result<Vec<(String, PathBuf)>> {
+    let mut files = Vec::new();
+    for walk_root in WALK_ROOTS {
+        let dir = root.join(walk_root);
+        if dir.is_dir() {
+            collect(&dir, &mut files)?;
+        }
+    }
+    let mut out: Vec<(String, PathBuf)> = files
+        .into_iter()
+        .map(|absolute| {
+            let relative = absolute
+                .strip_prefix(root)
+                .unwrap_or(&absolute)
+                .components()
+                .map(|c| c.as_os_str().to_string_lossy().into_owned())
+                .collect::<Vec<_>>()
+                .join("/");
+            (relative, absolute)
+        })
+        .collect();
+    out.sort();
+    Ok(out)
+}
+
+fn collect(dir: &Path, files: &mut Vec<PathBuf>) -> io::Result<()> {
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            // Build artifacts can nest anywhere via `CARGO_TARGET_DIR`.
+            if name == "target" || name.starts_with('.') {
+                continue;
+            }
+            collect(&path, files)?;
+        } else if name.ends_with(".rs") {
+            files.push(path);
+        }
+    }
+    Ok(())
+}

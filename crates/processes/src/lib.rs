@@ -32,6 +32,7 @@
 //! assert_eq!(sample.len(), 1024);
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod affine;

@@ -40,6 +40,7 @@
 //! assert!((s - 0.3).abs() < 0.05);
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod estimators;

@@ -607,6 +607,8 @@ mod avx {
     /// `maskload`/`maskstore` neither fault nor write, so a short tail can
     /// run as one masked vector op instead of a per-slot scalar loop —
     /// bitwise identical per active lane.
+    // SAFETY: callers must run only after runtime AVX2 detection; the
+    // body itself touches no memory.
     #[inline]
     #[target_feature(enable = "avx2")]
     unsafe fn tail_mask(rem: usize) -> __m256i {
@@ -623,6 +625,9 @@ mod avx {
         unsafe { lerp_runs_avx2(lo, hi, w0, w1, out) }
     }
 
+    // SAFETY: callers must run only after runtime AVX2 detection and
+    // pass `lo`/`hi`/`out` of equal length (the loads/stores below index
+    // all three by `out`'s bounds).
     #[target_feature(enable = "avx2")]
     unsafe fn lerp_runs_avx2(lo: &[f64], hi: &[f64], w0: f64, w1: f64, out: &mut [f64]) {
         let n = out.len();
@@ -666,6 +671,9 @@ mod avx {
         unsafe { scaled_accumulate_avx2(scale, raw, sums, squares) }
     }
 
+    // SAFETY: callers must run only after runtime AVX2 detection and
+    // pass `raw`/`sums`/`squares` of equal length (the loads/stores
+    // below index all three by `raw`'s bounds).
     #[target_feature(enable = "avx2")]
     unsafe fn scaled_accumulate_avx2(
         scale: f64,
@@ -732,6 +740,8 @@ mod avx {
         }
     }
 
+    // SAFETY: callers must run only after runtime AVX2 detection; the
+    // body delegates slice handling to the shared safe row loop.
     #[target_feature(enable = "avx2")]
     #[allow(clippy::too_many_arguments)]
     unsafe fn scatter_rows_avx2(
@@ -788,6 +798,9 @@ mod avx {
         unsafe { lerp_scaled_accumulate_avx2(lo, hi, w0, w1, scale, sums, squares) }
     }
 
+    // SAFETY: callers must run only after runtime AVX2 detection and
+    // pass `lo`/`hi`/`sums`/`squares` of equal length (the loads/stores
+    // below index all four by `sums`'s bounds).
     #[target_feature(enable = "avx2")]
     #[allow(clippy::too_many_arguments)]
     unsafe fn lerp_scaled_accumulate_avx2(
@@ -861,6 +874,9 @@ mod avx {
         unsafe { accumulate_lerp_block_avx2(values, pos0, dpos, coeff, out, first) }
     }
 
+    // SAFETY: callers must run only after runtime AVX2 detection and
+    // uphold the block contract above: every interpolation position in
+    // `[0, values.len()−1)` and `out.len() == 4`.
     #[target_feature(enable = "avx2")]
     unsafe fn accumulate_lerp_block_avx2(
         values: &[f64],

@@ -35,12 +35,12 @@ fn main() {
         catalog.register(name, config.clone()).expect("register");
     }
 
-    // Writers and readers run concurrently: each attribute gets a writer
-    // thread ingesting in bursts, while reader threads answer range
-    // queries the whole time (served from the previous snapshot whenever
-    // a rebuild is in flight — the read path never blocks on
-    // cross-validation).
-    std::thread::scope(|scope| {
+    // Writers and readers run concurrently on the shared worker pool:
+    // each attribute gets a writer task ingesting in bursts, while reader
+    // tasks answer range queries the whole time (served from the previous
+    // snapshot whenever a rebuild is in flight — the read path never
+    // blocks on cross-validation).
+    workpool::WorkPool::new(attributes.len() + 2).scope(|scope| {
         for (name, stream) in attributes.iter().zip(&streams) {
             let catalog = &catalog;
             scope.spawn(move || {

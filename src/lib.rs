@@ -31,6 +31,7 @@
 //! assert!(estimate.evaluate(0.5) > 0.0);
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub use wavedens_core as estimation;

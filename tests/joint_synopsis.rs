@@ -178,3 +178,53 @@ fn joint_beats_the_independence_assumption_by_3x() {
          independence product's {product_error:.4}"
     );
 }
+
+/// Mini-fuzz over the v4 tensor frame decoder, mirroring the 1-D
+/// `frame_decoder_survives_bit_flips_and_truncations`: every truncation
+/// and every single-bit flip of valid sparse and dense tensor frames
+/// must come back as `Ok`/`Err` — never a panic, and never an absurd
+/// allocation (the decoder validates slot geometry against
+/// `MAX_TENSOR_SLOTS` and the byte length before sizing any buffer).
+#[test]
+fn tensor_frame_decoder_survives_bit_flips_and_truncations() {
+    // Small Haar geometry, mirroring the 1-D mini-fuzz in
+    // `core::sketch`: the flip loop decodes the frame once per bit, so
+    // the frames must stay in the kilobyte range. The compacted frame
+    // exercises the coefficient-sparse v4 payload, the dense one the
+    // full-slot payload.
+    let mut sketch = TensorSketch::new_2d(
+        wavedens::wavelets::WaveletFamily::Haar,
+        (0.0, 1.0),
+        (0.0, 1.0),
+        0,
+        2,
+        2,
+    )
+    .expect("tensor sketch geometry");
+    sketch.push_pairs(&correlated(64, 77, 0.05));
+    let compacted = sketch
+        .compact(
+            wavedens::estimation::CompactionPolicy::InactiveTail,
+            ThresholdRule::Hard,
+        )
+        .expect("compaction");
+    let frames = [compacted.to_bytes(), sketch.to_bytes_dense()];
+    for frame in &frames {
+        for len in 0..frame.len() {
+            let _ = TensorSketch::from_bytes(&frame[..len]);
+        }
+        for offset in 0..frame.len() {
+            for bit in 0..8 {
+                let mut mutated = frame.clone();
+                mutated[offset] ^= 1 << bit;
+                if let Ok(restored) = TensorSketch::from_bytes(&mutated) {
+                    // A surviving mutation (e.g. a flipped coefficient
+                    // bit) must still decode into a self-consistent
+                    // sketch.
+                    assert_eq!(restored.dims(), 2);
+                    let _ = restored.total_slots();
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,62 @@
+//! The workspace invariant lints, run as a plain integration test so
+//! `cargo test -q` enforces them without a separate CI step. See
+//! `docs/LINTS.md` for the rule catalogue and waiver syntax.
+
+use std::path::Path;
+
+#[test]
+fn workspace_is_lint_clean_beyond_the_baseline() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let violations = wavedens_lint::analyze_workspace(root).expect("workspace scan");
+    let baseline =
+        wavedens_lint::Baseline::load(&root.join("lint-baseline.txt")).expect("baseline");
+
+    let fresh: Vec<String> = violations
+        .iter()
+        .filter(|violation| !baseline.contains(violation))
+        .map(|violation| violation.to_string())
+        .collect();
+    assert!(
+        fresh.is_empty(),
+        "new lint violations (run `cargo run -p wavedens-lint` for suggestions):\n{}",
+        fresh.join("\n")
+    );
+}
+
+#[test]
+fn baseline_is_empty_and_stays_that_way() {
+    // The burn-down is complete: no violation is grandfathered. If this
+    // fails, fix the violation (or waive it with a justification) —
+    // don't re-grow the baseline.
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let baseline =
+        wavedens_lint::Baseline::load(&root.join("lint-baseline.txt")).expect("baseline");
+    assert!(
+        baseline.is_empty(),
+        "lint-baseline.txt has {} entries; the baseline was burned down to empty and new \
+         entries must not be added",
+        baseline.len()
+    );
+}
+
+#[test]
+fn scan_covers_the_whole_workspace() {
+    // Guard against the walker silently losing a root (e.g. a rename):
+    // every first-party area must contribute files to the scan.
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let sources = wavedens_lint::walk::workspace_sources(root).expect("walk");
+    for prefix in ["crates/", "src/", "tests/", "examples/", "vendor/workpool/"] {
+        assert!(
+            sources
+                .iter()
+                .any(|(relative, _)| relative.starts_with(prefix)),
+            "no sources found under {prefix}"
+        );
+    }
+    assert!(
+        sources
+            .iter()
+            .any(|(relative, _)| relative == "tests/workspace_lints.rs"),
+        "the scan must cover this very test"
+    );
+}

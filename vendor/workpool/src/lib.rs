@@ -31,6 +31,8 @@
 //! re-raised on the calling thread after the join — one crashed chunk
 //! cannot silently vanish, and the pool stays usable for later scopes.
 
+#![forbid(unsafe_code)]
+
 use std::collections::VecDeque;
 use std::num::NonZeroUsize;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
